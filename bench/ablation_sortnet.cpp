@@ -1,0 +1,104 @@
+// ablation_sortnet — quantifies the fidelity caveat DESIGN.md documents:
+// the paper's log2(N)-pass recirculating shuffle is an exact MAX-FINDER
+// but only a partial sorter, while the bitonic schedule (log2N(log2N+1)/2
+// passes) sorts fully and odd-even transposition (N passes) sits between.
+//
+// For each schedule and N, over randomized attribute sets:
+//   * max-correct rate (must be 1.0 for every schedule);
+//   * fully-sorted block rate;
+//   * mean displacement of each stream from its true rank (block quality);
+//   * passes per decision cycle (the latency cost of better blocks).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hw/shuffle.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace ss;
+  using namespace ss::hw;
+  bench::banner("Ablation (sorting schedules)",
+                "Perfect-shuffle vs bitonic vs odd-even transposition");
+
+  CsvWriter csv(bench::results_dir() + "ablation_sortnet.csv",
+                {"n", "schedule", "passes", "max_correct_rate",
+                 "fully_sorted_rate", "mean_displacement"});
+  Rng rng(2025);
+  const int kTrials = 2000;
+
+  bench::section("block quality over 2000 random attribute sets per cell");
+  std::printf("%4s %-16s %7s %12s %13s %14s\n", "N", "schedule", "passes",
+              "max-correct", "fully-sorted", "mean displ.");
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    for (const auto sched :
+         {SortSchedule::kPerfectShuffle, SortSchedule::kBitonic,
+          SortSchedule::kOddEven}) {
+      ShuffleNetwork net(n, sched, ComparisonMode::kDwcsFull);
+      int max_ok = 0, sorted_ok = 0;
+      double displacement = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        std::vector<AttrWord> words(n);
+        for (unsigned i = 0; i < n; ++i) {
+          words[i].deadline = Deadline{rng.below(40)};
+          words[i].loss_num = static_cast<Loss>(rng.below(3));
+          words[i].loss_den = static_cast<Loss>(1 + rng.below(4));
+          words[i].arrival = Arrival{rng.below(8)};
+          words[i].id = static_cast<SlotId>(i);
+          words[i].pending = true;
+        }
+        // True ranking by the same ordering rules.
+        std::vector<AttrWord> truth = words;
+        std::sort(truth.begin(), truth.end(),
+                  [](const AttrWord& a, const AttrWord& b) {
+                    return decide(a, b, ComparisonMode::kDwcsFull).a_wins;
+                  });
+        net.load(words);
+        net.run_all();
+        const auto lanes = net.lanes();
+        max_ok += lanes[0].id == truth[0].id;
+        bool sorted = true;
+        for (unsigned i = 0; i < n; ++i) {
+          sorted = sorted && lanes[i].id == truth[i].id;
+          // Displacement: |lane index - true rank| of each stream.
+          for (unsigned r = 0; r < n; ++r) {
+            if (truth[r].id == lanes[i].id) {
+              displacement += std::abs(static_cast<int>(i) -
+                                       static_cast<int>(r));
+              break;
+            }
+          }
+        }
+        sorted_ok += sorted;
+      }
+      const double max_rate = static_cast<double>(max_ok) / kTrials;
+      const double sort_rate = static_cast<double>(sorted_ok) / kTrials;
+      const double mean_disp = displacement / (kTrials * n);
+      const char* name = sched == SortSchedule::kPerfectShuffle ? "shuffle"
+                         : sched == SortSchedule::kBitonic      ? "bitonic"
+                                                                : "odd-even";
+      std::printf("%4u %-16s %7u %12.3f %13.3f %14.3f\n", n, name,
+                  net.total_passes(), max_rate, sort_rate, mean_disp);
+      csv.cell(std::uint64_t{n});
+      csv.cell(name);
+      csv.cell(std::uint64_t{net.total_passes()});
+      csv.cell(max_rate);
+      csv.cell(sort_rate);
+      csv.cell(mean_disp);
+      csv.endrow();
+    }
+  }
+
+  bench::section("reading");
+  std::printf("* max-correct is 1.000 everywhere: the paper's WR "
+              "max-finding claim holds for every schedule.\n");
+  std::printf("* the shuffle's fully-sorted rate < 1 beyond trivial inputs: "
+              "the log2(N)-cycle 'sorted list' is approximate; bitonic "
+              "buys exactness for log2N(log2N+1)/2 passes.\n");
+  std::printf("* Table 3's block results need only the max-first prefix "
+              "property, which the shuffle provides.\n");
+  std::printf("\nCSV: results/ablation_sortnet.csv\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// ablation_streaming — the push-vs-pull transfer tradeoff of the card's
+// Streaming unit (Section 4.2: push for small transfers, DMA pull for
+// bulk), swept quantitatively.
+//
+// A fixed 64000-arrival workload drains through the streaming unit at one
+// offset per packet-time while the watermark policy keeps the card queue
+// full.  Swept: the pull threshold (when a refill batch is big enough to
+// justify DMA setup + bank-ownership arbitration) and the low watermark
+// (how early to refill).  Reported: modeled bus time, refill mix, and
+// underruns — the quantity the paper's design is built to avoid.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hw/streaming_unit.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct Outcome {
+  ss::hw::StreamingStats stats;
+  std::uint64_t drained;
+};
+
+Outcome run(std::size_t watermark, std::size_t pull_threshold,
+            std::size_t depth) {
+  using namespace ss;
+  hw::PciModel pci;
+  hw::SramBank bank(1 << 16, Nanos{2000});
+  queueing::QueueManager qm(1000);
+  qm.add_stream(1 << 17);
+  hw::StreamingUnitConfig cfg;
+  cfg.card_queue_depth = depth;
+  cfg.low_watermark = watermark;
+  cfg.pull_threshold = pull_threshold;
+  hw::StreamingUnit su(cfg, pci, bank, 1);
+
+  const std::uint64_t kArrivals = 64000;
+  std::uint64_t produced = 0, drained = 0;
+  std::uint16_t off;
+  auto produce = [&](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n && produced < kArrivals; ++i) {
+      queueing::Frame f;
+      f.arrival_ns = produced * 1000;
+      qm.produce(0, f);
+      ++produced;
+    }
+  };
+  // Mixed workload: a bulk burst of 192 arrivals every 256 packet-times
+  // plus a one-per-4-packet-times trickle — so refills span the whole
+  // small-to-bulk batch range and the threshold choice matters.
+  std::uint64_t tick = 0;
+  while (drained < kArrivals) {
+    if (tick % 256 == 0) produce(192);
+    if (tick % 4 == 0) produce(1);
+    ++tick;
+    if (su.needs_refill(0)) su.refill(0, qm);
+    if (produced > drained && su.pop_arrival(0, off)) ++drained;
+  }
+  return {su.stats(), drained};
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation (streaming unit)",
+                "Push vs pull refill policy for the card's per-stream queues");
+  CsvWriter csv(bench::results_dir() + "ablation_streaming.csv",
+                {"watermark", "pull_threshold", "pushes", "pulls",
+                 "underruns", "bus_ms", "ns_per_offset"});
+
+  bench::section("64000 arrivals, card queue depth 64, bank switch 2 us, "
+                 "DMA setup 2 us");
+  std::printf("%10s %10s | %8s %8s %10s %9s %14s\n", "watermark",
+              "pull_thr", "pushes", "pulls", "underruns", "bus ms",
+              "ns/offset");
+  for (const std::size_t wm : {4ul, 16ul, 32ul, 48ul}) {
+    for (const std::size_t thr : {1ul, 8ul, 16ul, 64ul}) {
+      const Outcome o = run(wm, thr, 64);
+      const double bus_ms = static_cast<double>(o.stats.transfer_ns) / 1e6;
+      const double per =
+          static_cast<double>(o.stats.transfer_ns) / o.drained;
+      std::printf("%10zu %10zu | %8llu %8llu %10llu %9.2f %14.1f\n", wm,
+                  thr,
+                  static_cast<unsigned long long>(o.stats.push_refills),
+                  static_cast<unsigned long long>(o.stats.pull_refills),
+                  static_cast<unsigned long long>(o.stats.underruns),
+                  bus_ms, per);
+      csv.cell(static_cast<std::uint64_t>(wm));
+      csv.cell(static_cast<std::uint64_t>(thr));
+      csv.cell(o.stats.push_refills);
+      csv.cell(o.stats.pull_refills);
+      csv.cell(o.stats.underruns);
+      csv.cell(bus_ms);
+      csv.cell(per);
+      csv.endrow();
+    }
+  }
+
+  bench::section("reading");
+  std::printf("* pull_threshold=1 forces DMA for every refill: the 2 us "
+              "setup + 2 us bank arbitration dominate (the RC1000 "
+              "bottleneck the paper reports);\n");
+  std::printf("* pull_threshold=64 forces PIO always: cheap per refill "
+              "but ~150 ns per offset of processor time on the bus;\n");
+  std::printf("* the mixed policy (threshold ~16) batches bulk arrivals "
+              "over DMA and trickles small top-ups over PIO — the paper's "
+              "push/pull design point.\n");
+  std::printf("\nCSV: results/ablation_streaming.csv\n");
+  return 0;
+}

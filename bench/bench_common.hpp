@@ -1,0 +1,33 @@
+// bench_common.hpp — shared plumbing for the figure/table benches.
+//
+// Every bench prints (a) a banner naming the paper artifact it reproduces,
+// (b) the regenerated rows/series as text and ASCII charts, (c) the
+// paper's reference values where the text states them, and writes the raw
+// series as CSV under ./results/ for external re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace ss::bench {
+
+inline std::string results_dir() {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  return "results/";
+}
+
+inline void banner(const char* artifact, const char* title) {
+  std::printf("\n");
+  std::printf("=====================================================================\n");
+  std::printf("  ShareStreams reproduction — %s\n", artifact);
+  std::printf("  %s\n", title);
+  std::printf("=====================================================================\n");
+}
+
+inline void section(const char* name) {
+  std::printf("\n--- %s ---\n", name);
+}
+
+}  // namespace ss::bench

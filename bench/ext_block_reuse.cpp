@@ -1,0 +1,129 @@
+// ext_block_reuse — quantifies Section 5.1's "Evaluation Summary and
+// Extension of Results": when can a sorted block be reused across future
+// packet-times?
+//
+//   "For service-tag based fair-queuing disciplines, if the computed
+//    finish-time of a new packet is higher than those of the elements in
+//    the block, the block can be used for transmission in future
+//    packet-times, otherwise the queues will need a re-sort ... if the
+//    priority assignment engine assigns monotonically increasing
+//    priorities across all streams then block decision can be leveraged."
+//
+// We drive the BlockReuseChecker with SCFQ finish tags from two priority
+// assignment engines — a single global engine (monotone tags by
+// construction) and per-stream engines over bursty traffic (tags
+// interleave non-monotonically) — and measure the fraction of decision
+// cycles whose block survives for reuse.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/block_policy.hpp"
+#include "sched/wfq.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Result {
+  std::uint64_t blocks = 0;
+  std::uint64_t reusable_cycles = 0;
+  std::uint64_t resorts = 0;
+};
+
+// Simulate: every packet-time a block of the 4 smallest finish tags is
+// formed; between blocks `arrivals_per_cycle` new packets get tags from
+// the chosen engine.  A block is "reused" while every new tag exceeds its
+// max.
+Result run(bool global_engine, ss::Rng& rng) {
+  Result r;
+  ss::core::BlockReuseChecker checker;
+  double global_vtime = 0;
+  double per_stream[4] = {0, 0, 0, 0};
+  std::vector<std::uint64_t> window;  // tags of the current block
+  for (int cycle = 0; cycle < 20000; ++cycle) {
+    // Form a block from 4 fresh tags.
+    window.clear();
+    for (int i = 0; i < 4; ++i) {
+      const auto s = static_cast<unsigned>(rng.below(4));
+      double tag;
+      if (global_engine) {
+        global_vtime += 1.0 + rng.below(3);
+        tag = global_vtime;
+      } else {
+        // Bursty per-stream engines: a stream that idled restarts its
+        // clock low relative to others that raced ahead.
+        if (rng.chance(0.02)) per_stream[s] *= 0.5;  // idle reset
+        per_stream[s] += 1.0 + rng.below(3);
+        tag = per_stream[s];
+      }
+      window.push_back(static_cast<std::uint64_t>(tag * 16));
+    }
+    checker.new_block(window);
+    ++r.blocks;
+    // Four future packet-times of new arrivals test the block.
+    bool survived = true;
+    for (int t = 0; t < 4 && survived; ++t) {
+      const auto s = static_cast<unsigned>(rng.below(4));
+      double tag;
+      if (global_engine) {
+        global_vtime += 1.0 + rng.below(3);
+        tag = global_vtime;
+      } else {
+        if (rng.chance(0.02)) per_stream[s] *= 0.5;
+        per_stream[s] += 1.0 + rng.below(3);
+        tag = per_stream[s];
+      }
+      survived = checker.on_new_tag(static_cast<std::uint64_t>(tag * 16));
+    }
+    if (survived) {
+      ++r.reusable_cycles;
+    } else {
+      ++r.resorts;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bench::banner("Extension (Section 5.1)",
+                "Block reuse under monotone vs non-monotone tag engines");
+  CsvWriter csv(bench::results_dir() + "ext_block_reuse.csv",
+                {"engine", "blocks", "reusable", "resorts", "reuse_rate"});
+
+  Rng rng(13579);
+  const Result mono = run(true, rng);
+  const Result burst = run(false, rng);
+
+  bench::section("20000 blocks, 4 future packet-times tested per block");
+  auto row = [&](const char* name, const Result& r) {
+    const double rate = static_cast<double>(r.reusable_cycles) / r.blocks;
+    std::printf("%-28s blocks=%llu reusable=%llu resorts=%llu -> %.1f%% "
+                "reuse\n",
+                name, static_cast<unsigned long long>(r.blocks),
+                static_cast<unsigned long long>(r.reusable_cycles),
+                static_cast<unsigned long long>(r.resorts), rate * 100);
+    csv.cell(name);
+    csv.cell(r.blocks);
+    csv.cell(r.reusable_cycles);
+    csv.cell(r.resorts);
+    csv.cell(rate);
+    csv.endrow();
+  };
+  row("global engine (monotone)", mono);
+  row("per-stream engines (bursty)", burst);
+
+  bench::section("reading");
+  std::printf("* a single monotone priority-assignment engine makes every "
+              "block reusable — the paper's condition holds by "
+              "construction;\n");
+  std::printf("* independent per-stream clocks with idle resets break "
+              "monotonicity and force re-sorts on a large fraction of "
+              "blocks — which is why the paper confines block reuse of "
+              "fair-queuing tags to the monotone case, and why fair-share "
+              "bandwidth allocation uses max-finding instead.\n");
+  std::printf("\nCSV: results/ext_block_reuse.csv\n");
+  return 0;
+}

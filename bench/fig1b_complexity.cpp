@@ -1,0 +1,70 @@
+// fig1b_complexity — reproduces Figure 1(b): "Implementation Complexity of
+// Packet Schedulers".
+//
+// The paper's chart stacks scheduling disciplines by implementation
+// complexity (state storage, attribute-comparison width, winner-selection
+// and priority-update work).  This bench regenerates that stacking from
+// the quantitative model in ss_core::discipline_complexity and sweeps the
+// stream count to show how each discipline's per-decision work scales.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 1(b)", "Implementation complexity of packet schedulers");
+
+  bench::section("complexity model at N = 32 streams");
+  std::printf("%-28s %6s %6s %7s %10s %10s %10s\n", "discipline", "attrs",
+              "bits", "update", "dec ops", "upd ops", "index");
+  for (const auto& c : core::discipline_complexity(32)) {
+    std::printf("%-28s %6u %6u %7s %10.1f %10.1f %10.1f\n",
+                c.discipline.c_str(), c.attrs_compared, c.state_bits,
+                c.per_decision_update ? "yes" : "no", c.decision_ops,
+                c.update_ops, c.complexity_index);
+  }
+  std::printf("\npaper's qualitative stacking: FCFS < static-priority < "
+              "fair-queuing tags < window-constrained (DWCS)\n");
+
+  bench::section("complexity index vs stream count (the scaling sweep)");
+  CsvWriter csv(bench::results_dir() + "fig1b_complexity.csv",
+                {"streams", "discipline", "attrs", "state_bits",
+                 "decision_ops", "update_ops", "complexity_index"});
+  AsciiChart chart("Figure 1(b): complexity index vs N", "streams N",
+                   "complexity index (FCFS = 1)", 64, 18);
+  chart.set_log_x(true);
+  const std::vector<unsigned> sweep = {4, 8, 16, 32, 64, 128, 256};
+  const char glyphs[] = {'f', 's', 'r', 'd', 'e', 'w', 'D'};
+  std::vector<Series> series;
+  for (unsigned n : sweep) {
+    const auto v = core::discipline_complexity(n);
+    if (series.empty()) {
+      series.resize(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        series[i].name = v[i].discipline;
+        series[i].glyph = glyphs[i % sizeof glyphs];
+      }
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      series[i].x.push_back(n);
+      series[i].y.push_back(v[i].complexity_index);
+      csv.cell(std::uint64_t{n});
+      csv.cell(v[i].discipline);
+      csv.cell(std::uint64_t{v[i].attrs_compared});
+      csv.cell(std::uint64_t{v[i].state_bits});
+      csv.cell(v[i].decision_ops);
+      csv.cell(v[i].update_ops);
+      csv.cell(v[i].complexity_index);
+      csv.endrow();
+    }
+  }
+  for (auto& s : series) chart.add(std::move(s));
+  std::fputs(chart.render().c_str(), stdout);
+  std::printf("\nCSV: results/fig1b_complexity.csv (%zu rows)\n",
+              csv.rows_written());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// fig6_timeline — reproduces Figure 6: "ShareStreams Scheduler Timeline
+// (Four Stream Scheduling Timeline)".
+//
+// The figure shows the Control & Steering unit beginning in LOAD and then
+// alternating SCHEDULE / PRIORITY_UPDATE as four streams are scheduled.
+// This bench renders exactly that: a per-hardware-cycle lane of FSM
+// states for a 4-slot DWCS schedule, annotated with the network passes,
+// the circulated winner of each decision cycle, and the register-level
+// attribute changes (from the Tracer).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "hw/control_unit.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "hw/trace.hpp"
+
+namespace {
+
+char state_glyph(ss::hw::ControlUnit::Action a) {
+  using Action = ss::hw::ControlUnit::Action;
+  switch (a) {
+    case Action::kLoadCycle: return 'L';
+    case Action::kSchedulePass: return 'S';
+    case Action::kUpdateApply: return 'U';
+    case Action::kUpdateSettle: return 'u';
+    case Action::kOutputCycle: return 'O';
+    case Action::kDecisionDone: return '|';
+  }
+  return '?';
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 6", "Scheduler timeline: LOAD then alternating "
+                            "SCHEDULE / PRIORITY_UPDATE (4 streams)");
+
+  // The FSM lane, straight from the Control & Steering unit.
+  bench::section("hardware-cycle lane (L=load S=schedule-pass U=update-"
+                 "apply u=settle O=output |=decision boundary)");
+  hw::ControlUnit cu(4, 2, hw::ControlTiming{});
+  std::string lane, ruler;
+  for (int cycle = 0; cycle < 4 * 13; ++cycle) {
+    lane.push_back(state_glyph(cu.tick()));
+    ruler.push_back(cycle % 13 == 0 ? '0' + static_cast<char>(cycle / 13)
+                                    : ' ');
+  }
+  std::printf("decision:  %s\n", ruler.c_str());
+  std::printf("fsm:       %s\n", lane.c_str());
+  std::printf("(13 hardware cycles per decision at 4 slots: 4L + 2S + "
+              "1U + 2u + 4O — the 7.69 M decisions/s calibration)\n");
+
+  // The same timeline at the functional level: four DWCS streams, traced.
+  bench::section("four-stream schedule, register-level view (Tracer)");
+  hw::ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  hw::SchedulerChip chip(cfg);
+  struct Init {
+    std::uint16_t T;
+    hw::Loss x, y;
+    std::uint64_t d;
+  };
+  const Init init[4] = {{2, 1, 4, 2}, {3, 0, 2, 3}, {4, 2, 5, 1},
+                        {2, 1, 2, 4}};
+  for (unsigned i = 0; i < 4; ++i) {
+    hw::SlotConfig sc;
+    sc.mode = hw::SlotMode::kDwcs;
+    sc.period = init[i].T;
+    sc.loss_num = init[i].x;
+    sc.loss_den = init[i].y;
+    sc.initial_deadline = hw::Deadline{init[i].d};
+    chip.load_slot(static_cast<hw::SlotId>(i), sc);
+  }
+  hw::Tracer tracer;
+  chip.attach_tracer(&tracer);
+  for (int k = 0; k < 10; ++k) {
+    for (unsigned i = 0; i < 4; ++i) {
+      if ((k + i) % 2 == 0) chip.push_request(static_cast<hw::SlotId>(i));
+    }
+    chip.run_decision_cycle();
+  }
+  std::fputs(tracer.render_all().c_str(), stdout);
+
+  bench::section("alternation check (the Figure-6 claim)");
+  std::printf("after the initial LOAD the unit alternates SCHEDULE and "
+              "PRIORITY_UPDATE every decision cycle: %s\n",
+              lane.find("SSU") != std::string::npos &&
+                      lane.find("USS") == std::string::npos
+                  ? "REPRODUCED"
+                  : "check the lane above");
+  std::printf("fair-queuing mapping drops the U/u cycles entirely "
+              "(bypass_update): %u cycles/decision instead of 13.\n",
+              [] {
+                hw::ControlTiming t;
+                t.bypass_update = true;
+                return hw::ControlUnit(4, 2, t)
+                    .sustained_cycles_per_decision();
+              }());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// fig7_area_clock — reproduces Figure 7: "Area-Clock Rate Characteristics
+// of Architecture (Virtex I)".
+//
+// Sweeps 4..32 stream-slots for the Base Architecture (BA, sorted-list
+// block) and winner-only routing (WR, max-finding), printing slice usage
+// and achievable clock, and checks every relation the paper's text states:
+// linear area growth, near-identical BA/WR area, WR's flatter clock, the
+// ~20% BA penalty at 8/16 slots and ~10% at 32, and the packet-time
+// feasibility claims for gigabit and 10 Gb links.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hw/area_model.hpp"
+#include "hw/timing_model.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/sim_time.hpp"
+
+int main() {
+  using namespace ss;
+  using hw::ArchConfig;
+  bench::banner("Figure 7", "Area & clock-rate vs stream-slots (Virtex-I model)");
+
+  const hw::AreaModel model;
+  const hw::TimingModel timing(model, hw::ControlTiming{});
+  const std::vector<unsigned> slots = {4, 8, 16, 32};
+
+  CsvWriter csv(bench::results_dir() + "fig7_area_clock.csv",
+                {"slots", "config", "control_slices", "register_slices",
+                 "decision_slices", "routing_slices", "total_slices",
+                 "clock_mhz", "decision_latency_ns", "smallest_device"});
+
+  bench::section("area and clock (paper per-block areas: control 22, "
+                 "decision 190, register 150 slices)");
+  std::printf("%6s %6s %14s %11s %18s %10s\n", "slots", "cfg",
+              "total slices", "clock MHz", "decision latency", "device");
+  AsciiChart area_chart("Figure 7a: slices vs stream-slots", "stream-slots",
+                        "Virtex-I slices", 64, 16);
+  AsciiChart clk_chart("Figure 7b: clock vs stream-slots", "stream-slots",
+                       "MHz", 64, 16);
+  Series a_ba{"BA", {}, {}, 'B'}, a_wr{"WR", {}, {}, 'w'};
+  Series c_ba{"BA", {}, {}, 'B'}, c_wr{"WR", {}, {}, 'w'};
+
+  for (unsigned n : slots) {
+    for (const auto cfg : {ArchConfig::kBlockArchitecture,
+                           ArchConfig::kWinnerRouting}) {
+      const bool ba = cfg == ArchConfig::kBlockArchitecture;
+      const auto b = model.area(n, cfg);
+      const double mhz = model.clock_mhz(n, cfg);
+      const auto rep = timing.report(n, cfg, ba);
+      const hw::Device* dev = model.smallest_fit(n, cfg);
+      std::printf("%6u %6s %14u %11.1f %15.0f ns %10s\n", n,
+                  ba ? "BA" : "WR", b.total(), mhz, rep.decision_latency_ns,
+                  dev ? dev->name.c_str() : "none");
+      (ba ? a_ba : a_wr).x.push_back(n);
+      (ba ? a_ba : a_wr).y.push_back(b.total());
+      (ba ? c_ba : c_wr).x.push_back(n);
+      (ba ? c_ba : c_wr).y.push_back(mhz);
+      csv.cell(std::uint64_t{n});
+      csv.cell(ba ? "BA" : "WR");
+      csv.cell(std::uint64_t{b.control_slices});
+      csv.cell(std::uint64_t{b.register_slices});
+      csv.cell(std::uint64_t{b.decision_slices});
+      csv.cell(std::uint64_t{b.routing_slices});
+      csv.cell(std::uint64_t{b.total()});
+      csv.cell(mhz);
+      csv.cell(rep.decision_latency_ns);
+      csv.cell(dev ? dev->name : "none");
+      csv.endrow();
+    }
+  }
+  area_chart.add(a_ba);
+  area_chart.add(a_wr);
+  clk_chart.add(c_ba);
+  clk_chart.add(c_wr);
+  std::fputs(area_chart.render().c_str(), stdout);
+  std::fputs(clk_chart.render().c_str(), stdout);
+
+  bench::section("paper relations check");
+  auto pen = [&](unsigned n) {
+    const double wr = model.clock_mhz(n, ArchConfig::kWinnerRouting);
+    return (wr - model.clock_mhz(n, ArchConfig::kBlockArchitecture)) / wr;
+  };
+  std::printf("BA clock penalty:  8 slots %.0f%% (paper: ~20%%)   16 slots "
+              "%.0f%% (~20%%)   32 slots %.0f%% (~10%%)\n",
+              pen(8) * 100, pen(16) * 100, pen(32) * 100);
+  std::printf("decision cycles (sort): 4->%u  8->%u  16->%u  32->%u  "
+              "(paper: 2/3/4/5)\n",
+              hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, 4),
+              hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, 8),
+              hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, 16),
+              hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, 32));
+
+  bench::section("packet-time feasibility (paper: all gigabit frames + "
+                 "1500B at 10Gbps)");
+  std::printf("%6s %6s | %13s %13s %13s %13s\n", "slots", "cfg", "64B@1G",
+              "1500B@1G", "1500B@10G", "64B@10G");
+  for (unsigned n : slots) {
+    for (const auto cfg : {ArchConfig::kBlockArchitecture,
+                           ArchConfig::kWinnerRouting}) {
+      const bool ba = cfg == ArchConfig::kBlockArchitecture;
+      auto f = [&](std::uint64_t bytes, double gbps) {
+        return timing.feasible(n, cfg, ba, bytes, gbps) ? "meets" : "MISSES";
+      };
+      std::printf("%6u %6s | %13s %13s %13s %13s\n", n, ba ? "BA" : "WR",
+                  f(64, 1.0), f(1500, 1.0), f(1500, 10.0), f(64, 10.0));
+    }
+  }
+  std::printf("\nCSV: results/fig7_area_clock.csv\n");
+  return 0;
+}

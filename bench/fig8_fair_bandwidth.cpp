@@ -1,0 +1,88 @@
+// fig8_fair_bandwidth — reproduces Figure 8: "Fair Bandwidth Allocation of
+// Streams (1,2,3,4) with ratios 1:1:2:4".
+//
+// The paper's run: the ShareStreams endsystem (host Queue Manager +
+// FPGA scheduler over PCI), service constraints set for a 1:1:2:4 split,
+// 64000 16-bit arrival times transferred per queue, output bandwidth
+// measured without network-stack system calls.  Figure 10's scale fixes
+// the absolute split at 2.0/2.0/4.0/8.0 MBps (16 MBps link), which a
+// 0.128 Gbps link model reproduces.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/endsystem.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 8", "Fair bandwidth allocation 1:1:2:4");
+
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.link_gbps = 0.128;  // 16 MBps: the figure's bandwidth scale
+  cfg.bw_window_ns = 20'000'000;
+  core::Endsystem es(cfg);
+  const double weights[4] = {1, 1, 2, 4};
+  for (double w : weights) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  // 64000 arrival-times transferred in total; weight-proportional per
+  // queue so all four streams stay contended to the end of the run (the
+  // figure's steady-state region).
+  const std::vector<std::uint64_t> frames = {8000, 8000, 16000, 32000};
+  const auto rep = es.run(frames);
+  const auto& mon = es.monitor();
+
+  bench::section("mean output bandwidth (MBps)");
+  std::printf("%8s %12s %12s %14s\n", "stream", "measured", "paper(scale)",
+              "ratio vs S1");
+  const double paper[4] = {2.0, 2.0, 4.0, 8.0};
+  for (unsigned i = 0; i < 4; ++i) {
+    std::printf("%8u %12.2f %12.1f %14.2f\n", i + 1, mon.mean_mbps(i),
+                paper[i], mon.mean_mbps(i) / mon.mean_mbps(0));
+  }
+  std::printf("frames delivered: %llu   link time: %.3f s   decision "
+              "cycles: %llu\n",
+              static_cast<unsigned long long>(rep.frames),
+              static_cast<double>(rep.link_ns) * 1e-9,
+              static_cast<unsigned long long>(rep.decision_cycles));
+
+  bench::section("bandwidth time series (the figure)");
+  AsciiChart chart("Figure 8: output bandwidth over time", "time (ms)",
+                   "MBps", 68, 18);
+  const char glyphs[4] = {'1', '2', '3', '4'};
+  CsvWriter csv(bench::results_dir() + "fig8_bandwidth.csv",
+                {"stream", "window_end_ms", "mbps"});
+  for (unsigned i = 0; i < 4; ++i) {
+    Series s;
+    s.name = "stream " + std::to_string(i + 1);
+    s.glyph = glyphs[i];
+    for (const auto& p : mon.bandwidth_series(i)) {
+      s.x.push_back(static_cast<double>(p.window_end_ns) * 1e-6);
+      s.y.push_back(p.mbps);
+      csv.cell(std::uint64_t{i + 1});
+      csv.cell(static_cast<double>(p.window_end_ns) * 1e-6);
+      csv.cell(p.mbps);
+      csv.endrow();
+    }
+    chart.add(std::move(s));
+  }
+  chart.set_y_range(0, 10);
+  std::fputs(chart.render().c_str(), stdout);
+  std::printf("\nshape verdict: ratios %.2f : %.2f : %.2f : %.2f vs paper "
+              "1 : 1 : 2 : 4\n",
+              mon.mean_mbps(0) / mon.mean_mbps(0),
+              mon.mean_mbps(1) / mon.mean_mbps(0),
+              mon.mean_mbps(2) / mon.mean_mbps(0),
+              mon.mean_mbps(3) / mon.mean_mbps(0));
+  std::printf("CSV: results/fig8_bandwidth.csv\n");
+  return 0;
+}

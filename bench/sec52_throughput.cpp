@@ -1,0 +1,194 @@
+// sec52_throughput — reproduces Section 5.2's performance comparison:
+//
+//   * ShareStreams switch-linecard: 7.6 M packets/s (4 slots, Virtex-I,
+//     no host software in the decision path);
+//   * ShareStreams endsystem (PIII-550, Linux 2.4): 469,483 pps excluding
+//     PCI transfer time, 299,065 pps including PCI PIO;
+//   * software routers: Click 333 k pps (300 k with SFQ, PIII-700),
+//     router plugins (DRR) 28 k pps, SIGMETRICS'01 ~300 k pps.
+//
+// This bench regenerates each row: the linecard rate from the cycle-level
+// chip at the RC1000's 100 MHz; the endsystem from the measured host drain
+// loop with the calibrated PCI model; the software rows by timing this
+// host's per-packet scheduling cost for SFQ/DRR/WFQ and the DWCS software
+// reference.  Absolute numbers differ (2026 host vs 2002 hosts); the
+// paper's ordering and the PCI penalty are the reproduced shape.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/endsystem.hpp"
+#include "core/linecard.hpp"
+#include "dwcs/reference_scheduler.hpp"
+#include "sched/drr.hpp"
+#include "sched/sfq.hpp"
+#include "sched/wfq.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+double time_discipline(ss::sched::Discipline& d, std::size_t packets) {
+  using clock = std::chrono::steady_clock;
+  // Keep 64 streams backlogged; measure enqueue+dequeue per packet (the
+  // per-packet scheduling work a software router performs).
+  const auto t0 = clock::now();
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    d.enqueue({static_cast<std::uint32_t>(i % 64), 1500, i, seq++});
+    (void)d.dequeue(i);
+  }
+  const auto t1 = clock::now();
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(packets) / sec;
+}
+
+double time_dwcs_reference(std::size_t decisions) {
+  using clock = std::chrono::steady_clock;
+  ss::dwcs::ReferenceScheduler sched;
+  for (int i = 0; i < 16; ++i) {
+    ss::dwcs::StreamSpec s;
+    s.mode = ss::dwcs::StreamMode::kDwcs;
+    s.period = 1 + i % 4;
+    s.loss_num = 1;
+    s.loss_den = 4;
+    s.initial_deadline = 1 + i;
+    sched.add_stream(s);
+  }
+  const auto t0 = clock::now();
+  for (std::size_t k = 0; k < decisions; ++k) {
+    sched.push_request(static_cast<std::uint32_t>(k % 16));
+    sched.run_decision_cycle();
+  }
+  const auto t1 = clock::now();
+  return static_cast<double>(decisions) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bench::banner("Section 5.2", "Throughput comparison: linecard, endsystem, "
+                               "software routers");
+  CsvWriter csv(bench::results_dir() + "sec52_throughput.csv",
+                {"row", "measured_pps", "paper_pps"});
+
+  // ---- linecard -------------------------------------------------------
+  core::LinecardConfig lcfg;
+  lcfg.chip.slots = 4;
+  lcfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  lcfg.clock_mhz = 100.0;  // the RC1000 ceiling the paper quotes
+  core::Linecard lc(lcfg);
+  for (unsigned i = 0; i < 4; ++i) {
+    hw::SlotConfig sc;
+    sc.mode = hw::SlotMode::kEdf;
+    sc.period = 4;
+    sc.initial_deadline = hw::Deadline{i + 1};
+    lc.load_slot(static_cast<hw::SlotId>(i), sc);
+  }
+  for (int k = 0; k < 50000; ++k) {
+    for (unsigned i = 0; i < 4; ++i) lc.on_fabric_arrival(i, 0);
+  }
+  const auto lrep = lc.run(200000);
+  csv.cell("linecard-4slot-100MHz");
+  csv.cell(lrep.packets_per_sec);
+  csv.cell(7.6e6);
+  csv.endrow();
+
+  // ---- endsystem ------------------------------------------------------
+  core::EndsystemConfig ecfg;
+  ecfg.chip.slots = 4;
+  ecfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  ecfg.pci_batch = 1;  // the paper's PIO configuration
+  ecfg.keep_series = false;
+  core::Endsystem es(ecfg);
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  const auto erep = es.run(std::vector<std::uint64_t>{8000, 8000, 16000, 32000});
+  csv.cell("endsystem-excl-pci");
+  csv.cell(erep.pps_excl_pci);
+  csv.cell(469483.0);
+  csv.endrow();
+  csv.cell("endsystem-incl-pci-pio");
+  csv.cell(erep.pps_incl_pci);
+  csv.cell(299065.0);
+  csv.endrow();
+
+  // ---- software baselines on this host -------------------------------
+  sched::Sfq sfq(128);
+  sched::Drr drr(1500);
+  sched::Wfq wfq;
+  const double sfq_pps = time_discipline(sfq, 2'000'000);
+  const double drr_pps = time_discipline(drr, 2'000'000);
+  const double wfq_pps = time_discipline(wfq, 1'000'000);
+  const double dwcs_pps = time_dwcs_reference(500'000);
+  csv.cell("software-sfq");
+  csv.cell(sfq_pps);
+  csv.cell(300000.0);
+  csv.endrow();
+  csv.cell("software-drr");
+  csv.cell(drr_pps);
+  csv.cell(28279.0);
+  csv.endrow();
+  csv.cell("software-wfq");
+  csv.cell(wfq_pps);
+  csv.cell(0.0);
+  csv.endrow();
+  csv.cell("software-dwcs-reference");
+  csv.cell(dwcs_pps);
+  csv.cell(20000.0);  // ~50 us/decision on the UltraSPARC of [27]
+  csv.endrow();
+
+  bench::section("results (pps)");
+  std::printf("%-34s %14s %14s\n", "configuration", "measured", "paper");
+  std::printf("%-34s %14.3e %14.3e  (cycle model @100 MHz)\n",
+              "linecard, 4 slots, WR", lrep.packets_per_sec, 7.6e6);
+  std::printf("%-34s %14.3e %14.3e  (this host's drain loop)\n",
+              "endsystem, excl. PCI", erep.pps_excl_pci, 4.69483e5);
+  std::printf("%-34s %14.3e %14.3e  (modeled PCI PIO added)\n",
+              "endsystem, incl. PCI PIO", erep.pps_incl_pci, 2.99065e5);
+  std::printf("%-34s %14.3e %14.3e  (Click/SFQ, PIII-700)\n",
+              "software SFQ (this host)", sfq_pps, 3.0e5);
+  std::printf("%-34s %14.3e %14.3e  (router plugins, PPro)\n",
+              "software DRR (this host)", drr_pps, 2.8279e4);
+  std::printf("%-34s %14.3e %14s\n", "software WFQ/SCFQ (this host)",
+              wfq_pps, "-");
+  std::printf("%-34s %14.3e %14.3e  ([27]: ~50us/decision)\n",
+              "software DWCS (this host)", dwcs_pps, 2.0e4);
+
+  bench::section("shape verdicts (host-independent relations)");
+  const double pci_drop = 1.0 - erep.pps_incl_pci / erep.pps_excl_pci;
+  std::printf("linecard rate ~7.6M @100MHz:            %s (%.2fM; the "
+              "13-cycle sustained decision)\n",
+              std::abs(lrep.packets_per_sec - 7.6e6) < 0.2e6 ? "REPRODUCED"
+                                                             : "DIVERGED",
+              lrep.packets_per_sec * 1e-6);
+  std::printf("PCI PIO costs real throughput:          %s (%.0f%% drop; "
+              "paper 36%% — the fixed per-packet bus cost bites harder "
+              "the faster the host loop is)\n",
+              pci_drop > 0.05 ? "REPRODUCED" : "DIVERGED", pci_drop * 100);
+  std::printf("PCI-attached endsystem << linecard:     %s (%.1fx gap; the "
+              "reason the linecard realization exists)\n",
+              lrep.packets_per_sec > 4 * erep.pps_incl_pci ? "REPRODUCED"
+                                                           : "DIVERGED",
+              lrep.packets_per_sec / erep.pps_incl_pci);
+  const double hw_decision_ns = 13.0 * 1000.0 / 100.0;  // 13 cyc @ 100 MHz
+  const double sw_decision_ns = 1e9 / dwcs_pps;
+  std::printf("hw decision beats sw DWCS decision:     %s (%.0f ns fixed "
+              "hardware vs %.0f ns on THIS host; [27] measured ~50000 ns "
+              "on a 300 MHz UltraSPARC)\n",
+              hw_decision_ns < sw_decision_ns ? "REPRODUCED" : "DIVERGED",
+              hw_decision_ns, sw_decision_ns);
+  std::printf("\nNote: software rows ran on this host; the paper's ran on "
+              "1997-2001 hardware (PIII-550/700, PPro, UltraSPARC-300).  "
+              "Host-independent orderings, not absolutes, carry.\n");
+  std::printf("CSV: results/sec52_throughput.csv\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// table3_block_vs_maxfind — reproduces Table 3: "Comparing Block Decisions
+// and Max-finding".
+//
+// The paper's workload: four streams, one per stream-slot, successive
+// initial deadlines one time unit apart, each stream requested every
+// decision cycle (T_i = 1), ShareStreams-DWCS in EDF mode, 64000 frames.
+// Three configurations run at full paper scale on the cycle-level chip:
+//   * WR max-finding (one winner per decision cycle);
+//   * BA block scheduling, max-first circulation/emission;
+//   * BA block scheduling, min-first.
+// Reported per stream: missed deadlines, winner decision cycles, plus the
+// paper's reference values.  Miss-counter semantics are DESIGN.md §2's
+// documented interpretation (once per decision cycle per slot whose
+// head-of-line deadline has expired; a grant at-or-after the deadline is
+// late).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct RunResult {
+  std::uint64_t missed[4];
+  std::uint64_t winner_cycles[4];
+  std::uint64_t late[4];
+  std::uint64_t decision_cycles;
+  std::uint64_t frames;
+};
+
+RunResult run(bool block, bool min_first, std::uint64_t frames_per_stream) {
+  using namespace ss::hw;
+  ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = ComparisonMode::kTagOnly;  // EDF mode
+  cfg.block_mode = block;
+  cfg.min_first = min_first;
+  cfg.schedule = SortSchedule::kPerfectShuffle;  // the paper's network
+  SchedulerChip chip(cfg);
+  const std::uint16_t period = chip.period_per_decision_cycle();
+  for (unsigned i = 0; i < 4; ++i) {
+    SlotConfig sc;
+    sc.mode = SlotMode::kEdf;
+    sc.period = period;       // requested every decision cycle
+    sc.droppable = false;     // late heads wait; misses accrue per cycle
+    sc.initial_deadline = Deadline{i + 1};  // one time unit apart
+    chip.load_slot(static_cast<SlotId>(i), sc);
+  }
+  const std::uint64_t total = 4 * frames_per_stream;
+  std::uint64_t granted = 0, pushed = 0;
+  while (granted < total) {
+    if (pushed < total) {
+      for (unsigned i = 0; i < 4; ++i) {
+        chip.push_request(static_cast<SlotId>(i));
+      }
+      pushed += 4;
+    }
+    granted += chip.run_decision_cycle().grants.size();
+  }
+  RunResult r{};
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto& c = chip.slot(static_cast<SlotId>(i)).counters();
+    r.missed[i] = c.missed_deadlines;
+    r.winner_cycles[i] = c.winner_cycles;
+    r.late[i] = c.late_transmissions;
+  }
+  r.decision_cycles = chip.decision_cycles();
+  r.frames = granted;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using ss::CsvWriter;
+  ss::bench::banner("Table 3", "Block decisions vs max-finding (4 streams, "
+                               "EDF mode, deadlines 1 apart, T_i = 1)");
+
+  // Primary run: 4000 frames per stream (16000 total), one quarter of the
+  // paper's 64000-frame experiment.  The quarter scale keeps the
+  // non-droppable max-finding backlog's head deadlines within half the
+  // 16-bit serial space for the whole run; totals scale linearly (x4) to
+  // the paper's.  The full-scale run below demonstrates WHY: with 16-bit
+  // deadline registers (Figure 4's field widths), a backlog deeper than
+  // 32768 packet-times wraps the comparator and the miss counters
+  // saturate — an artifact a real Virtex-I implementation would share.
+  const std::uint64_t kFrames = 4000;
+  const RunResult wr = run(false, false, kFrames);
+  const RunResult maxf = run(true, false, kFrames);
+  const RunResult minf = run(true, true, kFrames);
+
+  CsvWriter csv(ss::bench::results_dir() + "table3.csv",
+                {"stream", "config", "missed_deadlines", "winner_cycles",
+                 "late_transmissions", "decision_cycles_total"});
+  auto emit = [&](const char* name, const RunResult& r) {
+    for (unsigned i = 0; i < 4; ++i) {
+      csv.cell(std::uint64_t{i + 1});
+      csv.cell(name);
+      csv.cell(r.missed[i]);
+      csv.cell(r.winner_cycles[i]);
+      csv.cell(r.late[i]);
+      csv.cell(r.decision_cycles);
+      csv.endrow();
+    }
+  };
+  emit("max-finding", wr);
+  emit("block-max-first", maxf);
+  emit("block-min-first", minf);
+
+  ss::bench::section(
+      "measured (this reproduction, 16000 frames = paper/4; multiply "
+      "totals by 4 to compare)");
+  std::printf("%-10s | %-26s | %-26s | %-26s\n", "", "Max-finding (WR)",
+              "Block max-first", "Block min-first");
+  std::printf("%-10s | %12s %13s | %12s %13s | %12s %13s\n", "stream",
+              "missed", "winner cyc", "missed", "winner cyc", "missed",
+              "winner cyc");
+  std::uint64_t t_wr = 0, t_maxf = 0, t_minf = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    std::printf("Stream %u   | %12llu %13llu | %12llu %13llu | %12llu %13llu\n",
+                i + 1,
+                static_cast<unsigned long long>(wr.missed[i]),
+                static_cast<unsigned long long>(wr.winner_cycles[i]),
+                static_cast<unsigned long long>(maxf.missed[i]),
+                static_cast<unsigned long long>(maxf.winner_cycles[i]),
+                static_cast<unsigned long long>(minf.missed[i]),
+                static_cast<unsigned long long>(minf.winner_cycles[i]));
+    t_wr += wr.missed[i];
+    t_maxf += maxf.missed[i];
+    t_minf += minf.missed[i];
+  }
+  std::printf("%-10s | %12llu %13llu | %12llu %13llu | %12llu %13llu\n",
+              "Total", static_cast<unsigned long long>(t_wr),
+              static_cast<unsigned long long>(wr.decision_cycles),
+              static_cast<unsigned long long>(t_maxf),
+              static_cast<unsigned long long>(maxf.decision_cycles),
+              static_cast<unsigned long long>(t_minf),
+              static_cast<unsigned long long>(minf.decision_cycles));
+
+  ss::bench::section("paper's Table 3 (reference)");
+  std::printf("Max-finding missed: 63986/63987/63988/63989 (total 255950), "
+              "64000 decision cycles\n");
+  std::printf("Block max-first missed: 0/0/0/0 (total 0), 16000 decision "
+              "cycles (4000 winner cycles per stream)\n");
+  std::printf("Block min-first missed: 27839/27214/22621/29311 (total "
+              "106985)\n");
+
+  ss::bench::section("shape verdicts");
+  std::printf("max-finding ~1 miss/stream/cycle:        %s (%.3f per "
+              "stream-cycle; paper 0.9998)\n",
+              t_wr > wr.decision_cycles * 39 / 10 ? "REPRODUCED" : "DIVERGED",
+              static_cast<double>(t_wr) / (4.0 * wr.decision_cycles));
+  std::printf("block max-first meets every deadline:    %s (%llu misses)\n",
+              t_maxf == 0 ? "REPRODUCED" : "DIVERGED",
+              static_cast<unsigned long long>(t_maxf));
+  std::printf("block needs 4x fewer decision cycles:    %s (%llu vs %llu)\n",
+              maxf.decision_cycles * 4 == wr.decision_cycles ? "REPRODUCED"
+                                                             : "DIVERGED",
+              static_cast<unsigned long long>(maxf.decision_cycles),
+              static_cast<unsigned long long>(wr.decision_cycles));
+  std::printf("min-first misses substantially (0 < min-first < "
+              "max-finding): %s\n",
+              (t_minf > 0 && t_minf < t_wr) ? "REPRODUCED" : "DIVERGED");
+  std::printf("scaled x4 to paper scale: max-finding total %llu (paper "
+              "255950), block max-first 0 (paper 0), min-first %llu (paper "
+              "106985)\n",
+              static_cast<unsigned long long>(4 * t_wr),
+              static_cast<unsigned long long>(4 * t_minf));
+
+  ss::bench::section("full paper scale (64000 frames): the 16-bit field "
+                     "artifact");
+  const RunResult full = run(false, false, 16000);
+  std::uint64_t t_full = 0;
+  for (unsigned i = 0; i < 4; ++i) t_full += full.missed[i];
+  std::printf("max-finding at 64000 frames counts %llu misses, not "
+              "~255950: once the non-droppable backlog's head deadlines "
+              "fall more than 32768 packet-times behind vtime, the 16-bit "
+              "serial comparator (Figure 4's field width) wraps and the "
+              "per-slot miss counters stop advancing (saturation at vtime "
+              "~43690 here).  A physical Virtex-I build with these field "
+              "widths would do the same; the quarter-scale run above is "
+              "the in-horizon reproduction.\n",
+              static_cast<unsigned long long>(t_full));
+
+  std::printf("\nDocumented deviations (EXPERIMENTS.md): per-stream "
+              "min-first counts and the block-mode winner-cycle rotation "
+              "depend on unpublished rig details; totals and ordering are "
+              "the reproducible shape.\n");
+  std::printf("\nCSV: results/table3.csv\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// host_router — the full ShareStreams endsystem / host-based router
+// (Figure 3 of the paper): Queue Manager rings on the host, the FPGA
+// scheduler simulation behind the PCI model, a Transmission Engine and a
+// gigabit link, serving a mixed workload with fair shares.
+//
+// Scenario: a media server pushing four streams over one gigabit port —
+// two standard-definition flows, one HD flow, one bulk-transfer flow with
+// double the HD share — and reporting per-stream bandwidth, delay and the
+// throughput cost of the PCI exchange.
+#include <cstdio>
+#include <memory>
+
+#include "core/endsystem.hpp"
+#include "util/sim_time.hpp"
+
+int main() {
+  using namespace ss;
+
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.link_gbps = 1.0;        // gigabit NIC
+  cfg.pci_batch = 32;         // batch arrival-time pushes
+  cfg.bw_window_ns = 5'000'000;
+  core::Endsystem es(cfg);
+
+  struct Flow {
+    const char* name;
+    double weight;
+    std::uint32_t bytes;
+  };
+  const Flow flows[4] = {{"sd-video-a", 1.0, 1316},
+                         {"sd-video-b", 1.0, 1316},
+                         {"hd-video", 2.0, 1500},
+                         {"bulk-sync", 4.0, 1500}};
+  // Producers pace themselves at their allocated rate (a media server's
+  // encoders emit at the stream rate); the scheduler then only has to
+  // resolve transient contention, so queues stay shallow.
+  const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
+  const double wsum = 1.0 + 1.0 + 2.0 + 4.0;
+  for (const Flow& f : flows) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = f.weight;
+    r.droppable = false;
+    const auto interval =
+        static_cast<std::uint64_t>(ptime_ns * wsum / f.weight);
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(interval), f.bytes);
+  }
+  std::printf("admitted 4 flows; utilization = %.3f (1.0 = link fully "
+              "allocated)\n\n",
+              es.utilization());
+
+  // Weight-proportional frame counts keep all flows contended end-to-end.
+  const auto rep = es.run(std::vector<std::uint64_t>{4000, 4000, 8000, 16000});
+  const auto& mon = es.monitor();
+
+  std::printf("%-12s %10s %12s %12s %10s\n", "flow", "frames", "MBps",
+              "delay(us)", "jitter(us)");
+  for (unsigned i = 0; i < 4; ++i) {
+    std::printf("%-12s %10llu %12.1f %12.1f %10.1f\n", flows[i].name,
+                static_cast<unsigned long long>(mon.frames(i)),
+                mon.mean_mbps(i), mon.mean_delay_us(i),
+                mon.mean_jitter_us(i));
+  }
+  std::printf("\nrun: %llu frames in %.3f s of link time "
+              "(%llu scheduler decision cycles)\n",
+              static_cast<unsigned long long>(rep.frames),
+              static_cast<double>(rep.link_ns) * 1e-9,
+              static_cast<unsigned long long>(rep.decision_cycles));
+  std::printf("host drain loop: %.3e pps excluding PCI, %.3e pps with the "
+              "modeled PCI PIO exchange (%.0f%% penalty)\n",
+              rep.pps_excl_pci, rep.pps_incl_pci,
+              (1.0 - rep.pps_incl_pci / rep.pps_excl_pci) * 100.0);
+  std::printf("\nthe weights carried through: bulk-sync got %.1fx the "
+              "sd-video bandwidth (configured 4x in frames; the extra "
+              "%.0f%% is bulk-sync's larger 1500 B vs 1316 B frames — "
+              "grants are per-frame, as in the hardware)\n",
+              mon.mean_mbps(3) / mon.mean_mbps(0),
+              (1500.0 / 1316.0 - 1.0) * 100.0);
+  return 0;
+}

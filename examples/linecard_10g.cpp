@@ -1,0 +1,78 @@
+// linecard_10g — the switch line-card realization (Figure 2) sized for a
+// 10 Gb/s port, compared against the Cisco GSR / Teracross data points of
+// Section 5.2.
+//
+// Walks the Figure-1 framework: given the port's packet-time budget, find
+// a feasible configuration (slots, BA vs WR, block scheduling), then run
+// the cycle-level chip against a backlogged fabric and verify the
+// sustained rate covers the port.
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "core/linecard.hpp"
+#include "util/sim_time.hpp"
+
+int main() {
+  using namespace ss;
+
+  std::printf("== sizing a 10 Gb/s line card with the ShareStreams "
+              "framework ==\n\n");
+  const core::SolutionFramework fw;
+  for (const std::uint64_t frame : {std::uint64_t{1500}, std::uint64_t{64}}) {
+    const core::Application app{32, frame, 10.0};
+    const core::Solution s = fw.solve(app);
+    std::printf("%4llu-byte frames: need %.2f M decisions/s; %s with %u "
+                "slots (%s%s) on %s achieves %.2f M frames/s -> %s",
+                static_cast<unsigned long long>(frame),
+                s.required_rate * 1e-6,
+                s.feasible ? "FEASIBLE" : "infeasible",
+                s.slots,
+                s.arch == hw::ArchConfig::kBlockArchitecture ? "BA" : "WR",
+                s.block_scheduling ? ", block scheduling" : "",
+                s.device.c_str(), s.achievable_rate * 1e-6,
+                s.feasible ? "meets the port\n" : "");
+    if (!s.feasible) {
+      std::printf("%.0f%% of packet-times would be missed (the QoS "
+                  "degradation axis of Figure 1)\n", s.degradation * 100);
+    }
+  }
+
+  // The paper's comparison: 32 per-flow queues with full DWCS on one
+  // low-end Virtex-1000, vs 8 DRR queues (GSR line card) or 4 service
+  // classes without per-flow queuing (Teracross).
+  std::printf("\n== 32-queue DWCS line card, backlogged fabric ==\n");
+  core::LinecardConfig cfg;
+  cfg.chip.slots = 32;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  cfg.chip.block_mode = true;  // block scheduling for 10G throughput
+  cfg.chip.timing.pipelined_io = true;
+  core::Linecard lc(cfg);
+  for (unsigned i = 0; i < 32; ++i) {
+    hw::SlotConfig sc;
+    sc.mode = hw::SlotMode::kDwcs;
+    sc.period = 32;
+    sc.loss_num = 1;
+    sc.loss_den = 8;
+    sc.initial_deadline = hw::Deadline{i + 1};
+    lc.load_slot(static_cast<hw::SlotId>(i), sc);
+  }
+  for (int round = 0; round < 4000; ++round) {
+    for (unsigned i = 0; i < 32; ++i) {
+      lc.on_fabric_arrival(static_cast<hw::SlotId>(i),
+                           static_cast<std::uint16_t>(round));
+    }
+  }
+  const auto rep = lc.run(128000);
+  const double port_rate_1500 = 1e9 / packet_time_ns(1500, 10.0);
+  std::printf("clock %.1f MHz | %llu frames in %llu hw cycles | %.2f M "
+              "frames/s sustained\n",
+              rep.clock_mhz, static_cast<unsigned long long>(rep.frames),
+              static_cast<unsigned long long>(rep.hw_cycles),
+              rep.packets_per_sec * 1e-6);
+  std::printf("10G port needs %.3f M frames/s at 1500 B -> headroom %.1fx\n",
+              port_rate_1500 * 1e-6, rep.packets_per_sec / port_rate_1500);
+  std::printf("\ncontext: Cisco GSR line card = 8 DRR queues/port; "
+              "Teracross = 4 service classes, no per-flow queuing; this "
+              "card = 32 per-flow queues with window-constrained QoS.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// media_server — the paper's motivating workload (Section 1: clusters
+// serving "a mix of best-effort web-traffic, real-time media streams"):
+// two MPEG video streams with loss-tolerant window constraints, a
+// telemetry stream with a hard period, and a best-effort bulk stream,
+// served by the endsystem realization and judged by the SLO layer.
+#include <cstdio>
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/endsystem.hpp"
+#include "core/slo_report.hpp"
+
+int main() {
+  using namespace ss;
+
+  std::printf("== media server: 2x MPEG + telemetry + bulk on 1 GbE ==\n\n");
+
+  // Requirements.  MPEG at 30 fps: one (large) frame per 33 ms; on a
+  // 1 Gb link one packet-time is 12 us, so the request period is ~2750
+  // packet-times.  One late frame in eight is tolerable (a B-frame skip).
+  std::vector<dwcs::StreamRequirement> reqs(4);
+  reqs[0].kind = dwcs::RequirementKind::kWindowConstrained;
+  reqs[0].period = 2750;
+  reqs[0].loss_num = 1;
+  reqs[0].loss_den = 8;
+  reqs[0].initial_deadline = 2750;
+  reqs[1] = reqs[0];
+  reqs[2].kind = dwcs::RequirementKind::kEdf;  // telemetry: hard period
+  reqs[2].period = 100;
+  reqs[2].initial_deadline = 100;
+  reqs[2].droppable = false;
+  reqs[3].kind = dwcs::RequirementKind::kFairShare;  // bulk: the residue
+  reqs[3].weight = 1.0;
+  reqs[3].droppable = false;
+
+  const auto adm = core::AdmissionController::analyze(reqs);
+  std::printf("admission: %s, reserved %.4f of the link\n",
+              adm.admitted ? "ACCEPTED" : "REJECTED",
+              adm.reserved_utilization);
+
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  core::Endsystem es(cfg);
+  queueing::MpegGen::Gop gop;  // ~16 kB mean frames
+  es.add_stream(reqs[0],
+                std::make_unique<queueing::MpegGen>(33'000'000, gop, 11),
+                1500);
+  es.add_stream(reqs[1],
+                std::make_unique<queueing::MpegGen>(33'000'000, gop, 22),
+                1500);
+  const double pt_ns = packet_time_ns(1500, cfg.link_gbps);
+  es.add_stream(reqs[2],
+                std::make_unique<queueing::CbrGen>(
+                    static_cast<std::uint64_t>(pt_ns * 100)),
+                1500);
+  es.add_stream(reqs[3],
+                std::make_unique<queueing::CbrGen>(
+                    static_cast<std::uint64_t>(pt_ns * 2)),
+                1500);
+
+  // ~6.6 s of video, paced telemetry, steady bulk.
+  const auto rep =
+      es.run(std::vector<std::uint64_t>{200, 200, 4000, 40000});
+  const auto& mon = es.monitor();
+
+  std::printf("\n%-12s %9s %11s %13s %12s\n", "stream", "frames", "MBps",
+              "p99 delay us", "max us");
+  const char* names[4] = {"mpeg-a", "mpeg-b", "telemetry", "bulk"};
+  for (unsigned i = 0; i < 4; ++i) {
+    std::printf("%-12s %9llu %11.2f %13.0f %12.0f\n", names[i],
+                static_cast<unsigned long long>(mon.frames(i)),
+                mon.mean_mbps(i), mon.delay_percentile_us(i, 99.0),
+                mon.max_delay_us(i));
+  }
+  std::printf("\nrun: %llu frames, %llu dropped late, link time %.2f s\n",
+              static_cast<unsigned long long>(rep.frames),
+              static_cast<unsigned long long>(rep.dropped_late),
+              static_cast<double>(rep.link_ns) * 1e-9);
+
+  // Naive SLO check: delay bounds stated in 1500-byte packet-times.
+  const core::SloEvaluator naive(cfg.link_gbps * 1000.0 / 8.0,
+                                 pt_ns / 1000.0);
+  const auto slo_naive = naive.evaluate(adm, mon, es.chip());
+  std::printf("\n-- SLO against 1500 B packet-times (naive) --\n%s",
+              slo_naive.render().c_str());
+
+  // The lesson: a 60 kB I-frame occupies ~44 packet-times on the wire, so
+  // with mixed granularity every delay bound must be provisioned against
+  // the LARGEST frame that can be serializing ahead (the paper's
+  // granularity axis again).  Re-evaluating with jumbo-aware packet-times:
+  const double jumbo_pt_us =
+      packet_time_ns(static_cast<std::uint64_t>(gop.i_bytes * 1.1),
+                     cfg.link_gbps) /
+      1000.0;
+  const core::SloEvaluator jumbo(cfg.link_gbps * 1000.0 / 8.0, jumbo_pt_us);
+  const auto slo_jumbo = jumbo.evaluate(adm, mon, es.chip());
+  std::printf("\n-- SLO with bounds provisioned for the largest frame "
+              "(%.0f us packet-time) --\n%s",
+              jumbo_pt_us, slo_jumbo.render().c_str());
+  std::printf("\nnote the shape: MPEG streams move ~10x more bytes per "
+              "frame than the 1500 B flows yet need only a "
+              "1-in-2750-packet-time decision rate (granularity, Figure "
+              "1); the bulk stream soaks up the residue; and delay bounds "
+              "for mixed-granularity links must budget one largest-frame "
+              "serialization — visible above as the naive bulk bound "
+              "failing while the jumbo-aware one holds.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// ss_cli — a command-line front end over the public API.
+//
+//   ss_cli solve <streams> <frame_bytes> <gbps>   Figure-1 framework query
+//   ss_cli admit <spec-file|->                    parse + admission verdict
+//   ss_cli area  <slots>                          Virtex-I/II area & clock
+//   ss_cli trace                                  a traced 8-cycle DWCS run
+//
+// Run without arguments for a demonstration of all four subcommands.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/admission.hpp"
+#include "core/framework.hpp"
+#include "core/spec_parser.hpp"
+#include "hw/area_model.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "hw/trace.hpp"
+
+namespace {
+
+int cmd_solve(unsigned streams, std::uint64_t frame, double gbps) {
+  const ss::core::SolutionFramework fw;
+  const ss::core::Solution s = fw.solve({streams, frame, gbps});
+  std::printf("application: %u streams, %llu B frames, %.1f Gb/s\n", streams,
+              static_cast<unsigned long long>(frame), gbps);
+  std::printf("required:    %.3e decisions/s\n", s.required_rate);
+  std::printf("solution:    %s%s, %u slots, %u stream(s)/slot, %s\n",
+              s.arch == ss::hw::ArchConfig::kBlockArchitecture ? "BA" : "WR",
+              s.block_scheduling ? "+block-scheduling" : "", s.slots,
+              s.streams_per_slot, s.device.c_str());
+  std::printf("achievable:  %.3e frames/s -> %s", s.achievable_rate,
+              s.feasible ? "FEASIBLE\n" : "infeasible");
+  if (!s.feasible) {
+    std::printf(" (%.1f%% of packet-times missed)\n", s.degradation * 100);
+  }
+  return s.feasible ? 0 : 2;
+}
+
+int cmd_admit(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  const auto parsed = ss::core::parse_stream_specs(text);
+  if (!parsed.ok) {
+    for (const auto& e : parsed.errors) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), e.line,
+                   e.message.c_str());
+    }
+    return 1;
+  }
+  const auto rep = ss::core::AdmissionController::analyze(parsed.streams);
+  std::printf("%zu streams, reserved utilization %.3f -> %s\n",
+              parsed.streams.size(), rep.reserved_utilization,
+              rep.admitted ? "ADMITTED" : "REJECTED");
+  for (std::size_t i = 0; i < rep.entries.size(); ++i) {
+    const auto& e = rep.entries[i];
+    std::printf("  [%zu] %-40s share=%.3f delay<=%.0f pt%s\n", i + 1,
+                ss::core::render_stream_spec(parsed.streams[i]).c_str(),
+                e.guaranteed_share, e.delay_bound_packet_times,
+                e.best_effort ? " (best effort)" : "");
+  }
+  if (!rep.admitted) std::printf("  reason: %s\n", rep.reason.c_str());
+  return rep.admitted ? 0 : 2;
+}
+
+int cmd_area(unsigned slots) {
+  for (const auto fam :
+       {ss::hw::FpgaFamily::kVirtexI, ss::hw::FpgaFamily::kVirtexII}) {
+    const ss::hw::AreaModel m(fam);
+    for (const auto cfg : {ss::hw::ArchConfig::kBlockArchitecture,
+                           ss::hw::ArchConfig::kWinnerRouting}) {
+      const auto b = m.area(slots, cfg);
+      const auto* dev = m.smallest_fit(slots, cfg);
+      std::printf("%s %s: %u slices (ctl %u + reg %u + dec %u + route %u), "
+                  "%.1f MHz, fits %s\n",
+                  fam == ss::hw::FpgaFamily::kVirtexI ? "Virtex-I " : "Virtex-II",
+                  cfg == ss::hw::ArchConfig::kBlockArchitecture ? "BA" : "WR",
+                  b.total(), b.control_slices, b.register_slices,
+                  b.decision_slices, b.routing_slices,
+                  m.clock_mhz(slots, cfg),
+                  dev ? dev->name.c_str() : "(nothing)");
+    }
+  }
+  return 0;
+}
+
+int cmd_trace() {
+  ss::hw::ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = ss::hw::ComparisonMode::kDwcsFull;
+  ss::hw::SchedulerChip chip(cfg);
+  for (unsigned i = 0; i < 4; ++i) {
+    ss::hw::SlotConfig sc;
+    sc.mode = ss::hw::SlotMode::kDwcs;
+    sc.period = 2 + i;
+    sc.loss_num = 1;
+    sc.loss_den = 4;
+    sc.initial_deadline = ss::hw::Deadline{i + 1};
+    chip.load_slot(static_cast<ss::hw::SlotId>(i), sc);
+  }
+  ss::hw::Tracer tracer;
+  chip.attach_tracer(&tracer);
+  for (int k = 0; k < 8; ++k) {
+    for (unsigned i = 0; i < 4; ++i) {
+      if ((k + i) % 2 == 0) chip.push_request(static_cast<ss::hw::SlotId>(i));
+    }
+    chip.run_decision_cycle();
+  }
+  std::fputs(tracer.render_all().c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::puts("usage: ss_cli solve <streams> <frame_bytes> <gbps>");
+  std::puts("       ss_cli admit <spec-file|->");
+  std::puts("       ss_cli area <slots>");
+  std::puts("       ss_cli trace");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // Demonstration mode: one of everything.
+    std::puts("== ss_cli demo (run with a subcommand for real use) ==\n");
+    std::puts("--- solve 32 1500 10.0 ---");
+    cmd_solve(32, 1500, 10.0);
+    std::puts("\n--- area 16 ---");
+    cmd_area(16);
+    std::puts("\n--- trace ---");
+    cmd_trace();
+    usage();
+    return 0;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "solve" && argc == 5) {
+    return cmd_solve(static_cast<unsigned>(std::atoi(argv[2])),
+                     static_cast<std::uint64_t>(std::atoll(argv[3])),
+                     std::atof(argv[4]));
+  }
+  if (cmd == "admit" && argc == 3) return cmd_admit(argv[2]);
+  if (cmd == "area" && argc == 3) {
+    return cmd_area(static_cast<unsigned>(std::atoi(argv[2])));
+  }
+  if (cmd == "trace") return cmd_trace();
+  usage();
+  return 1;
+}

@@ -1,0 +1,62 @@
+#include "core/admission.hpp"
+
+#include <cmath>
+
+namespace ss::core {
+
+AdmissionReport AdmissionController::analyze(
+    const std::vector<dwcs::StreamRequirement>& reqs,
+    double capacity_fraction) {
+  AdmissionReport rep;
+  const auto periods = dwcs::fair_share_periods(reqs);
+  rep.entries.reserve(reqs.size());
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    AdmissionEntry e;
+    e.req = reqs[i];
+    switch (reqs[i].kind) {
+      case dwcs::RequirementKind::kEdf: {
+        const double t = reqs[i].period > 0 ? reqs[i].period : 1.0;
+        e.guaranteed_share = 1.0 / t;
+        e.delay_bound_packet_times = t;
+        break;
+      }
+      case dwcs::RequirementKind::kFairShare: {
+        const double t = periods[i] > 0 ? periods[i] : 1.0;
+        e.guaranteed_share = 1.0 / t;
+        e.delay_bound_packet_times = t;
+        break;
+      }
+      case dwcs::RequirementKind::kWindowConstrained: {
+        const double t = reqs[i].period > 0 ? reqs[i].period : 1.0;
+        const double y = reqs[i].loss_den > 0 ? reqs[i].loss_den : 1.0;
+        const double w = static_cast<double>(reqs[i].loss_num) / y;
+        e.guaranteed_share = (1.0 - w) / t;
+        e.droppable_slack = w / t;
+        // The mandatory portion is served within the window horizon.
+        e.delay_bound_packet_times = t * y;
+        break;
+      }
+      case dwcs::RequirementKind::kStaticPriority:
+        e.best_effort = true;
+        break;
+    }
+    rep.reserved_utilization += e.guaranteed_share;
+    rep.total_utilization += e.guaranteed_share + e.droppable_slack;
+    rep.entries.push_back(e);
+  }
+
+  if (rep.reserved_utilization <= capacity_fraction + 1e-12) {
+    rep.admitted = true;
+  } else {
+    rep.admitted = false;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "reserved utilization %.3f exceeds capacity %.3f",
+                  rep.reserved_utilization, capacity_fraction);
+    rep.reason = buf;
+  }
+  return rep;
+}
+
+}  // namespace ss::core

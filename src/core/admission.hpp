@@ -1,0 +1,58 @@
+// admission.hpp — schedulability analysis for a stream set.
+//
+// The Figure-1 framework asks whether an application's QoS bounds are
+// achievable; this module answers the *stream-set* half of that question
+// (the area/timing models answer the fabric half):
+//
+//   * EDF / fair-share slots with request period T_i demand 1/T_i of the
+//     link (one frame per period); with implicit deadlines the classic
+//     EDF bound applies: the set is schedulable iff the total utilization
+//     is <= 1.
+//   * A window-constrained stream (T_i, x_i/y_i) MUST transmit at least
+//     y_i - x_i of every y_i requests, so its guaranteed share is
+//     (1 - x_i/y_i) / T_i — DWCS's minimum-utilization condition (West &
+//     Poellabauer).  The remaining x_i/y_i / T_i is droppable slack.
+//   * Static-priority streams reserve nothing (they consume residual
+//     bandwidth by rank) and are reported as best-effort.
+//
+// Delay bounds: an admitted period-T_i stream's frames are granted within
+// one period of their request (EDF with implicit deadlines at U <= 1), so
+// the per-stream delay bound is T_i packet-times.  Aggregated streamlets
+// inherit the SLOT's bound, not a per-streamlet one — the paper's
+// "stream-specific deadlines are not possible with aggregation".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dwcs/modes.hpp"
+
+namespace ss::core {
+
+struct AdmissionEntry {
+  dwcs::StreamRequirement req;
+  double guaranteed_share = 0.0;  ///< fraction of the link reserved
+  double droppable_slack = 0.0;   ///< extra share usable but droppable
+  double delay_bound_packet_times = 0.0;  ///< 0 = no bound (best effort)
+  bool best_effort = false;
+};
+
+struct AdmissionReport {
+  bool admitted = false;
+  double reserved_utilization = 0.0;  ///< sum of guaranteed shares
+  double total_utilization = 0.0;     ///< including droppable slack
+  std::vector<AdmissionEntry> entries;
+  std::string reason;  ///< set when rejected
+};
+
+class AdmissionController {
+ public:
+  /// Analyze a stream set.  `capacity_fraction` de-rates the link (e.g.
+  /// 0.95 to keep headroom for control traffic); 1.0 = the full link.
+  [[nodiscard]] static AdmissionReport analyze(
+      const std::vector<dwcs::StreamRequirement>& reqs,
+      double capacity_fraction = 1.0);
+};
+
+}  // namespace ss::core

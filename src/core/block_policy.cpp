@@ -1,0 +1,23 @@
+#include "core/block_policy.hpp"
+
+#include <algorithm>
+
+namespace ss::core {
+
+void BlockReuseChecker::new_block(const std::vector<std::uint64_t>& tags) {
+  max_tag_ = tags.empty() ? 0 : *std::max_element(tags.begin(), tags.end());
+  valid_ = !tags.empty();
+}
+
+bool BlockReuseChecker::on_new_tag(std::uint64_t tag) {
+  if (!valid_) return false;
+  if (tag >= max_tag_) {
+    ++reuses_;
+    return true;
+  }
+  valid_ = false;
+  ++invalidations_;
+  return false;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,97 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/sim_time.hpp"
+
+namespace ss::core {
+
+SolutionFramework::SolutionFramework(hw::ControlTiming timing)
+    : timing_(timing) {}
+
+Solution SolutionFramework::evaluate(const Application& app, unsigned slots,
+                                     hw::ArchConfig arch,
+                                     bool block_scheduling) const {
+  const hw::TimingModel tm(area_, timing_);
+  const hw::TimingReport tr = tm.report(slots, arch, block_scheduling);
+  Solution s;
+  s.arch = arch;
+  s.block_scheduling = block_scheduling;
+  s.slots = slots;
+  s.streams_per_slot =
+      (app.streams + slots - 1) / slots;  // ceil: aggregation factor
+  s.required_rate = hw::TimingModel::required_rate(app.frame_bytes,
+                                                   app.line_gbps);
+  s.achievable_rate = tr.frames_per_sec;
+  s.feasible = s.achievable_rate >= s.required_rate;
+  s.degradation =
+      s.feasible ? 0.0 : 1.0 - s.achievable_rate / s.required_rate;
+  if (const hw::Device* d = area_.smallest_fit(slots, arch)) {
+    s.device = d->name;
+  } else {
+    s.device = "(no Virtex-I part fits)";
+    s.feasible = false;
+  }
+  return s;
+}
+
+Solution SolutionFramework::solve(const Application& app) const {
+  // Slot count: one stream per slot up to the 5-bit limit of 32; beyond
+  // that aggregation binds multiple streamlets per slot (Section 5.1).
+  const unsigned slots = static_cast<unsigned>(std::min<std::uint64_t>(
+      hw::kMaxSlots, next_pow2(std::max(2u, app.streams))));
+
+  Solution best;
+  bool have = false;
+  for (const bool block : {false, true}) {
+    const auto arch = block ? hw::ArchConfig::kBlockArchitecture
+                            : hw::ArchConfig::kWinnerRouting;
+    Solution s = evaluate(app, slots, arch, block);
+    // Prefer feasible solutions; among feasible prefer the simpler WR
+    // configuration unless block scheduling is needed for the rate
+    // (mirrors the paper's guidance: WR for bandwidth allocation, block
+    // when throughput demands it).
+    if (!have || (s.feasible && !best.feasible) ||
+        (s.feasible == best.feasible &&
+         s.achievable_rate > best.achievable_rate && !best.feasible)) {
+      best = s;
+      have = true;
+    } else if (best.feasible && s.feasible && !best.block_scheduling) {
+      break;  // WR already works; keep it
+    }
+  }
+  return best;
+}
+
+std::vector<DisciplineComplexity> discipline_complexity(unsigned n) {
+  const double dn = n;
+  const double lg = n > 1 ? std::log2(dn) : 1.0;
+  std::vector<DisciplineComplexity> v;
+  // complexity_index: attributes * (decision + update work) normalized to
+  // FCFS = 1; it reproduces the qualitative stacking of Figure 1(b).
+  auto push = [&](const char* name, unsigned attrs, unsigned bits,
+                  bool upd, double dec_ops, double upd_ops) {
+    DisciplineComplexity c;
+    c.discipline = name;
+    c.attrs_compared = attrs;
+    c.state_bits = bits;
+    c.per_decision_update = upd;
+    c.decision_ops = dec_ops;
+    c.update_ops = upd_ops;
+    c.complexity_index =
+        static_cast<double>(attrs) * (dec_ops + upd_ops) / 1.0;
+    v.push_back(c);
+  };
+  push("FCFS", 1, 0, false, 1.0, 0.0);
+  push("static-priority", 1, 8, false, lg, 0.0);
+  push("round-robin", 0, 8, false, 1.0, 0.0);
+  push("DRR", 1, 32, false, 1.0, 1.0);
+  push("EDF", 1, 16, false, lg, 1.0);
+  push("WFQ/SFQ (service tags)", 1, 48, false, lg, 2.0);
+  push("DWCS (window-constrained)", 4, 53, true, lg, dn);
+  return v;
+}
+
+}  // namespace ss::core

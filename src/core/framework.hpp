@@ -1,0 +1,79 @@
+// framework.hpp — the ShareStreams architectural-solutions framework.
+//
+// Figure 1 of the paper, computable: (a) given an application's QoS needs
+// (stream count, packet granularity, line rate) derive the REQUIRED
+// scheduling rate; sweep the architectural configurations for the best
+// ACHIEVABLE rate; if the requirement cannot be met, quantify the QoS
+// degradation (the fraction of decisions that arrive late).  (b) an
+// implementation-complexity model for the discipline spectrum of Figure
+// 1(b): attributes compared per decision, state bits per stream, ops per
+// decision and per update as functions of N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/area_model.hpp"
+#include "hw/timing_model.hpp"
+
+namespace ss::core {
+
+/// ---- Figure 1(a): solution finder -------------------------------------
+
+struct Application {
+  unsigned streams = 4;
+  std::uint64_t frame_bytes = 1500;  ///< granularity
+  double line_gbps = 1.0;
+};
+
+struct Solution {
+  bool feasible = false;
+  hw::ArchConfig arch = hw::ArchConfig::kWinnerRouting;
+  bool block_scheduling = false;
+  unsigned slots = 0;                 ///< power-of-two slot count used
+  unsigned streams_per_slot = 1;      ///< >1 means aggregation is required
+  double required_rate = 0.0;         ///< decisions/s the link demands
+  double achievable_rate = 0.0;       ///< frames/s the configuration delivers
+  double degradation = 0.0;           ///< fraction of packet-times missed
+  std::string device;                 ///< smallest Virtex-I part that fits
+};
+
+class SolutionFramework {
+ public:
+  explicit SolutionFramework(hw::ControlTiming timing = {});
+
+  /// Best configuration for the application: prefers per-stream slots; if
+  /// the stream count exceeds the largest feasible slot count (32), falls
+  /// back to aggregation (streamlets per slot).  Evaluates both WR and BA
+  /// block scheduling and keeps the one with headroom.
+  [[nodiscard]] Solution solve(const Application& app) const;
+
+  /// Evaluate one explicit configuration.
+  [[nodiscard]] Solution evaluate(const Application& app, unsigned slots,
+                                  hw::ArchConfig arch,
+                                  bool block_scheduling) const;
+
+ private:
+  hw::AreaModel area_;
+  hw::ControlTiming timing_;
+};
+
+/// ---- Figure 1(b): implementation-complexity model ----------------------
+
+struct DisciplineComplexity {
+  std::string discipline;
+  unsigned attrs_compared;      ///< attributes per pairwise decision
+  unsigned state_bits;          ///< per-stream scheduler state
+  bool per_decision_update;     ///< priorities rewritten every cycle?
+  double decision_ops;          ///< comparator firings per winner pick
+  double update_ops;            ///< per-stream update ops per decision cycle
+  double complexity_index;      ///< the Figure-1(b) ordinate (relative)
+};
+
+/// Complexity of the classic disciplines for N streams, ordered roughly as
+/// Figure 1(b) stacks them (FCFS lowest, window-constrained highest).
+[[nodiscard]] std::vector<DisciplineComplexity> discipline_complexity(
+    unsigned n);
+
+}  // namespace ss::core

@@ -1,0 +1,35 @@
+#include "core/hierarchical.hpp"
+
+#include <cassert>
+
+namespace ss::core {
+
+std::uint32_t HierarchicalSlot::add_streamlet(const dwcs::StreamSpec& spec) {
+  return inner_.add_stream(spec);
+}
+
+void HierarchicalSlot::push_request(std::uint32_t streamlet) {
+  inner_.push_request(streamlet);
+}
+
+std::optional<std::uint32_t> HierarchicalSlot::on_grant() {
+  const dwcs::SwDecision d = inner_.run_decision_cycle();
+  if (d.idle || d.grants.empty()) return std::nullopt;
+  return d.grants.front().stream;
+}
+
+HierarchicalSlot& HierarchicalScheduler::enable(std::uint32_t slot) {
+  assert(slot < slots_.size());
+  if (!slots_[slot]) slots_[slot] = std::make_unique<HierarchicalSlot>();
+  return *slots_[slot];
+}
+
+std::optional<std::uint32_t> HierarchicalScheduler::on_grant(
+    std::uint32_t slot) {
+  assert(slot < slots_.size() && slots_[slot]);
+  const auto r = slots_[slot]->on_grant();
+  if (!r) ++wasted_;
+  return r;
+}
+
+}  // namespace ss::core

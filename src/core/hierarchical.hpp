@@ -1,0 +1,84 @@
+// hierarchical.hpp — two-level scheduling inside an aggregated slot.
+//
+// Section 5.1 aggregates streamlets with plain round-robin because "more
+// complex ordering and decisions are accelerated on the FPGA"; Section 6
+// hopes the framework will yield "more customized scheduling solutions".
+// This module is that customization: the FPGA level still arbitrates
+// BETWEEN stream-slots, but a slot's grant can be resolved WITHIN the
+// slot by a full software DWCS instance over its streamlets — window
+// constraints and deadlines per streamlet, at host cost, exactly the
+// processor/FPGA split the architecture is built around.
+//
+// Level 1 (chip):   which slot transmits this packet-time    — hardware
+// Level 2 (host):   which streamlet inside the slot          — software
+//
+// The per-slot inner scheduler runs in slot-local virtual time: one inner
+// decision cycle per outer grant, so an inner period of k means "every
+// k-th grant of this slot" — the natural unit for intra-class shares.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dwcs/reference_scheduler.hpp"
+
+namespace ss::core {
+
+/// One aggregated slot's inner scheduler.
+class HierarchicalSlot {
+ public:
+  /// Streamlets are added with full DWCS specs (period in units of this
+  /// slot's grants).
+  std::uint32_t add_streamlet(const dwcs::StreamSpec& spec);
+
+  /// A packet arrived for `streamlet`.
+  void push_request(std::uint32_t streamlet);
+
+  /// The FPGA granted this slot one frame: run one inner decision cycle
+  /// and return the streamlet that transmits (nullopt if nothing pending —
+  /// the outer grant is then wasted, which the caller counts).
+  std::optional<std::uint32_t> on_grant();
+
+  [[nodiscard]] std::uint32_t streamlets() const {
+    return static_cast<std::uint32_t>(inner_.stream_count());
+  }
+  [[nodiscard]] const dwcs::StreamCounters& counters(
+      std::uint32_t streamlet) const {
+    return inner_.stream(streamlet).counters;
+  }
+  [[nodiscard]] std::uint32_t backlog(std::uint32_t streamlet) const {
+    return inner_.stream(streamlet).backlog;
+  }
+
+ private:
+  dwcs::ReferenceScheduler inner_;
+};
+
+/// The manager: one HierarchicalSlot per stream-slot that wants inner QoS
+/// (slots without one fall back to whatever the caller does — typically
+/// the round-robin AggregationManager).
+class HierarchicalScheduler {
+ public:
+  explicit HierarchicalScheduler(std::uint32_t slots) : slots_(slots) {}
+
+  /// Enable inner scheduling on a slot; returns the slot object.
+  HierarchicalSlot& enable(std::uint32_t slot);
+  [[nodiscard]] bool enabled(std::uint32_t slot) const {
+    return slot < slots_.size() && slots_[slot] != nullptr;
+  }
+  [[nodiscard]] HierarchicalSlot& slot(std::uint32_t s) {
+    return *slots_[s];
+  }
+
+  /// Route an outer grant; wasted grants (empty inner backlog) counted.
+  std::optional<std::uint32_t> on_grant(std::uint32_t slot);
+  [[nodiscard]] std::uint64_t wasted_grants() const { return wasted_; }
+
+ private:
+  std::vector<std::unique_ptr<HierarchicalSlot>> slots_;
+  std::uint64_t wasted_ = 0;
+};
+
+}  // namespace ss::core

@@ -1,0 +1,235 @@
+#include "core/spec_parser.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ss::core {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  return toks;
+}
+
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && p == last;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  // std::from_chars for double is flaky across stdlibs; strtod via a
+  // bounded copy is fine for config-file sized tokens.
+  char buf[64];
+  if (s.size() >= sizeof buf) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + s.size();
+}
+
+struct KeyVal {
+  std::string key, val;
+  bool flag = false;  ///< bare token (no '=')
+};
+
+KeyVal split_kv(const std::string& tok) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos) return {tok, "", true};
+  return {tok.substr(0, eq), tok.substr(eq + 1), false};
+}
+
+}  // namespace
+
+SpecParseResult parse_stream_specs(std::string_view text) {
+  SpecParseResult res;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  auto fail = [&](std::size_t ln, std::string msg) {
+    res.errors.push_back({ln, std::move(msg)});
+  };
+
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? text.size() - start
+                                            : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    dwcs::StreamRequirement r;
+    const std::string& kind = toks[0];
+    bool have_period = false, have_weight = false, have_priority = false,
+         have_loss = false;
+    if (kind == "edf") {
+      r.kind = dwcs::RequirementKind::kEdf;
+    } else if (kind == "static") {
+      r.kind = dwcs::RequirementKind::kStaticPriority;
+    } else if (kind == "fair") {
+      r.kind = dwcs::RequirementKind::kFairShare;
+    } else if (kind == "wc") {
+      r.kind = dwcs::RequirementKind::kWindowConstrained;
+    } else {
+      fail(lineno, "unknown stream kind '" + kind + "'");
+      continue;
+    }
+
+    bool line_ok = true;
+    bool deadline_set = false;
+    for (std::size_t t = 1; t < toks.size() && line_ok; ++t) {
+      const KeyVal kv = split_kv(toks[t]);
+      if (kv.flag) {
+        if (kv.key == "nodrop") {
+          r.droppable = false;
+        } else if (kv.key == "drop") {
+          r.droppable = true;
+        } else {
+          fail(lineno, "unknown flag '" + kv.key + "'");
+          line_ok = false;
+        }
+        continue;
+      }
+      if (kv.key == "period") {
+        std::uint32_t v;
+        if (!parse_u32(kv.val, v) || v == 0) {
+          fail(lineno, "bad period '" + kv.val + "'");
+          line_ok = false;
+        } else {
+          r.period = v;
+          have_period = true;
+        }
+      } else if (kv.key == "deadline") {
+        std::uint32_t v;
+        if (!parse_u32(kv.val, v)) {
+          fail(lineno, "bad deadline '" + kv.val + "'");
+          line_ok = false;
+        } else {
+          r.initial_deadline = v;
+          deadline_set = true;
+        }
+      } else if (kv.key == "weight") {
+        double v;
+        if (!parse_double(kv.val, v) || v <= 0) {
+          fail(lineno, "bad weight '" + kv.val + "'");
+          line_ok = false;
+        } else {
+          r.weight = v;
+          have_weight = true;
+        }
+      } else if (kv.key == "priority") {
+        std::uint32_t v;
+        if (!parse_u32(kv.val, v) || v > 255) {
+          fail(lineno, "bad priority '" + kv.val + "' (0..255)");
+          line_ok = false;
+        } else {
+          r.priority = static_cast<std::uint8_t>(v);
+          have_priority = true;
+        }
+      } else if (kv.key == "loss") {
+        const auto slash = kv.val.find('/');
+        std::uint32_t x, y;
+        if (slash == std::string::npos ||
+            !parse_u32(kv.val.substr(0, slash), x) ||
+            !parse_u32(kv.val.substr(slash + 1), y) || y == 0 || x > y ||
+            x > 255 || y > 255) {
+          fail(lineno, "bad loss '" + kv.val + "' (want x/y, x<=y<=255)");
+          line_ok = false;
+        } else {
+          r.loss_num = static_cast<std::uint8_t>(x);
+          r.loss_den = static_cast<std::uint8_t>(y);
+          have_loss = true;
+        }
+      } else {
+        fail(lineno, "unknown key '" + kv.key + "'");
+        line_ok = false;
+      }
+    }
+    if (!line_ok) continue;
+
+    // Kind-specific requiredness.
+    switch (r.kind) {
+      case dwcs::RequirementKind::kEdf:
+        if (!have_period) {
+          fail(lineno, "edf requires period=");
+          continue;
+        }
+        if (!deadline_set) r.initial_deadline = r.period;
+        break;
+      case dwcs::RequirementKind::kStaticPriority:
+        if (!have_priority) {
+          fail(lineno, "static requires priority=");
+          continue;
+        }
+        break;
+      case dwcs::RequirementKind::kFairShare:
+        if (!have_weight) {
+          fail(lineno, "fair requires weight=");
+          continue;
+        }
+        break;
+      case dwcs::RequirementKind::kWindowConstrained:
+        if (!have_period || !have_loss) {
+          fail(lineno, "wc requires period= and loss=");
+          continue;
+        }
+        if (!deadline_set) r.initial_deadline = r.period;
+        break;
+    }
+    res.streams.push_back(r);
+  }
+  res.ok = res.errors.empty();
+  if (!res.ok) res.streams.clear();  // all-or-nothing
+  return res;
+}
+
+std::string render_stream_spec(const dwcs::StreamRequirement& r) {
+  char buf[128] = {0};  // the switch covers every kind; zero-init keeps
+                        // -Wmaybe-uninitialized quiet across inlining
+  std::string out;
+  switch (r.kind) {
+    case dwcs::RequirementKind::kEdf:
+      std::snprintf(buf, sizeof buf, "edf period=%u deadline=%llu",
+                    r.period,
+                    static_cast<unsigned long long>(r.initial_deadline));
+      break;
+    case dwcs::RequirementKind::kStaticPriority:
+      std::snprintf(buf, sizeof buf, "static priority=%u", r.priority);
+      break;
+    case dwcs::RequirementKind::kFairShare:
+      std::snprintf(buf, sizeof buf, "fair weight=%g", r.weight);
+      break;
+    case dwcs::RequirementKind::kWindowConstrained:
+      std::snprintf(buf, sizeof buf, "wc period=%u loss=%u/%u deadline=%llu",
+                    r.period, r.loss_num, r.loss_den,
+                    static_cast<unsigned long long>(r.initial_deadline));
+      break;
+  }
+  out = buf;
+  if (!r.droppable) out += " nodrop";
+  return out;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,47 @@
+// spec_parser.hpp — the user-specification language.
+//
+// The prototype "can provide scheduling support for a mix of EDF,
+// static-priority and fair-share streams based on user specifications"
+// (abstract).  This is that surface: a line-oriented text format an
+// operator writes, parsed into StreamRequirements for admission and slot
+// loading.  One stream per line:
+//
+//     # comments and blank lines are ignored
+//     edf    period=8 [deadline=8] [nodrop]
+//     static priority=5
+//     fair   weight=4 [nodrop]
+//     wc     period=4 loss=1/8 [deadline=4] [nodrop]
+//
+// Keys may appear in any order after the kind keyword.  Errors carry the
+// line number and a message; parsing is all-or-nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dwcs/modes.hpp"
+
+namespace ss::core {
+
+struct SpecError {
+  std::size_t line = 0;  ///< 1-based
+  std::string message;
+};
+
+struct SpecParseResult {
+  bool ok = false;
+  std::vector<dwcs::StreamRequirement> streams;
+  std::vector<SpecError> errors;
+};
+
+/// Parse a whole specification document.
+[[nodiscard]] SpecParseResult parse_stream_specs(std::string_view text);
+
+/// Render a requirement back into its canonical one-line form (round-trip
+/// property: parse(render(r)) == r).
+[[nodiscard]] std::string render_stream_spec(
+    const dwcs::StreamRequirement& r);
+
+}  // namespace ss::core

@@ -1,0 +1,58 @@
+#include "dwcs/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ss::dwcs {
+
+WindowTrace::WindowTrace(std::uint32_t x, std::uint32_t y) : x_(x), y_(y) {
+  assert(y_ > 0 && x_ <= y_);
+}
+
+std::uint64_t WindowTrace::losses() const {
+  std::uint64_t n = 0;
+  for (const auto o : outcomes_) n += is_loss(o) ? 1 : 0;
+  return n;
+}
+
+double WindowTrace::loss_rate() const {
+  return outcomes_.empty()
+             ? 0.0
+             : static_cast<double>(losses()) /
+                   static_cast<double>(outcomes_.size());
+}
+
+std::uint64_t WindowTrace::violations() const {
+  if (outcomes_.size() < y_) return 0;
+  std::uint64_t violations = 0;
+  std::uint32_t in_window = 0;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    in_window += is_loss(outcomes_[i]) ? 1 : 0;
+    if (i >= y_) in_window -= is_loss(outcomes_[i - y_]) ? 1 : 0;
+    if (i + 1 >= y_ && in_window > x_) ++violations;
+  }
+  return violations;
+}
+
+std::uint32_t WindowTrace::worst_window() const {
+  if (outcomes_.size() < y_) return static_cast<std::uint32_t>(losses());
+  std::uint32_t worst = 0, in_window = 0;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    in_window += is_loss(outcomes_[i]) ? 1 : 0;
+    if (i >= y_) in_window -= is_loss(outcomes_[i - y_]) ? 1 : 0;
+    if (i + 1 >= y_) worst = std::max(worst, in_window);
+  }
+  return worst;
+}
+
+double mandatory_utilization(const std::vector<WcStream>& set) {
+  double u = 0.0;
+  for (const WcStream& s : set) {
+    if (s.period == 0 || s.y == 0) continue;
+    const double w = static_cast<double>(s.x) / s.y;
+    u += (1.0 - w) / s.period;
+  }
+  return u;
+}
+
+}  // namespace ss::dwcs

@@ -1,0 +1,74 @@
+// analysis.hpp — verification tools for window-constrained service.
+//
+// A DWCS stream's contract is observable: over EVERY window of y_i
+// consecutive requests, at most x_i may be lost or late.  This module
+// turns a per-request service trace into that verdict:
+//
+//   * WindowTrace collects the per-request outcomes (on-time / late /
+//     dropped) of one stream;
+//   * violations() slides the y-sized window across the trace and counts
+//     positions where the losses exceed x — zero means the constraint
+//     held everywhere (the property the scheduler is supposed to enforce);
+//   * loss_rate() and worst_window() summarize how close to the edge the
+//     stream ran.
+//
+// The chip and the reference scheduler only count *violation events* as
+// they adjust attributes; this offline checker validates the actual
+// service pattern independently of the scheduler's own bookkeeping, which
+// is what a skeptical reviewer of the reproduction would ask for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ss::dwcs {
+
+enum class RequestOutcome : std::uint8_t {
+  kOnTime,
+  kLate,     ///< transmitted at-or-after its deadline
+  kDropped,  ///< never transmitted
+};
+
+/// True iff the outcome counts against the loss budget.
+[[nodiscard]] constexpr bool is_loss(RequestOutcome o) {
+  return o != RequestOutcome::kOnTime;
+}
+
+class WindowTrace {
+ public:
+  /// Configure with the stream's contract (x losses per window of y).
+  WindowTrace(std::uint32_t x, std::uint32_t y);
+
+  void record(RequestOutcome o) { outcomes_.push_back(o); }
+
+  [[nodiscard]] std::size_t requests() const { return outcomes_.size(); }
+  [[nodiscard]] std::uint64_t losses() const;
+  [[nodiscard]] double loss_rate() const;
+
+  /// Number of y-sized sliding-window positions whose loss count exceeds
+  /// x.  Zero = the window constraint held over the whole trace.
+  /// Windows shorter than y at the tail are not counted (the contract is
+  /// per full window).
+  [[nodiscard]] std::uint64_t violations() const;
+
+  /// Maximum losses observed in any full window (<= x means compliant).
+  [[nodiscard]] std::uint32_t worst_window() const;
+
+  [[nodiscard]] std::uint32_t x() const { return x_; }
+  [[nodiscard]] std::uint32_t y() const { return y_; }
+
+ private:
+  std::uint32_t x_, y_;
+  std::vector<RequestOutcome> outcomes_;
+};
+
+/// Convenience: the mandatory utilization a set of window-constrained
+/// streams demands — sum over i of (1 - x_i/y_i) / T_i — the feasibility
+/// left-hand side used by admission control.
+struct WcStream {
+  std::uint32_t period;
+  std::uint32_t x, y;
+};
+[[nodiscard]] double mandatory_utilization(const std::vector<WcStream>& set);
+
+}  // namespace ss::dwcs

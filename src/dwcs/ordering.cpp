@@ -1,0 +1,48 @@
+#include "dwcs/ordering.hpp"
+
+namespace ss::dwcs {
+namespace {
+
+bool fcfs(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  // Strict (<) so precedes() is a strict weak ordering usable with
+  // std::sort; hardware slots always carry distinct IDs, so this matches
+  // the Decision block's deterministic tie-break.
+  return a.id < b.id;
+}
+
+}  // namespace
+
+bool precedes(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.pending != b.pending) return a.pending;
+
+  // Rule 1: earliest deadline first.
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+
+  const bool a_zero = (a.loss_num == 0);
+  const bool b_zero = (b.loss_num == 0);
+  if (a_zero && b_zero) {
+    // Rule 3: equal deadlines and zero window-constraints — highest
+    // window-denominator first.
+    if (a.loss_den != b.loss_den) return a.loss_den > b.loss_den;
+    return fcfs(a, b);
+  }
+  // Rule 2: lowest window-constraint (x'/y') first, by cross-product.
+  const std::uint64_t lhs =
+      static_cast<std::uint64_t>(a.loss_num) * b.loss_den;
+  const std::uint64_t rhs =
+      static_cast<std::uint64_t>(b.loss_num) * a.loss_den;
+  if (lhs != rhs) return lhs < rhs;
+  // Rule 4: equal non-zero window-constraints — lowest numerator first.
+  if (a.loss_num != b.loss_num) return a.loss_num < b.loss_num;
+  // Rule 5: all other cases — FCFS.
+  return fcfs(a, b);
+}
+
+bool precedes_edf(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.pending != b.pending) return a.pending;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return fcfs(a, b);
+}
+
+}  // namespace ss::dwcs

@@ -1,0 +1,35 @@
+// ordering.hpp — software statement of the DWCS pairwise ordering rules.
+//
+// This is the paper's Table 2 written as plain software over 64-bit
+// unwrapped time, developed independently of the hardware Decision block
+// so the two can be cross-checked: tests assert that for every attribute
+// combination within the 16-bit horizon, hw::decide() and
+// dwcs::precedes() agree.  The software DWCS reference scheduler
+// (reference_scheduler.hpp) and the baseline-comparison benches use this
+// form directly.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::dwcs {
+
+/// Software-side stream attributes (unwrapped 64-bit time).
+struct StreamAttrs {
+  std::uint64_t deadline = 0;
+  std::uint32_t loss_num = 0;   ///< x'
+  std::uint32_t loss_den = 0;   ///< y'
+  std::uint64_t arrival = 0;
+  std::uint32_t id = 0;
+  bool pending = false;
+};
+
+/// True iff stream `a` precedes (outranks) stream `b` under the Table-2
+/// rules.  Total order: ties fall through deadline -> window-constraint ->
+/// zero-constraint denominator -> numerator -> arrival -> id.
+[[nodiscard]] bool precedes(const StreamAttrs& a, const StreamAttrs& b);
+
+/// EDF-only variant (service-tag comparison), matching the hardware's
+/// ComparisonMode::kTagOnly.
+[[nodiscard]] bool precedes_edf(const StreamAttrs& a, const StreamAttrs& b);
+
+}  // namespace ss::dwcs

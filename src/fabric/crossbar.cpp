@@ -1,0 +1,69 @@
+#include "fabric/crossbar.hpp"
+
+#include <cassert>
+
+namespace ss::fabric {
+
+Crossbar::Crossbar(unsigned inputs, unsigned outputs, unsigned speedup,
+                   std::size_t staging_depth)
+    : inputs_(inputs),
+      outputs_(outputs),
+      speedup_(speedup == 0 ? 1 : speedup),
+      staging_depth_(staging_depth) {
+  assert(inputs > 0 && outputs > 0);
+}
+
+bool Crossbar::offer(std::uint32_t input_port, const FabricFrame& f) {
+  assert(input_port < inputs_.size());
+  if (inputs_[input_port].size() >= kInputFifoDepth) {
+    ++input_drops_;
+    return false;
+  }
+  FabricFrame g = f;
+  g.input_port = input_port;
+  g.enq_cycle = cycles_;
+  inputs_[input_port].push_back(g);
+  return true;
+}
+
+unsigned Crossbar::cycle() {
+  ++cycles_;
+  unsigned moved = 0;
+  std::vector<unsigned> accepted(outputs_.size(), 0);
+  // Each input presents its head frame; outputs accept up to the speedup.
+  // The starting input rotates every cycle so no input is systematically
+  // favoured when outputs saturate.
+  const std::size_t n = inputs_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (rr_cursor_ + k) % n;
+    if (inputs_[i].empty()) continue;
+    const FabricFrame& head = inputs_[i].front();
+    const std::uint32_t out = head.output_port;
+    assert(out < outputs_.size());
+    if (accepted[out] >= speedup_) continue;  // HOL-blocked this cycle
+    if (outputs_[out].size() >= staging_depth_) {
+      // Staging full: the frame is dropped at the fabric (the line card
+      // is not draining fast enough).
+      ++staging_drops_;
+      inputs_[i].pop_front();
+      continue;
+    }
+    outputs_[out].push_back(head);
+    inputs_[i].pop_front();
+    ++accepted[out];
+    ++moved;
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % n;
+  transferred_ += moved;
+  return moved;
+}
+
+bool Crossbar::pull(std::uint32_t output_port, FabricFrame& out) {
+  assert(output_port < outputs_.size());
+  if (outputs_[output_port].empty()) return false;
+  out = outputs_[output_port].front();
+  outputs_[output_port].pop_front();
+  return true;
+}
+
+}  // namespace ss::fabric

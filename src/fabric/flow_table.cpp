@@ -1,0 +1,14 @@
+#include "fabric/flow_table.hpp"
+
+namespace ss::fabric {
+
+std::optional<Route> FlowTable::lookup(const FlowKey& key) {
+  if (const auto it = table_.find(key); it != table_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return default_;
+}
+
+}  // namespace ss::fabric

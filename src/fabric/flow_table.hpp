@@ -1,0 +1,58 @@
+// flow_table.hpp — flow classification for the switch substrate.
+//
+// The linecard realization schedules *streams*, so something upstream
+// must map arriving frames to (output port, stream-slot).  In the paper's
+// deployment that is the switch's classification stage; this table is
+// that stage: exact-match on a flow key with an optional default route,
+// plus hit/miss statistics.  Deliberately simple — classification
+// algorithms are not this paper's topic — but complete enough that the
+// switch demo routes real multi-port traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace ss::fabric {
+
+/// A flattened flow key (the demo uses source id x destination id; a real
+/// deployment would fold the 5-tuple into this).
+struct FlowKey {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    return (static_cast<std::size_t>(k.src) << 32) ^ k.dst;
+  }
+};
+
+struct Route {
+  std::uint32_t output_port = 0;
+  std::uint8_t stream_slot = 0;  ///< slot on that port's scheduler
+};
+
+class FlowTable {
+ public:
+  void add(const FlowKey& key, const Route& route) { table_[key] = route; }
+  void remove(const FlowKey& key) { table_.erase(key); }
+  void set_default(const Route& route) { default_ = route; }
+
+  /// Classify a frame.  Misses fall back to the default route when one is
+  /// configured (and are counted either way).
+  [[nodiscard]] std::optional<Route> lookup(const FlowKey& key);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<FlowKey, Route, FlowKeyHash> table_;
+  std::optional<Route> default_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ss::fabric

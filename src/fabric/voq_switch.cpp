@@ -1,0 +1,88 @@
+#include "fabric/voq_switch.hpp"
+
+#include <cassert>
+
+namespace ss::fabric {
+
+VoqSwitch::VoqSwitch(unsigned inputs, unsigned outputs,
+                     std::size_t voq_depth)
+    : inputs_(inputs),
+      outputs_(outputs),
+      depth_(voq_depth),
+      voqs_(inputs, std::vector<std::deque<FabricFrame>>(outputs)),
+      delivered_(outputs),
+      grant_ptr_(outputs, 0),
+      accept_ptr_(inputs, 0) {
+  assert(inputs > 0 && outputs > 0);
+}
+
+bool VoqSwitch::offer(std::uint32_t input_port, const FabricFrame& f) {
+  assert(input_port < inputs_ && f.output_port < outputs_);
+  auto& q = voqs_[input_port][f.output_port];
+  if (q.size() >= depth_) {
+    ++drops_;
+    return false;
+  }
+  FabricFrame g = f;
+  g.input_port = input_port;
+  g.enq_cycle = cycles_;
+  q.push_back(g);
+  return true;
+}
+
+unsigned VoqSwitch::cycle() {
+  ++cycles_;
+  // --- request phase: input i requests output j iff VOQ[i][j] backlogged.
+  // --- grant phase: each output grants the requesting input nearest its
+  //     rotating pointer.
+  std::vector<int> grant_to(outputs_, -1);
+  for (unsigned j = 0; j < outputs_; ++j) {
+    for (unsigned k = 0; k < inputs_; ++k) {
+      const unsigned i =
+          static_cast<unsigned>((grant_ptr_[j] + k) % inputs_);
+      if (!voqs_[i][j].empty()) {
+        grant_to[j] = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  // --- accept phase: each input accepts the granting output nearest its
+  //     rotating pointer.
+  std::vector<int> accept_of(inputs_, -1);
+  for (unsigned i = 0; i < inputs_; ++i) {
+    for (unsigned k = 0; k < outputs_; ++k) {
+      const unsigned j =
+          static_cast<unsigned>((accept_ptr_[i] + k) % outputs_);
+      if (grant_to[j] == static_cast<int>(i)) {
+        accept_of[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  // --- transfer + pointer updates (pointers advance past the matched
+  //     partner only on a successful match: the iSLIP desynchronization
+  //     property that yields round-robin fairness).
+  unsigned moved = 0;
+  for (unsigned i = 0; i < inputs_; ++i) {
+    if (accept_of[i] < 0) continue;
+    const auto j = static_cast<unsigned>(accept_of[i]);
+    auto& q = voqs_[i][j];
+    delivered_[j].push_back(q.front());
+    q.pop_front();
+    grant_ptr_[j] = (i + 1) % inputs_;
+    accept_ptr_[i] = (j + 1) % outputs_;
+    ++moved;
+  }
+  transferred_ += moved;
+  return moved;
+}
+
+bool VoqSwitch::pull(std::uint32_t output_port, FabricFrame& out) {
+  assert(output_port < outputs_);
+  if (delivered_[output_port].empty()) return false;
+  out = delivered_[output_port].front();
+  delivered_[output_port].pop_front();
+  return true;
+}
+
+}  // namespace ss::fabric

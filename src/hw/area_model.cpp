@@ -1,0 +1,115 @@
+#include "hw/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/control_unit.hpp"
+#include "hw/decision_block.hpp"
+#include "hw/register_block.hpp"
+#include "util/bitops.hpp"
+
+namespace ss::hw {
+
+const std::vector<Device>& virtex1_devices() {
+  // Slice counts: CLB rows x cols x 2 slices/CLB (Virtex-I datasheet).
+  static const std::vector<Device> kDevices = {
+      {"XCV50", FpgaFamily::kVirtexI, 16 * 24 * 2},
+      {"XCV100", FpgaFamily::kVirtexI, 20 * 30 * 2},
+      {"XCV150", FpgaFamily::kVirtexI, 24 * 36 * 2},
+      {"XCV200", FpgaFamily::kVirtexI, 28 * 42 * 2},
+      {"XCV300", FpgaFamily::kVirtexI, 32 * 48 * 2},
+      {"XCV400", FpgaFamily::kVirtexI, 40 * 60 * 2},
+      {"XCV600", FpgaFamily::kVirtexI, 48 * 72 * 2},
+      {"XCV800", FpgaFamily::kVirtexI, 56 * 84 * 2},
+      {"XCV1000", FpgaFamily::kVirtexI, 64 * 96 * 2},
+  };
+  return kDevices;
+}
+
+const std::vector<Device>& virtex2_devices() {
+  // XC2V slice counts (CLB rows x cols x 4 slices/CLB, Virtex-II family).
+  static const std::vector<Device> kDevices = {
+      {"XC2V250", FpgaFamily::kVirtexII, 1536},
+      {"XC2V500", FpgaFamily::kVirtexII, 3072},
+      {"XC2V1000", FpgaFamily::kVirtexII, 5120},
+      {"XC2V1500", FpgaFamily::kVirtexII, 7680},
+      {"XC2V2000", FpgaFamily::kVirtexII, 10752},
+      {"XC2V3000", FpgaFamily::kVirtexII, 14336},
+      {"XC2V6000", FpgaFamily::kVirtexII, 33792},
+  };
+  return kDevices;
+}
+
+AreaModel::AreaModel(FpgaFamily family) : family_(family) {}
+
+AreaBreakdown AreaModel::area(unsigned slots, ArchConfig cfg) const {
+  AreaBreakdown b{};
+  b.control_slices = ControlUnit::kSlices;
+  b.register_slices =
+      slots * (kRegisterBlockSlices +
+               (compute_ahead_ ? kComputeAheadSlicesPerSlot : 0));
+  // Virtex-II's hard 18x18 multipliers absorb the window-constraint
+  // cross-products, trimming the fabric portion of each Decision block
+  // (Section 6: "use of hard multipliers in the Xilinx Virtex II
+  // architecture to improve performance").
+  const unsigned decision_slices =
+      family_ == FpgaFamily::kVirtexII ? kDecisionBlockSlices - 60
+                                       : kDecisionBlockSlices;
+  b.decision_slices = (slots / 2) * decision_slices;
+  // Shuffle wiring and pass-through CLBs grow linearly with slot count
+  // (Section 5.1: "the area of the shuffle-network wires and pass-through
+  // CLBs is dependent on the stream-slot count ... our architecture grows
+  // linearly").  BA routes loser buses as well as winner buses, costing a
+  // few extra pass-through slices per slot; this keeps BA "almost the same
+  // area" as WR, as the paper observes.
+  const unsigned per_slot =
+      (cfg == ArchConfig::kBlockArchitecture) ? 10 : 7;
+  b.routing_slices = slots * per_slot;
+  return b;
+}
+
+double AreaModel::clock_mhz(unsigned slots, ArchConfig cfg) const {
+  const double k = static_cast<double>(log2_ceil(slots));
+  // WR baseline: gentle logarithmic degradation as the winner-bus fanout
+  // and steering muxes deepen.  Calibrated so the 4..32-slot span stays
+  // within the RC1000's 100 MHz ceiling and varies little (paper: "the WR
+  // architecture shows lesser clock-rate variation ... than BA").
+  const double wr = 100.0 - 3.2 * k;  // 4:93.6  8:90.4  16:87.2  32:84.0
+  double mhz = wr;
+  if (cfg == ArchConfig::kBlockArchitecture) {
+    // BA routes winners AND losers: the doubled bus count congests mid-size
+    // placements most (at 4 slots the design is tiny; by 32 slots the
+    // placer spreads logic across the die and the relative penalty
+    // shrinks).  Calibrated to the paper: ~6 % at 4, ~20 % at 8 and 16,
+    // ~10 % at 32 slots.
+    constexpr double kPenalty[] = {0.02, 0.04, 0.06, 0.20, 0.19, 0.10};
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(k, std::size(kPenalty) - 1));
+    mhz = wr * (1.0 - kPenalty[idx]);
+  }
+  if (family_ == FpgaFamily::kVirtexII) {
+    // Future-work target (Section 6): Virtex-II's faster fabric and hard
+    // multipliers for the window-constraint cross-products.
+    mhz *= 1.5;
+  }
+  return mhz;
+}
+
+const Device* AreaModel::smallest_fit(unsigned slots, ArchConfig cfg) const {
+  const unsigned need = area(slots, cfg).total();
+  const auto& devices = family_ == FpgaFamily::kVirtexII
+                            ? virtex2_devices()
+                            : virtex1_devices();
+  for (const Device& d : devices) {
+    if (d.slices >= need) return &d;
+  }
+  return nullptr;
+}
+
+double AreaModel::utilization(unsigned slots, ArchConfig cfg,
+                              const Device& dev) const {
+  return static_cast<double>(area(slots, cfg).total()) /
+         static_cast<double>(dev.slices);
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,90 @@
+// control_unit.hpp — the Control & Steering Logic unit.
+//
+// Figure 6 of the paper: the unit begins in a LOAD state (configuration and
+// initial attributes latched into the Register Base blocks) and then
+// alternates between SCHEDULE (log2 N recirculating-shuffle passes) and
+// PRIORITY_UPDATE (winner ID circulated, register blocks adjust) states.
+// The SRAM interface exchange (arrival-times in, scheduled Stream IDs out)
+// can either serialize with the decision loop or be pipelined under it —
+// the paper notes "pipelining multiple stream selection decisions is
+// crucial to maintain high throughput" (Section 4.2).
+//
+// Cycle-model calibration (documented in DESIGN.md):
+//   * decision latency  = schedule passes + update cycles
+//     (what packet-time feasibility is judged on);
+//   * sustained cycles per decision additionally includes the SRAM I/O
+//     (one arrival-time word per slot in, winner-ID writeback out); with
+//     I/O pipelining it becomes max(io, latency).
+//   At 4 slots, non-pipelined: 4 + 2 + 3 + 4 = 13 cycles -> 7.69 M
+//   decisions/s at 100 MHz, matching the paper's 7.6 M packets/s linecard
+//   figure.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::hw {
+
+enum class FsmState : std::uint8_t {
+  kIdle,      ///< before LOAD / after reset
+  kLoad,      ///< latching attributes via the SRAM interface
+  kSchedule,  ///< shuffle-exchange passes in flight
+  kUpdate,    ///< PRIORITY_UPDATE: circulate winner, adjust registers
+  kOutput,    ///< winner/block IDs written back to the SRAM partition
+};
+
+struct ControlTiming {
+  unsigned load_cycles_per_slot = 1;  ///< SRAM port: one attr word per cycle
+  unsigned update_cycles = 3;         ///< circulate + adjust + settle
+  unsigned output_cycles = 4;         ///< ID writeback burst
+  bool bypass_update = false;         ///< fair-queuing/static: skip UPDATE
+  bool pipelined_io = false;          ///< overlap SRAM I/O with the loop
+};
+
+/// Pure cycle/FSM bookkeeper: the datapath (SchedulerChip) asks it what to
+/// do each hardware cycle.
+class ControlUnit {
+ public:
+  enum class Action : std::uint8_t {
+    kLoadCycle,
+    kSchedulePass,   ///< run one network pass this cycle
+    kUpdateApply,    ///< first UPDATE cycle: apply all register adjustments
+    kUpdateSettle,
+    kOutputCycle,
+    kDecisionDone,   ///< decision cycle boundary (no datapath work)
+  };
+
+  ControlUnit(unsigned slots, unsigned schedule_passes, ControlTiming timing);
+
+  /// Advance one hardware cycle and return the datapath action.
+  Action tick();
+
+  [[nodiscard]] FsmState state() const { return state_; }
+  [[nodiscard]] std::uint64_t hw_cycles() const { return hw_cycles_; }
+  [[nodiscard]] std::uint64_t decision_cycles() const {
+    return decision_cycles_;
+  }
+
+  /// SCHEDULE + PRIORITY_UPDATE cycles: the latency from attributes-ready
+  /// to winner-circulated.
+  [[nodiscard]] unsigned decision_latency_cycles() const;
+
+  /// Cycles consumed per decision at steady state, including SRAM I/O
+  /// (overlapped if pipelined_io).
+  [[nodiscard]] unsigned sustained_cycles_per_decision() const;
+
+  [[nodiscard]] const ControlTiming& timing() const { return timing_; }
+
+  /// Area of the Control & Steering block (Section 5.1: 22 slices).
+  static constexpr unsigned kSlices = 22;
+
+ private:
+  unsigned slots_;
+  unsigned passes_;
+  ControlTiming timing_;
+  FsmState state_ = FsmState::kIdle;
+  unsigned phase_ = 0;  ///< cycles spent in the current state
+  std::uint64_t hw_cycles_ = 0;
+  std::uint64_t decision_cycles_ = 0;
+};
+
+}  // namespace ss::hw

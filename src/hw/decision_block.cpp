@@ -1,0 +1,89 @@
+#include "hw/decision_block.hpp"
+
+#include <cstdint>
+
+namespace ss::hw {
+namespace {
+
+/// Cross-multiplied window-constraint comparison: W_a = xa/ya vs
+/// W_b = xb/yb without division, exactly as an 8x8 multiplier pair in the
+/// Decision block would compute it.  A zero denominator is treated as an
+/// infinite constraint (fully loss-tolerant) so an idle/misconfigured slot
+/// never outranks a constrained one; the register-block update logic keeps
+/// live denominators non-zero.
+struct WcCmp {
+  std::uint32_t lhs, rhs;
+};
+WcCmp cross(const AttrWord& a, const AttrWord& b) {
+  return {static_cast<std::uint32_t>(a.loss_num) * b.loss_den,
+          static_cast<std::uint32_t>(b.loss_num) * a.loss_den};
+}
+
+DecisionResult fcfs(const AttrWord& a, const AttrWord& b) {
+  if (a.arrival != b.arrival) {
+    return {a.arrival < b.arrival, Rule::kFcfsArrival};
+  }
+  return {a.id <= b.id, Rule::kIdTieBreak};
+}
+
+}  // namespace
+
+DecisionResult decide(const AttrWord& a, const AttrWord& b,
+                      ComparisonMode mode) {
+  // A slot without a backlogged request always loses: the muxes gate idle
+  // slots out of contention regardless of stale register contents.
+  if (a.pending != b.pending) return {a.pending, Rule::kPendingOnly};
+
+  switch (mode) {
+    case ComparisonMode::kTagOnly:
+      if (a.deadline != b.deadline) {
+        return {a.deadline < b.deadline, Rule::kDeadline};
+      }
+      return fcfs(a, b);
+
+    case ComparisonMode::kStatic:
+      // Static priority rides in the loss-denominator field with all
+      // deadlines pinned equal; higher value = higher priority (Table-2
+      // rule 3 semantics, so the same datapath serves both modes).
+      if (a.loss_den != b.loss_den) {
+        return {a.loss_den > b.loss_den, Rule::kZeroDenominator};
+      }
+      return fcfs(a, b);
+
+    case ComparisonMode::kDwcsFull: {
+      // Rule 1: earliest deadline first.
+      if (a.deadline != b.deadline) {
+        return {a.deadline < b.deadline, Rule::kDeadline};
+      }
+      const bool a_zero = (a.loss_num == 0);
+      const bool b_zero = (b.loss_num == 0);
+      if (a_zero && b_zero) {
+        // Rule 3: equal deadlines, zero window-constraints — highest
+        // denominator first.
+        if (a.loss_den != b.loss_den) {
+          return {a.loss_den > b.loss_den, Rule::kZeroDenominator};
+        }
+        return fcfs(a, b);
+      }
+      // Rule 2: lowest window-constraint first.  A zero constraint is the
+      // lowest possible, so a zero-x' stream outranks any non-zero one;
+      // the cross-multiplication yields exactly that (0 * y < x * y).
+      const auto [lhs, rhs] = cross(a, b);
+      if (lhs != rhs) return {lhs < rhs, Rule::kWindowConstraint};
+      // Rule 4: equal non-zero constraints — lowest numerator first.
+      if (a.loss_num != b.loss_num) {
+        return {a.loss_num < b.loss_num, Rule::kNumerator};
+      }
+      // Rule 5: all other cases — FCFS.
+      return fcfs(a, b);
+    }
+  }
+  return fcfs(a, b);  // unreachable; keeps -Wreturn-type quiet
+}
+
+Ordered order(const AttrWord& a, const AttrWord& b, ComparisonMode mode) {
+  const DecisionResult r = decide(a, b, mode);
+  return r.a_wins ? Ordered{a, b} : Ordered{b, a};
+}
+
+}  // namespace ss::hw

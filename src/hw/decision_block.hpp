@@ -1,0 +1,70 @@
+// decision_block.hpp — the single-cycle multi-attribute comparator.
+//
+// A Decision block (Figure 5) receives the attribute records of two
+// stream-slots and orders them in ONE hardware cycle by evaluating every
+// rule of Table 2 concurrently and selecting the output of the first rule
+// whose guard holds:
+//
+//   1. Earliest-deadline first.
+//   2. Equal deadlines: lowest window-constraint (x'/y') first.
+//   3. Equal deadlines, both window-constraints zero: highest
+//      window-denominator first.
+//   4. Equal deadlines, equal non-zero window-constraints: lowest
+//      window-numerator first.
+//   5. All other cases: first-come-first-serve (earliest arrival; slot ID
+//      breaks the final tie so the hardware order is total).
+//
+// The same block degrades to a *simple comparator* for fair-queuing /
+// priority-class disciplines (ComparisonMode::kTagOnly compares only the
+// 16-bit deadline/service-tag field), which is how the unified canonical
+// architecture maps those disciplines without extra logic.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/fields.hpp"
+
+namespace ss::hw {
+
+/// Which attribute subsets the comparator consults.  Selecting a mode is a
+/// configuration-register write in the hardware, not a re-synthesis.
+enum class ComparisonMode : std::uint8_t {
+  kDwcsFull,   ///< all Table-2 rules (window-constrained disciplines)
+  kTagOnly,    ///< deadline/service-tag field only (EDF, WFQ/SFQ tags)
+  kStatic,     ///< static priority held in the loss-denominator field
+};
+
+/// Which Table-2 rule produced an ordering — exposed for tests and for the
+/// rule-coverage statistics in the ablation bench.
+enum class Rule : std::uint8_t {
+  kPendingOnly,      ///< exactly one side had a backlogged request
+  kDeadline,         ///< rule 1
+  kWindowConstraint, ///< rule 2
+  kZeroDenominator,  ///< rule 3
+  kNumerator,        ///< rule 4
+  kFcfsArrival,      ///< rule 5 (arrival)
+  kIdTieBreak,       ///< rule 5 fallback (total-order tie break)
+};
+
+struct DecisionResult {
+  bool a_wins;  ///< true if the first operand is the higher-priority stream
+  Rule rule;    ///< the rule that decided
+};
+
+/// Combinational ordering function of the Decision block.
+[[nodiscard]] DecisionResult decide(const AttrWord& a, const AttrWord& b,
+                                    ComparisonMode mode);
+
+/// Convenience wrapper used by the shuffle network: winner/loser routing.
+struct Ordered {
+  AttrWord winner;
+  AttrWord loser;
+};
+[[nodiscard]] Ordered order(const AttrWord& a, const AttrWord& b,
+                            ComparisonMode mode);
+
+/// Area of one Decision block in Virtex-I slices (Section 5.1: "the
+/// Decision block was 190 slices").
+inline constexpr unsigned kDecisionBlockSlices = 190;
+
+}  // namespace ss::hw

@@ -1,0 +1,79 @@
+#include "hw/decision_block_rtl.hpp"
+
+namespace ss::hw::rtl {
+namespace {
+
+// 16-bit serial magnitude comparator: subtract and test the MSB of the
+// modular difference, with the deterministic half-space tie-break the
+// behavioural Serial<> uses.
+bool serial16_less(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t d = static_cast<std::uint16_t>(b - a);
+  if (d == 0) return false;
+  if (d == 0x8000u) return a > b;
+  return d < 0x8000u;
+}
+
+}  // namespace
+
+DecisionSignals evaluate(const AttrWord& a, const AttrWord& b) {
+  DecisionSignals s;
+
+  // --- concurrent sub-circuits (all evaluate every cycle, like gates) ---
+  s.dl_equal = a.deadline.raw() == b.deadline.raw();
+  s.dl_a_earlier = serial16_less(a.deadline.raw(), b.deadline.raw());
+  s.dl_b_earlier = serial16_less(b.deadline.raw(), a.deadline.raw());
+
+  s.cross_ab = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(a.loss_num) * b.loss_den);
+  s.cross_ba = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(b.loss_num) * a.loss_den);
+
+  s.xa_zero = a.loss_num == 0;
+  s.xb_zero = b.loss_num == 0;
+
+  s.arr_a_earlier = serial16_less(a.arrival.raw(), b.arrival.raw());
+  s.arr_b_earlier = serial16_less(b.arrival.raw(), a.arrival.raw());
+
+  s.only_a_pending = a.pending && !b.pending;
+  s.only_b_pending = b.pending && !a.pending;
+
+  // --- rule-valid bits (each = guard AND decisive) ---
+  s.r_pending = s.only_a_pending || s.only_b_pending;
+  s.r1_deadline = !s.dl_equal;
+  const bool both_zero = s.xa_zero && s.xb_zero;
+  // Rule 2 handles "not both zero" pairs via the cross products; rule 3
+  // handles the both-zero pairs via the denominators.
+  s.r2_constraint =
+      s.dl_equal && !both_zero && (s.cross_ab != s.cross_ba);
+  s.r3_denominator =
+      s.dl_equal && both_zero && (a.loss_den != b.loss_den);
+  s.r4_numerator = s.dl_equal && !both_zero &&
+                   (s.cross_ab == s.cross_ba) &&
+                   (a.loss_num != b.loss_num);
+  s.r5_arrival = s.dl_equal && (a.arrival.raw() != b.arrival.raw()) &&
+                 !s.r2_constraint && !s.r3_denominator && !s.r4_numerator;
+
+  // --- priority-encoded verdict mux ---
+  if (s.r_pending) {
+    s.a_wins = s.only_a_pending;
+  } else if (s.r1_deadline) {
+    s.a_wins = s.dl_a_earlier;
+  } else if (s.r2_constraint) {
+    s.a_wins = s.cross_ab < s.cross_ba;
+  } else if (s.r3_denominator) {
+    s.a_wins = a.loss_den > b.loss_den;
+  } else if (s.r4_numerator) {
+    s.a_wins = a.loss_num < b.loss_num;
+  } else if (s.r5_arrival) {
+    s.a_wins = s.arr_a_earlier;
+  } else {
+    s.a_wins = a.id <= b.id;  // final deterministic tie-break
+  }
+  return s;
+}
+
+bool a_wins(const AttrWord& a, const AttrWord& b) {
+  return evaluate(a, b).a_wins;
+}
+
+}  // namespace ss::hw::rtl

@@ -1,0 +1,64 @@
+// decision_block_rtl.hpp — signal-level model of the Decision block.
+//
+// `decision_block.cpp` states Table 2 behaviourally (nested ifs).  The
+// real Figure-5 hardware evaluates EVERY rule concurrently as flat
+// combinational sub-signals — magnitude comparators, equality comparators,
+// two 8x8 multipliers — and a priority-encoded mux selects the first
+// asserted rule's verdict.  This file models that structure explicitly:
+// each sub-signal is computed unconditionally (as gates would), then the
+// selection logic is a pure priority encoder over the rule-valid bits.
+//
+// Purpose: structural cross-validation.  `tests/rtl_equivalence_test.cpp`
+// proves the flat signal-level network computes the identical function to
+// the behavioural cascade over exhaustive/randomized inputs — the kind of
+// implementation-vs-specification check a hardware team runs before
+// synthesis, reproduced here in the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/decision_block.hpp"
+#include "hw/fields.hpp"
+
+namespace ss::hw::rtl {
+
+/// Every intermediate wire of the Figure-5 datapath, exposed so tests can
+/// assert sub-signal properties (e.g. "exactly one rule_valid bit is the
+/// first asserted", "the multiplier outputs are 16-bit products").
+struct DecisionSignals {
+  // 16-bit serial magnitude comparators on the deadline bus.
+  bool dl_a_earlier = false;
+  bool dl_b_earlier = false;
+  bool dl_equal = false;
+  // 8x8 multipliers for the window-constraint cross products.
+  std::uint16_t cross_ab = 0;  ///< x_a * y_b
+  std::uint16_t cross_ba = 0;  ///< x_b * y_a
+  // zero detectors on the loss numerators.
+  bool xa_zero = false;
+  bool xb_zero = false;
+  // arrival-time serial comparator.
+  bool arr_a_earlier = false;
+  bool arr_b_earlier = false;
+  // pending gating.
+  bool only_a_pending = false;
+  bool only_b_pending = false;
+  // rule-valid bits in priority-encoder order (rule fires = its guard
+  // holds AND it decides, i.e. its operands are unequal).
+  bool r_pending = false;
+  bool r1_deadline = false;
+  bool r2_constraint = false;
+  bool r3_denominator = false;
+  bool r4_numerator = false;
+  bool r5_arrival = false;
+  // final verdict
+  bool a_wins = false;
+};
+
+/// Evaluate the full signal network for one operand pair in kDwcsFull
+/// mode (the mode with every sub-circuit active).
+[[nodiscard]] DecisionSignals evaluate(const AttrWord& a, const AttrWord& b);
+
+/// The mux output alone (what leaves the block).
+[[nodiscard]] bool a_wins(const AttrWord& a, const AttrWord& b);
+
+}  // namespace ss::hw::rtl

@@ -1,0 +1,27 @@
+#include "hw/dma.hpp"
+
+namespace ss::hw {
+
+Nanos DmaEngine::pull_to_card(std::size_t bytes) {
+  ++transfers_;
+  bytes_moved_ += bytes;
+  // The host owns the bank while staging, the card takes it for the burst,
+  // then the FPGA side needs it back to consume — two arbitration events
+  // bracket every bulk transfer, which is exactly the bottleneck the paper
+  // reports for the RC1000.
+  Nanos t = bank_.acquire(BankOwner::kHost);
+  t += pci_.dma_transfer(bytes);
+  t += bank_.acquire(BankOwner::kFpga);
+  return t;
+}
+
+Nanos DmaEngine::push_to_host(std::size_t bytes) {
+  ++transfers_;
+  bytes_moved_ += bytes;
+  Nanos t = bank_.acquire(BankOwner::kFpga);
+  t += pci_.dma_transfer(bytes);
+  t += bank_.acquire(BankOwner::kHost);
+  return t;
+}
+
+}  // namespace ss::hw

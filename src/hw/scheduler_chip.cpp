@@ -1,0 +1,185 @@
+#include "hw/scheduler_chip.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace ss::hw {
+
+namespace {
+ControlTiming effective_timing(const ChipConfig& cfg) {
+  ControlTiming t = cfg.timing;
+  // Compute-ahead registers pre-stage both adjustment outcomes; the
+  // circulated ID merely selects one, collapsing the update burst.
+  if (cfg.compute_ahead) t.update_cycles = 1;
+  return t;
+}
+}  // namespace
+
+SchedulerChip::SchedulerChip(const ChipConfig& cfg)
+    : cfg_(cfg),
+      slots_(cfg.slots),
+      network_(cfg.slots, cfg.schedule, cfg.cmp_mode),
+      control_(cfg.slots, schedule_passes(cfg.schedule, cfg.slots),
+               effective_timing(cfg)),
+      tag_fifos_(cfg.slots) {
+  assert(is_pow2(cfg.slots) && cfg.slots >= 2 && cfg.slots <= kMaxSlots);
+}
+
+void SchedulerChip::load_slot(SlotId slot, const SlotConfig& cfg) {
+  assert(slot < slots_.size());
+  slots_[slot].load(slot, cfg);
+  tag_fifos_[slot].clear();
+}
+
+void SchedulerChip::push_request(SlotId slot) {
+  push_request(slot, Arrival{vtime_});
+}
+
+void SchedulerChip::push_request(SlotId slot, Arrival arrival) {
+  assert(slot < slots_.size());
+  slots_[slot].push_request(arrival);
+}
+
+void SchedulerChip::push_tagged_request(SlotId slot, Deadline tag,
+                                        Arrival arrival) {
+  assert(slot < slots_.size());
+  assert(slots_[slot].config().mode == SlotMode::kFairTag);
+  // Tags live in the on-card SRAM / block-RAM per-stream queues; the head
+  // tag is loaded into the Register Base block's deadline field.
+  if (slots_[slot].backlog() == 0 && tag_fifos_[slot].empty()) {
+    slots_[slot].set_deadline(tag);
+  } else {
+    tag_fifos_[slot].push_back(tag);
+  }
+  slots_[slot].push_request(arrival);
+}
+
+DecisionOutcome SchedulerChip::execute_decision() {
+  DecisionOutcome out;
+
+  TraceRecord trace;
+  if (tracer_) {
+    trace.decision_cycle = control_.decision_cycles();
+    trace.vtime_start = vtime_;
+  }
+
+  // LOAD: Register Base blocks drive their attribute words onto the lanes.
+  std::vector<AttrWord> attrs;
+  attrs.reserve(slots_.size());
+  bool any_pending = false;
+  for (const RegisterBlock& rb : slots_) {
+    attrs.push_back(rb.attrs());
+    any_pending = any_pending || rb.backlog() > 0;
+  }
+  if (!any_pending) {
+    out.idle = true;
+    if (tracer_) {
+      trace.idle = true;
+      tracer_->record(std::move(trace));
+    }
+    return out;
+  }
+  if (tracer_) trace.loaded = attrs;
+
+  // SCHEDULE: log2(N) (or schedule-specific) network passes.
+  network_.load(attrs);
+  network_.run_all();
+  last_block_.assign(network_.lanes().begin(), network_.lanes().end());
+
+  // Grant selection.
+  if (!cfg_.block_mode) {
+    // WR / max-finding: the tournament leaves the winner in lane 0; the
+    // pending-only rule guarantees it is backlogged when any slot is.
+    const SlotId w = network_.winner().id;
+    out.circulated = w;
+    out.grants.push_back({w, vtime_, false});
+  } else {
+    // BA / block decisions: grant every backlogged slot, one frame each,
+    // emitted in block order — from the head in max-first mode, from the
+    // tail in min-first mode.
+    std::vector<SlotId> pending_lanes;
+    for (const AttrWord& w : network_.lanes()) {
+      if (w.pending) pending_lanes.push_back(w.id);
+    }
+    if (cfg_.min_first) {
+      out.circulated = pending_lanes.back();
+      for (auto it = pending_lanes.rbegin(); it != pending_lanes.rend();
+           ++it) {
+        out.grants.push_back(
+            {*it, vtime_ + out.grants.size(), false});
+      }
+    } else {
+      out.circulated = pending_lanes.front();
+      for (SlotId s : pending_lanes) {
+        out.grants.push_back({s, vtime_ + out.grants.size(), false});
+      }
+    }
+  }
+
+  // PRIORITY_UPDATE: granted slots apply the service path (the circulated
+  // one additionally gets the winner window adjustment); every other slot
+  // concurrently runs the local deadline-miss check.
+  std::vector<bool> granted(slots_.size(), false);
+  for (Grant& g : out.grants) {
+    granted[g.slot] = true;
+    const bool circulated = out.circulated && *out.circulated == g.slot;
+    g.met_deadline = slots_[g.slot].service_update(g.emit_vtime, circulated);
+    ++frames_granted_;
+    // Fair-queuing slots: load the next packet's service tag.
+    if (slots_[g.slot].config().mode == SlotMode::kFairTag) {
+      auto& fifo = tag_fifos_[g.slot];
+      if (!fifo.empty()) {
+        slots_[g.slot].set_deadline(fifo.front());
+        fifo.erase(fifo.begin());
+      }
+    }
+  }
+  const std::uint64_t cycle_end = vtime_ + out.grants.size();
+  for (unsigned s = 0; s < slots_.size(); ++s) {
+    if (granted[s]) continue;
+    if (slots_[s].miss_update(cycle_end).dropped) {
+      out.drops.push_back(static_cast<SlotId>(s));
+    }
+  }
+
+  vtime_ += out.grants.size();
+
+  if (tracer_) {
+    trace.block = last_block_;
+    trace.circulated = out.circulated;
+    for (const Grant& g : out.grants) trace.grants.push_back(g.slot);
+    trace.drops = out.drops;
+    trace.hw_cycles = control_.sustained_cycles_per_decision();
+    tracer_->record(std::move(trace));
+  }
+  return out;
+}
+
+DecisionOutcome SchedulerChip::run_decision_cycle() {
+  // Tick the Control & Steering FSM through one full decision; the
+  // datapath work happens at the UPDATE-apply boundary.  (The network
+  // passes were already executed functionally inside execute_decision();
+  // the per-pass actions keep the hardware-cycle accounting faithful.)
+  DecisionOutcome out;
+  bool executed = false;
+  const std::uint64_t start_cycles = control_.hw_cycles();
+  for (;;) {
+    const ControlUnit::Action a = control_.tick();
+    if (a == ControlUnit::Action::kUpdateApply && !executed) {
+      out = execute_decision();
+      executed = true;
+    }
+    if (a == ControlUnit::Action::kDecisionDone) break;
+  }
+  assert(executed);  // the FSM emits exactly one kUpdateApply per decision
+  if (out.idle) vtime_ += 1;  // an idle decision cycle still burns a packet-time
+  out.hw_cycles = control_.hw_cycles() - start_cycles;
+  return out;
+}
+
+void SchedulerChip::run_decision_cycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) run_decision_cycle();
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,143 @@
+// scheduler_chip.hpp — top level of the ShareStreams FPGA scheduler.
+//
+// Composes N Register Base blocks, the N/2-Decision-block recirculating
+// shuffle-exchange network, and the Control & Steering unit into the
+// complete scheduler of Figure 4.  The chip runs in one of two
+// architectural configurations (the paper's first tradeoff):
+//
+//   * WR (max-finding / winner-only routing): each decision cycle selects
+//     the single highest-priority backlogged slot and grants one frame.
+//   * BA (Base Architecture / block decisions): each decision cycle orders
+//     ALL slots; the resulting *block* is granted in a single link
+//     transaction — max-first emits the block highest-priority-first,
+//     min-first from the other end of the lane array.  One slot ID is
+//     circulated for the winner window adjustment: the block head in
+//     max-first mode, the block tail in min-first mode (Section 5.1).
+//
+// Virtual time (`vtime`) is measured in packet-times: a WR decision cycle
+// occupies one packet-time on the link, a block decision cycle occupies
+// one packet-time per granted frame.  Request periods are expressed in the
+// same unit, so "requested every decision cycle" (Table 3) means
+// period = 1 in WR mode and period = N in block mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/control_unit.hpp"
+#include "hw/fields.hpp"
+#include "hw/register_block.hpp"
+#include "hw/shuffle.hpp"
+#include "hw/trace.hpp"
+
+namespace ss::hw {
+
+struct ChipConfig {
+  unsigned slots = 4;  ///< power of two, 2..32 (5-bit stream IDs)
+  ComparisonMode cmp_mode = ComparisonMode::kDwcsFull;
+  bool block_mode = false;  ///< BA block decisions vs WR max-finding
+  bool min_first = false;   ///< block emission/circulation from the tail
+  SortSchedule schedule = SortSchedule::kPerfectShuffle;
+  /// Section-6 extension: compute-ahead Register Base blocks precompute
+  /// both candidate next states under predication, so PRIORITY_UPDATE
+  /// commits in a single cycle (timing-only: results are bit-identical).
+  bool compute_ahead = false;
+  ControlTiming timing{};
+};
+
+/// One granted frame within a decision cycle.
+struct Grant {
+  SlotId slot;
+  std::uint64_t emit_vtime;  ///< packet-time at which the frame leaves
+  bool met_deadline;
+};
+
+/// Result of one completed decision cycle.
+struct DecisionOutcome {
+  bool idle = false;               ///< no slot had a backlogged request
+  std::optional<SlotId> circulated;///< ID sent through PRIORITY_UPDATE
+  std::vector<Grant> grants;       ///< emission order (size 1 in WR mode)
+  std::vector<SlotId> drops;       ///< droppable slots whose late head was
+                                   ///< discarded this cycle (systems
+                                   ///< software must drop the host frame)
+  std::uint64_t hw_cycles = 0;     ///< hardware cycles this decision took
+};
+
+class SchedulerChip {
+ public:
+  explicit SchedulerChip(const ChipConfig& cfg);
+
+  /// LOAD a stream-slot's configuration (systems software writes the
+  /// service constraints into the SRAM partition; the control unit latches
+  /// them into the Register Base block).
+  void load_slot(SlotId slot, const SlotConfig& cfg);
+
+  /// New request for a slot (arrival-time offset from the Stream
+  /// processor).  Defaults the 16-bit arrival stamp to the current vtime.
+  void push_request(SlotId slot);
+  void push_request(SlotId slot, Arrival arrival);
+
+  /// Fair-queuing mapping: per-packet service tag accompanies the request
+  /// (the slot's deadline field tracks the head packet's tag).
+  void push_tagged_request(SlotId slot, Deadline tag, Arrival arrival);
+
+  /// Run one complete decision cycle (ticks the FSM until the boundary).
+  DecisionOutcome run_decision_cycle();
+
+  /// Run `n` decision cycles, discarding the outcomes (counters persist).
+  void run_decision_cycles(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t vtime() const { return vtime_; }
+  [[nodiscard]] std::uint64_t hw_cycles() const { return control_.hw_cycles(); }
+  [[nodiscard]] std::uint64_t decision_cycles() const {
+    return control_.decision_cycles();
+  }
+  [[nodiscard]] std::uint64_t frames_granted() const { return frames_granted_; }
+
+  [[nodiscard]] const RegisterBlock& slot(SlotId s) const { return slots_[s]; }
+  [[nodiscard]] const ChipConfig& config() const { return cfg_; }
+  [[nodiscard]] const ControlUnit& control() const { return control_; }
+
+  /// The block produced by the most recent non-idle decision cycle, in
+  /// lane order (lane 0 = highest priority).  Empty before the first one.
+  [[nodiscard]] const std::vector<AttrWord>& last_block() const {
+    return last_block_;
+  }
+
+  /// Effective request period for "one request per decision cycle"
+  /// workloads: 1 in WR mode, N in block mode (see header comment).
+  [[nodiscard]] std::uint16_t period_per_decision_cycle() const {
+    return static_cast<std::uint16_t>(cfg_.block_mode ? cfg_.slots : 1);
+  }
+
+  /// Attach a decision-cycle tracer (nullptr detaches).  Tracing records
+  /// lane contents before and after the SCHEDULE passes plus the grant
+  /// and drop vectors — the simulator's waveform view.
+  void attach_tracer(Tracer* t) { tracer_ = t; }
+
+  /// Switching-activity proxy: compare-exchange swaps executed by the
+  /// network so far (BA vs WR dynamic-power comparison).
+  [[nodiscard]] std::uint64_t network_swaps() const {
+    return network_.total_swaps();
+  }
+  [[nodiscard]] std::uint64_t network_comparisons() const {
+    return network_.total_comparisons();
+  }
+
+ private:
+  DecisionOutcome execute_decision();
+
+  ChipConfig cfg_;
+  std::vector<RegisterBlock> slots_;
+  ShuffleNetwork network_;
+  ControlUnit control_;
+  std::uint64_t vtime_ = 0;
+  std::uint64_t frames_granted_ = 0;
+  std::vector<AttrWord> last_block_;
+  // Fair-queuing per-slot tag queues (head tag drives the deadline field).
+  std::vector<std::vector<Deadline>> tag_fifos_;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace ss::hw

@@ -1,0 +1,132 @@
+#include "hw/shuffle.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace ss::hw {
+
+unsigned schedule_passes(SortSchedule s, unsigned n) {
+  const unsigned k = log2_ceil(n);
+  switch (s) {
+    case SortSchedule::kPerfectShuffle:
+      return k;
+    case SortSchedule::kBitonic:
+      return k * (k + 1) / 2;
+    case SortSchedule::kOddEven:
+      return n;
+  }
+  return k;
+}
+
+ShuffleNetwork::ShuffleNetwork(unsigned slots, SortSchedule schedule,
+                               ComparisonMode mode)
+    : slots_(slots), mode_(mode), lanes_(slots) {
+  assert(is_pow2(slots) && slots >= 2 && slots <= kMaxSlots);
+  build_schedule(schedule);
+  total_passes_ = static_cast<unsigned>(schedule_pairs_.size());
+}
+
+void ShuffleNetwork::build_schedule(SortSchedule s) {
+  const unsigned n = slots_;
+  schedule_pairs_.clear();
+  switch (s) {
+    case SortSchedule::kPerfectShuffle: {
+      // log2(N) passes of the shuffle-exchange interconnect.  A k-pass
+      // recirculating shuffle-exchange is topologically an Omega network,
+      // whose in-place equivalent is the butterfly: on pass p the Decision
+      // blocks compare lanes whose indices differ in bit (k-1-p), winner to
+      // the lower lane.  The max-priority stream therefore wins a path down
+      // the implicit binary tree and lands in lane 0 after k passes — the
+      // tournament property the WR configuration relies on.
+      const unsigned k = log2_ceil(n);
+      for (unsigned p = 0; p < k; ++p) {
+        const unsigned bit = 1u << (k - 1 - p);
+        std::vector<PairSpec> pairs;
+        pairs.reserve(n / 2);
+        for (unsigned i = 0; i < n; ++i) {
+          if ((i & bit) == 0) pairs.push_back({i, i | bit, false});
+        }
+        schedule_pairs_.push_back(std::move(pairs));
+      }
+      break;
+    }
+    case SortSchedule::kBitonic: {
+      // Batcher's bitonic network.  `descending` flips the comparator so
+      // the merged sequences interleave correctly; after all passes lane 0
+      // holds the highest-priority stream.
+      for (unsigned span = 2; span <= n; span <<= 1) {
+        for (unsigned j = span >> 1; j > 0; j >>= 1) {
+          std::vector<PairSpec> pairs;
+          pairs.reserve(n / 2);
+          for (unsigned i = 0; i < n; ++i) {
+            const unsigned l = i ^ j;
+            if (l > i) pairs.push_back({i, l, (i & span) != 0});
+          }
+          schedule_pairs_.push_back(std::move(pairs));
+        }
+      }
+      break;
+    }
+    case SortSchedule::kOddEven: {
+      for (unsigned p = 0; p < n; ++p) {
+        std::vector<PairSpec> pairs;
+        for (unsigned i = (p % 2); i + 1 < n; i += 2) {
+          pairs.push_back({i, i + 1, false});
+        }
+        schedule_pairs_.push_back(std::move(pairs));
+      }
+      break;
+    }
+  }
+}
+
+void ShuffleNetwork::load(std::span<const AttrWord> words) {
+  assert(words.size() == lanes_.size());
+  for (unsigned i = 0; i < slots_; ++i) lanes_[i] = words[i];
+  pass_ = 0;
+}
+
+unsigned ShuffleNetwork::step() {
+  assert(pass_ < total_passes_);
+  const auto& pairs = schedule_pairs_[pass_];
+  unsigned swaps = 0;
+  // All Decision blocks fire concurrently: read both operands of every
+  // pair before writing any result, exactly like registered outputs.
+  for (const PairSpec& p : pairs) {
+    const AttrWord a = lanes_[p.lo];
+    const AttrWord b = lanes_[p.hi];
+    const bool a_wins = decide(a, b, mode_).a_wins;
+    const bool swap = p.descending ? a_wins : !a_wins;
+    if (swap) {
+      lanes_[p.lo] = b;
+      lanes_[p.hi] = a;
+      ++swaps;
+    }
+  }
+  total_comparisons_ += pairs.size();
+  total_swaps_ += swaps;
+  ++pass_;
+  return swaps;
+}
+
+void ShuffleNetwork::run_all() {
+  while (!done()) step();
+}
+
+void ShuffleNetwork::reset() { pass_ = 0; }
+
+AttrWord tournament_max(std::span<const AttrWord> words, ComparisonMode mode,
+                        unsigned* cmp_count) {
+  assert(!words.empty());
+  unsigned cmps = 0;
+  AttrWord best = words[0];
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    best = order(best, words[i], mode).winner;
+    ++cmps;
+  }
+  if (cmp_count) *cmp_count = cmps;
+  return best;
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,125 @@
+// shuffle.hpp — the recirculating shuffle-exchange network.
+//
+// The ShareStreams fabric arranges N/2 Decision blocks in a SINGLE stage.
+// Each SCHEDULE pass the Control & Steering muxes route the N attribute
+// words through the perfect-shuffle interconnect into the Decision blocks,
+// which compare-exchange each adjacent pair; log2(N) passes complete one
+// decision cycle.  This conserves area versus a Decision-block tree (which
+// needs N-1 blocks and cannot be pipelined when priorities update every
+// decision cycle — Section 4.3).
+//
+// Two architectural configurations (the paper's central tradeoff):
+//   * BA  (Base Architecture)   — winners AND losers are routed, so after
+//     the passes the network holds an ordered *block* of all N streams.
+//   * WR  (winner-only routing) — only winners propagate; after log2(N)
+//     passes the single max-priority stream is available (max-finding).
+//
+// IMPORTANT FIDELITY NOTE.  log2(N) shuffle-exchange passes are a correct
+// *max-finding* network (tournament property: the true maximum survives
+// every comparison it enters), but NOT a full sorting network — bitonic
+// sort needs log2N*(log2N+1)/2 passes.  We implement the paper's schedule
+// verbatim, and additionally provide a bitonic schedule (full sort) and
+// odd-even transposition (N passes) as configurable extensions; the
+// ablation bench quantifies how sorted the paper-schedule block really is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/decision_block.hpp"
+#include "hw/fields.hpp"
+
+namespace ss::hw {
+
+/// Pairing schedule the Control & Steering unit programs into the muxes.
+enum class SortSchedule : std::uint8_t {
+  kPerfectShuffle,  ///< the paper's schedule: log2(N) shuffle-exchange passes
+  kBitonic,         ///< Batcher bitonic merge-exchange: full sort, O(log^2 N)
+  kOddEven,         ///< odd-even transposition: full sort, N passes
+};
+
+/// Number of passes a schedule takes for n slots (n a power of two >= 2).
+[[nodiscard]] unsigned schedule_passes(SortSchedule s, unsigned n);
+
+/// One compare-exchange pass of the single-stage network.
+/// `pairing[i]` gives, for decision block i, the two lane indices it
+/// compares this pass.  After the call the winner occupies the lower lane.
+struct PairSpec {
+  unsigned lo, hi;
+  bool descending = false;  ///< bitonic passes flip some comparators
+};
+
+/// The recirculating network itself.  Holds N lanes of attribute words and
+/// steps them through the configured schedule.  The object is reused every
+/// decision cycle; `load()` corresponds to the Register Base blocks driving
+/// their attribute buses.
+class ShuffleNetwork {
+ public:
+  ShuffleNetwork(unsigned slots, SortSchedule schedule, ComparisonMode mode);
+
+  /// Drive slot attribute words onto the lanes (lane i <- words[i]).
+  void load(std::span<const AttrWord> words);
+
+  /// Run one pass (one hardware cycle of the SCHEDULE state).  Returns the
+  /// number of decision blocks that swapped their operands this pass (used
+  /// by tests and by the activity-based power proxy in the area model).
+  unsigned step();
+
+  /// Run all remaining passes of the decision cycle.
+  void run_all();
+
+  /// True once the schedule's passes have all executed.
+  [[nodiscard]] bool done() const { return pass_ == total_passes_; }
+
+  [[nodiscard]] unsigned passes_executed() const { return pass_; }
+  [[nodiscard]] unsigned total_passes() const { return total_passes_; }
+  [[nodiscard]] unsigned slots() const { return slots_; }
+
+  /// Lane contents after the executed passes.  With the BA configuration
+  /// this is the *block*: lane 0 holds the max-priority stream.
+  [[nodiscard]] std::span<const AttrWord> lanes() const { return lanes_; }
+
+  /// Max-finding result (lane 0).  Valid once done().
+  [[nodiscard]] const AttrWord& winner() const { return lanes_[0]; }
+
+  /// The pairings used for a given pass (exposed for the steering-logic
+  /// tests: the mux programming must be a perfect matching every pass).
+  [[nodiscard]] const std::vector<PairSpec>& pairings(unsigned pass) const {
+    return schedule_pairs_[pass];
+  }
+
+  /// Cumulative compare-exchange swaps (lane buses that toggled).  A
+  /// proxy for dynamic switching activity: the BA configuration routes
+  /// loser buses too, so its activity per decision exceeds WR's — the
+  /// power side of the paper's area/clock tradeoff.
+  [[nodiscard]] std::uint64_t total_swaps() const { return total_swaps_; }
+  [[nodiscard]] std::uint64_t total_comparisons() const {
+    return total_comparisons_;
+  }
+
+  /// Restart the pass counter for the next decision cycle.
+  void reset();
+
+ private:
+  void build_schedule(SortSchedule s);
+
+  unsigned slots_;
+  ComparisonMode mode_;
+  unsigned total_passes_ = 0;
+  unsigned pass_ = 0;
+  std::uint64_t total_swaps_ = 0;
+  std::uint64_t total_comparisons_ = 0;
+  std::vector<AttrWord> lanes_;
+  std::vector<std::vector<PairSpec>> schedule_pairs_;  // [pass][block]
+};
+
+/// Pure tournament max-finder used by the WR configuration: only winners
+/// are routed forward, so after log2(N) cycles a single stream remains.
+/// Returns the winning attribute word; `cmp_count` (optional) receives the
+/// number of comparisons performed (N-1, one per Decision block firing).
+[[nodiscard]] AttrWord tournament_max(std::span<const AttrWord> words,
+                                      ComparisonMode mode,
+                                      unsigned* cmp_count = nullptr);
+
+}  // namespace ss::hw

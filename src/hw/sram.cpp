@@ -1,0 +1,59 @@
+#include "hw/sram.hpp"
+
+namespace ss::hw {
+
+SramBank::SramBank(std::size_t words, Nanos ownership_switch_cost)
+    : mem_(words, 0), switch_cost_(ownership_switch_cost) {}
+
+Nanos SramBank::acquire(BankOwner who) {
+  if (owner_ == who) return Nanos{0};
+  owner_ = who;
+  ++switches_;
+  return switch_cost_;
+}
+
+void SramBank::check(BankOwner who, std::size_t addr) const {
+  if (who != owner_) {
+    throw std::logic_error("SramBank: access by non-owner (firmware gates "
+                           "the address bus; acquire() first)");
+  }
+  if (addr >= mem_.size()) {
+    throw std::out_of_range("SramBank: address beyond bank");
+  }
+}
+
+void SramBank::write(BankOwner who, std::size_t addr, std::uint32_t value) {
+  check(who, addr);
+  mem_[addr] = value;
+}
+
+std::uint32_t SramBank::read(BankOwner who, std::size_t addr) const {
+  check(who, addr);
+  return mem_[addr];
+}
+
+BankedSram::BankedSram(unsigned banks, std::size_t words_per_bank,
+                       Nanos ownership_switch_cost) {
+  banks_.reserve(banks);
+  for (unsigned i = 0; i < banks; ++i) {
+    banks_.emplace_back(words_per_bank, ownership_switch_cost);
+  }
+}
+
+std::uint64_t BankedSram::total_switches() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b.switches();
+  return n;
+}
+
+DualPortedSram::DualPortedSram(std::size_t words) : mem_(words, 0) {}
+
+void DualPortedSram::write(std::size_t addr, std::uint32_t value) {
+  mem_.at(addr) = value;
+}
+
+std::uint32_t DualPortedSram::read(std::size_t addr) const {
+  return mem_.at(addr);
+}
+
+}  // namespace ss::hw

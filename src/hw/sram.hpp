@@ -1,0 +1,93 @@
+// sram.hpp — on-card memory models.
+//
+// Two memory systems appear in the paper's realizations:
+//
+//   * Endsystem (Celoxica RC1000): an 8 MB SRAM organised as banks, each
+//     accessible by EITHER the host/PCI peer OR the FPGA at a time, with
+//     firmware arbitration.  "The SRAM bank ... needs to switch ownership
+//     between FPGA and Stream processor each time a transfer is made,
+//     which is generally the bottleneck for high-performance PCI
+//     transfers" (Section 5.2) — so the ownership-switch cost is a
+//     first-class parameter here.
+//   * Linecard (Figure 2): dual-ported SRAM between the switch fabric and
+//     the scheduler; both sides access concurrently, partitioned into an
+//     arrival-time region and a Stream-ID region.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace ss::hw {
+
+enum class BankOwner : std::uint8_t { kHost, kFpga };
+
+/// One arbitrated SRAM bank (word-addressable, 32-bit words).
+class SramBank {
+ public:
+  SramBank(std::size_t words, Nanos ownership_switch_cost);
+
+  /// Request ownership for `who`.  Returns the arbitration latency paid
+  /// (zero if `who` already owns the bank).  Counts switches.
+  [[nodiscard]] Nanos acquire(BankOwner who);
+
+  [[nodiscard]] BankOwner owner() const { return owner_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] std::size_t size_words() const { return mem_.size(); }
+
+  /// Accesses check ownership: the firmware gates the address bus, so a
+  /// non-owner access is a programming error (throws).
+  void write(BankOwner who, std::size_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read(BankOwner who, std::size_t addr) const;
+
+ private:
+  void check(BankOwner who, std::size_t addr) const;
+  std::vector<std::uint32_t> mem_;
+  BankOwner owner_ = BankOwner::kHost;
+  Nanos switch_cost_;
+  std::uint64_t switches_ = 0;
+};
+
+/// The RC1000's banked SRAM: independent banks so the Stream processor can
+/// fill one while the scheduler drains another ("providing concurrent
+/// accesses to the SRAM bank for the Stream processor and FPGA are crucial
+/// to providing high-performance").
+class BankedSram {
+ public:
+  BankedSram(unsigned banks, std::size_t words_per_bank,
+             Nanos ownership_switch_cost);
+
+  [[nodiscard]] SramBank& bank(unsigned i) { return banks_.at(i); }
+  [[nodiscard]] const SramBank& bank(unsigned i) const { return banks_.at(i); }
+  [[nodiscard]] unsigned bank_count() const {
+    return static_cast<unsigned>(banks_.size());
+  }
+  [[nodiscard]] std::uint64_t total_switches() const;
+
+ private:
+  std::vector<SramBank> banks_;
+};
+
+/// Dual-ported SRAM for the linecard realization: both ports access
+/// concurrently, no arbitration.  Partitioned into named regions.
+class DualPortedSram {
+ public:
+  explicit DualPortedSram(std::size_t words);
+
+  void write(std::size_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read(std::size_t addr) const;
+
+  /// Region bounds for the arrival-time and Stream-ID partitions (the
+  /// linecard writes arrivals into the first, the scheduler writes winner
+  /// IDs into the second).
+  [[nodiscard]] std::size_t arrival_base() const { return 0; }
+  [[nodiscard]] std::size_t id_base() const { return mem_.size() / 2; }
+  [[nodiscard]] std::size_t size_words() const { return mem_.size(); }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+};
+
+}  // namespace ss::hw

@@ -1,0 +1,56 @@
+#include "hw/streaming_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ss::hw {
+
+StreamingUnit::StreamingUnit(const StreamingUnitConfig& cfg, PciModel& pci,
+                             SramBank& bank, std::uint32_t streams)
+    : cfg_(cfg), pci_(pci), dma_(pci, bank), queues_(streams) {
+  assert(cfg_.low_watermark <= cfg_.card_queue_depth);
+}
+
+bool StreamingUnit::needs_refill(std::uint32_t stream) const {
+  assert(stream < queues_.size());
+  return queues_[stream].size() < cfg_.low_watermark;
+}
+
+std::size_t StreamingUnit::refill(std::uint32_t stream,
+                                  queueing::QueueManager& qm) {
+  assert(stream < queues_.size());
+  auto& q = queues_[stream];
+  const std::size_t room = cfg_.card_queue_depth - q.size();
+  if (room == 0) return 0;
+  const auto batch = qm.batch_arrivals(stream, room);
+  if (batch.empty()) return 0;
+
+  const std::size_t bytes = batch.size() * sizeof(std::uint16_t);
+  if (batch.size() >= cfg_.pull_threshold) {
+    // Bulk: program the DMA engine, assert pull-start, pay the bank
+    // ownership round-trip.
+    stats_.transfer_ns += count(dma_.pull_to_card(bytes));
+    ++stats_.pull_refills;
+  } else {
+    // Small: the Stream processor pushes the offsets with PIO writes.
+    stats_.transfer_ns += count(pci_.pio_write(bytes));
+    ++stats_.push_refills;
+  }
+  for (const std::uint16_t off : batch) q.push_back(off);
+  stats_.offsets_moved += batch.size();
+  return batch.size();
+}
+
+bool StreamingUnit::pop_arrival(std::uint32_t stream, std::uint16_t& out) {
+  assert(stream < queues_.size());
+  auto& q = queues_[stream];
+  if (q.empty()) {
+    ++stats_.underruns;
+    return false;
+  }
+  out = q.front();
+  q.pop_front();
+  return true;
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,75 @@
+// streaming_unit.hpp — the card's Streaming unit (Figure 3).
+//
+// "The Streaming unit keeps per-stream queues on the FPGA PCI card *full*
+// using a combination of push and pull transfers.  For small transfers,
+// the Stream processor can push arrival-times to the FPGA PCI card.  For
+// bulk-transfers, the Stream processor will set the DMA engine registers
+// and assert the pull-start line so that bank ownership can be arbitrated
+// between the Stream processor and the Scheduler hardware unit."
+//
+// Mechanically: each stream has a bounded on-card arrival-time queue
+// (block RAM for the head, SRAM bank for depth).  When a queue drains to
+// its low watermark the unit refills it from the host's pending arrivals
+// — by PIO push when few offsets are waiting, by DMA pull (with the bank
+// ownership round-trip) when a bulk batch is available.  Underruns (the
+// scheduler asking for an arrival the card doesn't have) are counted;
+// they are the symptom the watermark exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hw/dma.hpp"
+#include "hw/pci.hpp"
+#include "hw/sram.hpp"
+#include "queueing/queue_manager.hpp"
+#include "util/sim_time.hpp"
+
+namespace ss::hw {
+
+struct StreamingUnitConfig {
+  std::size_t card_queue_depth = 256;  ///< offsets per stream on the card
+  std::size_t low_watermark = 64;      ///< refill below this depth
+  std::size_t pull_threshold = 32;     ///< >= this many offsets -> DMA pull
+};
+
+struct StreamingStats {
+  std::uint64_t push_refills = 0;   ///< PIO transfers
+  std::uint64_t pull_refills = 0;   ///< DMA transfers
+  std::uint64_t offsets_moved = 0;
+  std::uint64_t underruns = 0;
+  std::uint64_t transfer_ns = 0;    ///< modeled bus time spent
+};
+
+class StreamingUnit {
+ public:
+  StreamingUnit(const StreamingUnitConfig& cfg, PciModel& pci,
+                SramBank& bank, std::uint32_t streams);
+
+  /// Below-watermark test (the refill trigger the systems software polls).
+  [[nodiscard]] bool needs_refill(std::uint32_t stream) const;
+
+  /// Refill `stream`'s card queue from the host QM's pending arrivals.
+  /// Chooses push vs pull by batch size, charges the modeled transfer
+  /// time, and returns the offsets actually moved.
+  std::size_t refill(std::uint32_t stream, queueing::QueueManager& qm);
+
+  /// Scheduler side: consume the next arrival offset (false = underrun).
+  bool pop_arrival(std::uint32_t stream, std::uint16_t& out);
+
+  [[nodiscard]] std::size_t depth(std::uint32_t stream) const {
+    return queues_[stream].size();
+  }
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+  [[nodiscard]] const StreamingUnitConfig& config() const { return cfg_; }
+
+ private:
+  StreamingUnitConfig cfg_;
+  PciModel& pci_;
+  DmaEngine dma_;
+  std::vector<std::deque<std::uint16_t>> queues_;
+  StreamingStats stats_;
+};
+
+}  // namespace ss::hw

@@ -1,0 +1,44 @@
+#include "hw/timing_model.hpp"
+
+#include "util/sim_time.hpp"
+
+namespace ss::hw {
+
+TimingModel::TimingModel(const AreaModel& area, ControlTiming timing,
+                         SortSchedule schedule)
+    : area_(area), timing_(timing), schedule_(schedule) {}
+
+TimingReport TimingModel::report(unsigned slots, ArchConfig arch,
+                                 bool block_scheduling) const {
+  ControlUnit cu(slots, schedule_passes(schedule_, slots), timing_);
+  TimingReport r{};
+  r.slots = slots;
+  r.arch = arch;
+  r.clock_mhz = area_.clock_mhz(slots, arch);
+  r.latency_cycles = cu.decision_latency_cycles();
+  r.sustained_cycles = cu.sustained_cycles_per_decision();
+  r.decision_latency_ns =
+      static_cast<double>(r.latency_cycles) * 1000.0 / r.clock_mhz;
+  r.decisions_per_sec =
+      r.clock_mhz * 1e6 / static_cast<double>(r.sustained_cycles);
+  r.frames_per_sec = r.decisions_per_sec *
+                     (block_scheduling ? static_cast<double>(slots) : 1.0);
+  return r;
+}
+
+bool TimingModel::feasible(unsigned slots, ArchConfig arch,
+                           bool block_scheduling, std::uint64_t frame_bytes,
+                           double line_gbps) const {
+  const TimingReport r = report(slots, arch, block_scheduling);
+  const double pt_ns = packet_time_ns(frame_bytes, line_gbps);
+  const double budget_ns =
+      block_scheduling ? pt_ns * static_cast<double>(slots) : pt_ns;
+  return r.decision_latency_ns <= budget_ns;
+}
+
+double TimingModel::required_rate(std::uint64_t frame_bytes,
+                                  double line_gbps) {
+  return 1e9 / packet_time_ns(frame_bytes, line_gbps);
+}
+
+}  // namespace ss::hw

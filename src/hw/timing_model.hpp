@@ -1,0 +1,63 @@
+// timing_model.hpp — packet-time feasibility analysis.
+//
+// Section 1: "Scheduling disciplines must be able to make a decision within
+// a packet-time (packet-length / line-speed) to maintain high link
+// utilization."  This model combines the cycle counts of the Control unit
+// with the clock rates of the area model and answers: can an N-slot design
+// in a given configuration keep up with a given frame size on a given link?
+//
+// Two figures of merit (DESIGN.md records the calibration):
+//   * decision latency — SCHEDULE + PRIORITY_UPDATE cycles only (the
+//     Figure-6 loop); this is what the paper's feasibility claims rest on;
+//   * sustained rate — includes the SRAM interface exchange of
+//     arrival-times and Stream IDs, optionally pipelined under the loop.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/area_model.hpp"
+#include "hw/control_unit.hpp"
+#include "hw/shuffle.hpp"
+
+namespace ss::hw {
+
+struct TimingReport {
+  unsigned slots;
+  ArchConfig arch;
+  double clock_mhz;
+  unsigned latency_cycles;        ///< schedule + update
+  unsigned sustained_cycles;      ///< incl. SRAM I/O (per decision)
+  double decision_latency_ns;
+  double decisions_per_sec;       ///< sustained
+  double frames_per_sec;          ///< x block size in BA block scheduling
+};
+
+class TimingModel {
+ public:
+  TimingModel(const AreaModel& area, ControlTiming timing,
+              SortSchedule schedule = SortSchedule::kPerfectShuffle);
+
+  [[nodiscard]] TimingReport report(unsigned slots, ArchConfig arch,
+                                    bool block_scheduling) const;
+
+  /// True iff the decision latency fits within one packet-time of
+  /// `frame_bytes` at `line_gbps` (WR), or within `block` packet-times
+  /// when block scheduling amortizes the decision over the block.
+  [[nodiscard]] bool feasible(unsigned slots, ArchConfig arch,
+                              bool block_scheduling,
+                              std::uint64_t frame_bytes,
+                              double line_gbps) const;
+
+  /// The scheduling rate (decisions/s) an application demands for N
+  /// streams of the given granularity at the given line rate — the
+  /// "required scheduling rate" axis of the Figure-1 framework.
+  [[nodiscard]] static double required_rate(std::uint64_t frame_bytes,
+                                            double line_gbps);
+
+ private:
+  const AreaModel& area_;
+  ControlTiming timing_;
+  SortSchedule schedule_;
+};
+
+}  // namespace ss::hw

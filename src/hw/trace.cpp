@@ -1,0 +1,66 @@
+#include "hw/trace.hpp"
+
+#include <cstdio>
+
+namespace ss::hw {
+
+void Tracer::record(TraceRecord r) {
+  records_.push_back(std::move(r));
+  if (depth_ != 0 && records_.size() > depth_) records_.pop_front();
+}
+
+std::string Tracer::render(const TraceRecord& r) {
+  char buf[96];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "#%llu vt=%llu ",
+                static_cast<unsigned long long>(r.decision_cycle),
+                static_cast<unsigned long long>(r.vtime_start));
+  out += buf;
+  if (r.idle) {
+    out += "idle\n";
+    return out;
+  }
+  out += "load[";
+  for (const AttrWord& w : r.loaded) {
+    std::snprintf(buf, sizeof buf, "%sS%u:D%u:%u/%u", w.pending ? "" : "~",
+                  w.id, w.deadline.raw(), w.loss_num, w.loss_den);
+    out += buf;
+    out += ' ';
+  }
+  if (!r.loaded.empty()) out.pop_back();
+  out += "] -> block[";
+  for (const AttrWord& w : r.block) {
+    std::snprintf(buf, sizeof buf, "S%u ", w.id);
+    out += buf;
+  }
+  if (!r.block.empty()) out.pop_back();
+  out += "]";
+  if (r.circulated) {
+    std::snprintf(buf, sizeof buf, " circ=S%u", *r.circulated);
+    out += buf;
+  }
+  out += " grants=[";
+  for (const SlotId s : r.grants) {
+    std::snprintf(buf, sizeof buf, "S%u ", s);
+    out += buf;
+  }
+  if (!r.grants.empty()) out.pop_back();
+  out += "] drops=[";
+  for (const SlotId s : r.drops) {
+    std::snprintf(buf, sizeof buf, "S%u ", s);
+    out += buf;
+  }
+  if (!r.drops.empty()) out.pop_back();
+  std::snprintf(buf, sizeof buf, "] (%llu cyc)\n",
+                static_cast<unsigned long long>(r.hw_cycles));
+  out += buf;
+  return out;
+}
+
+std::string Tracer::render_all() const {
+  std::string out;
+  for (const TraceRecord& r : records_) out += render(r);
+  return out;
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,74 @@
+#include "hwpq/binary_heap_pq.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hw/decision_block.hpp"
+#include "hw/register_block.hpp"
+#include "util/bitops.hpp"
+
+namespace ss::hwpq {
+
+BinaryHeapPq::BinaryHeapPq(std::size_t capacity) : cap_(capacity) {
+  heap_.reserve(capacity);
+}
+
+std::uint64_t BinaryHeapPq::levels() const {
+  return heap_.empty() ? 1 : log2_ceil(heap_.size() + 1);
+}
+
+void BinaryHeapPq::push(Entry e) {
+  if (heap_.size() >= cap_) throw std::length_error("BinaryHeapPq full");
+  // One read+compare+writeback pair of cycles per level traversed.
+  cycles_ += 2 * levels();
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+std::optional<Entry> BinaryHeapPq::pop_min() {
+  if (heap_.empty()) return std::nullopt;
+  cycles_ += 2 * levels();
+  const Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void BinaryHeapPq::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (heap_[p].key <= heap_[i].key) break;
+    std::swap(heap_[p], heap_[i]);
+    i = p;
+  }
+}
+
+void BinaryHeapPq::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && heap_[l].key < heap_[best].key) best = l;
+    if (r < n && heap_[r].key < heap_[best].key) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+std::uint64_t BinaryHeapPq::resort_cycles(std::size_t n) const {
+  // Bottom-up heapify with a single sequential comparator datapath:
+  // ~2 cycles of work per element (Floyd's bound) plus a log-depth drain.
+  return n == 0 ? 0 : 2 * n + 2 * log2_ceil(n + 1);
+}
+
+unsigned BinaryHeapPq::area_slices(std::size_t cap) const {
+  // Storage for every element plus ONE comparator datapath — the cheap,
+  // slow end of the design space.  Multi-attribute ordering still needs a
+  // full Decision block as that single comparator.
+  return static_cast<unsigned>(cap) * hw::kRegisterBlockSlices +
+         hw::kDecisionBlockSlices + 40 /* address/index logic */;
+}
+
+}  // namespace ss::hwpq

@@ -1,0 +1,39 @@
+// binary_heap_pq.hpp — conventional (non-pipelined) hardware binary heap.
+//
+// The baseline priority-queue structure: a RAM-resident array heap with a
+// single comparator datapath walking one tree level per pair of cycles
+// (read + compare/writeback).  Insert and extract each cost
+// 2*ceil(log2(n+1)) cycles and operations cannot overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwpq/pq_interface.hpp"
+
+namespace ss::hwpq {
+
+class BinaryHeapPq final : public HwPriorityQueue {
+ public:
+  explicit BinaryHeapPq(std::size_t capacity);
+
+  void push(Entry e) override;
+  std::optional<Entry> pop_min() override;
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const override { return cap_; }
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t resort_cycles(std::size_t n) const override;
+  [[nodiscard]] unsigned area_slices(std::size_t cap) const override;
+  [[nodiscard]] std::string name() const override { return "binary-heap"; }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] std::uint64_t levels() const;
+
+  std::size_t cap_;
+  std::vector<Entry> heap_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace ss::hwpq

@@ -1,0 +1,63 @@
+#include "hwpq/pipelined_heap_pq.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/decision_block.hpp"
+#include "hw/register_block.hpp"
+#include "util/bitops.hpp"
+
+namespace ss::hwpq {
+
+PipelinedHeapPq::PipelinedHeapPq(std::size_t capacity)
+    : cap_(capacity), depth_(log2_ceil(capacity + 1)) {
+  heap_.reserve(capacity);
+}
+
+void PipelinedHeapPq::account_op() {
+  // First op after a drain pays the fill latency; subsequent back-to-back
+  // ops land one per cycle.
+  if (ops_in_flight_window_ == 0) {
+    cycles_ += depth_;
+  } else {
+    cycles_ += 1;
+  }
+  ++ops_in_flight_window_;
+}
+
+void PipelinedHeapPq::push(Entry e) {
+  if (heap_.size() >= cap_) throw std::length_error("PipelinedHeapPq full");
+  account_op();
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) { return a.key > b.key; });
+}
+
+std::optional<Entry> PipelinedHeapPq::pop_min() {
+  if (heap_.empty()) {
+    ops_in_flight_window_ = 0;  // pipeline drains on an idle poll
+    return std::nullopt;
+  }
+  account_op();
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const Entry& a, const Entry& b) { return a.key > b.key; });
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+std::uint64_t PipelinedHeapPq::resort_cycles(std::size_t n) const {
+  // A global priority update invalidates every level; rebuilding streams n
+  // replacement operations through the pipeline: n + fill.
+  return n == 0 ? 0 : n + depth_;
+}
+
+unsigned PipelinedHeapPq::area_slices(std::size_t cap) const {
+  // Storage for every element plus one Decision-block comparator per
+  // pipeline LEVEL, plus per-level staging registers.
+  const unsigned levels = log2_ceil(cap + 1);
+  return static_cast<unsigned>(cap) * hw::kRegisterBlockSlices +
+         levels * (hw::kDecisionBlockSlices + 30);
+}
+
+}  // namespace ss::hwpq

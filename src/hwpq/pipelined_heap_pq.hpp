@@ -1,0 +1,46 @@
+// pipelined_heap_pq.hpp — pipelined heap in the style of Ioannou &
+// Katevenis (ICC 2001), reference [10] of the paper.
+//
+// One comparator stage per tree LEVEL, so successive operations overlap:
+// after the pipeline fills, the structure sustains one operation per
+// cycle with a latency of log2(capacity) cycles.  The cycle accounting
+// models exactly that: each op contributes 1 occupancy cycle, plus the
+// fill latency whenever the pipeline had drained.  The functional
+// behaviour is a correct min-heap (the pipelining changes timing, not
+// results, for the single-issuer usage the scheduler makes of it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwpq/pq_interface.hpp"
+
+namespace ss::hwpq {
+
+class PipelinedHeapPq final : public HwPriorityQueue {
+ public:
+  explicit PipelinedHeapPq(std::size_t capacity);
+
+  void push(Entry e) override;
+  std::optional<Entry> pop_min() override;
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const override { return cap_; }
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t resort_cycles(std::size_t n) const override;
+  [[nodiscard]] unsigned area_slices(std::size_t cap) const override;
+  [[nodiscard]] std::string name() const override { return "pipelined-heap"; }
+
+  /// Pipeline depth for the configured capacity.
+  [[nodiscard]] unsigned pipeline_depth() const { return depth_; }
+
+ private:
+  void account_op();
+
+  std::size_t cap_;
+  unsigned depth_;
+  std::vector<Entry> heap_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t ops_in_flight_window_ = 0;  ///< ops since last drain
+};
+
+}  // namespace ss::hwpq

@@ -1,0 +1,55 @@
+// pq_interface.hpp — common interface for the related-work hardware
+// priority-queue architectures (Section 3 of the paper).
+//
+// The paper argues that heaps, systolic queues and shift-register chains
+// cannot serve as a *unified canonical* scheduler architecture because
+// (1) each element would need a full multi-attribute Decision block, and
+// (2) window-constrained disciplines update priorities every decision
+// cycle, forcing a re-sort of the whole structure.  These models make that
+// argument quantitative: each structure is functionally correct (property
+// tested against std::priority_queue) and carries a cycle and area model
+// keyed to the same Virtex-I slice constants as the ShareStreams fabric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ss::hwpq {
+
+/// A queue entry: smaller key = higher priority (earlier deadline / lower
+/// service tag).  `id` identifies the stream/packet.
+struct Entry {
+  std::uint64_t key;
+  std::uint32_t id;
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+class HwPriorityQueue {
+ public:
+  virtual ~HwPriorityQueue() = default;
+
+  virtual void push(Entry e) = 0;
+  /// Remove and return the minimum-key entry (empty if the queue is).
+  virtual std::optional<Entry> pop_min() = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+
+  /// Hardware cycles consumed by all operations so far.
+  [[nodiscard]] virtual std::uint64_t cycles() const = 0;
+
+  /// Cycles to restore order after a global priority update touching all
+  /// `n` live entries — the per-decision-cycle cost a window-constrained
+  /// discipline would impose on this structure.
+  [[nodiscard]] virtual std::uint64_t resort_cycles(std::size_t n) const = 0;
+
+  /// Area in Virtex-I slices for the given capacity, assuming the same
+  /// per-element storage and comparator complexity as the ShareStreams
+  /// Register Base / Decision blocks (the apples-to-apples comparison the
+  /// paper's area argument requires).
+  [[nodiscard]] virtual unsigned area_slices(std::size_t cap) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ss::hwpq

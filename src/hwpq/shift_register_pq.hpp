@@ -1,0 +1,38 @@
+// shift_register_pq.hpp — shift-register-chain priority queue (the Moon,
+// Rexford & Shin structure, reference [18] of the paper).
+//
+// Every cell holds one entry and a comparator; a new entry is BROADCAST to
+// all cells simultaneously, each cell decides locally whether to keep its
+// entry, take the new one, or take its neighbour's, and the whole chain
+// shifts in a single cycle.  Insert and extract are genuinely one cycle,
+// but the broadcast bus plus a Decision block per cell make it the most
+// area- and wiring-hungry of the classic structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwpq/pq_interface.hpp"
+
+namespace ss::hwpq {
+
+class ShiftRegisterPq final : public HwPriorityQueue {
+ public:
+  explicit ShiftRegisterPq(std::size_t capacity);
+
+  void push(Entry e) override;
+  std::optional<Entry> pop_min() override;
+  [[nodiscard]] std::size_t size() const override { return cells_.size(); }
+  [[nodiscard]] std::size_t capacity() const override { return cap_; }
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t resort_cycles(std::size_t n) const override;
+  [[nodiscard]] unsigned area_slices(std::size_t cap) const override;
+  [[nodiscard]] std::string name() const override { return "shift-register"; }
+
+ private:
+  std::size_t cap_;
+  std::vector<Entry> cells_;  ///< ascending by key; front = min
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace ss::hwpq

@@ -1,0 +1,46 @@
+#include "hwpq/systolic_pq.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/decision_block.hpp"
+#include "hw/register_block.hpp"
+
+namespace ss::hwpq {
+
+SystolicPq::SystolicPq(std::size_t capacity) : cap_(capacity) {
+  cells_.reserve(capacity);
+}
+
+void SystolicPq::push(Entry e) {
+  if (cells_.size() >= cap_) throw std::length_error("SystolicPq full");
+  cycles_ += 1;  // head insertion; ripple overlaps subsequent cycles
+  const auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), e,
+      [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  cells_.insert(it, e);
+}
+
+std::optional<Entry> SystolicPq::pop_min() {
+  if (cells_.empty()) return std::nullopt;
+  cycles_ += 1;
+  const Entry top = cells_.front();
+  cells_.erase(cells_.begin());
+  return top;
+}
+
+std::uint64_t SystolicPq::resort_cycles(std::size_t n) const {
+  // After a global priority rewrite the array is unordered; the systolic
+  // ripple is an odd-even transposition sort over the cells: n cycles
+  // until the head is guaranteed correct again.
+  return n;
+}
+
+unsigned SystolicPq::area_slices(std::size_t cap) const {
+  // One entry register + one full Decision block per cell: the expensive,
+  // fast end of the design space.
+  return static_cast<unsigned>(cap) *
+         (hw::kRegisterBlockSlices + hw::kDecisionBlockSlices);
+}
+
+}  // namespace ss::hwpq

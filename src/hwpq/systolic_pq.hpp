@@ -1,0 +1,42 @@
+// systolic_pq.hpp — systolic-array priority queue.
+//
+// A linear array of cells, each holding one entry and a comparator.  New
+// entries enter at the head; every cycle each cell compares with its
+// neighbour and the larger key ripples one cell toward the tail.  The
+// head therefore always holds the minimum, giving O(1) *observed* insert
+// and extract latency (the ripple proceeds in the background), at the
+// cost of a comparator in EVERY cell — the area tradeoff the paper's
+// Section 3 calls out.
+//
+// The model keeps the array exactly sorted (the steady-state the systolic
+// ripple converges to between operations) and charges 1 cycle per
+// operation; `area_slices` charges a Decision block per cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwpq/pq_interface.hpp"
+
+namespace ss::hwpq {
+
+class SystolicPq final : public HwPriorityQueue {
+ public:
+  explicit SystolicPq(std::size_t capacity);
+
+  void push(Entry e) override;
+  std::optional<Entry> pop_min() override;
+  [[nodiscard]] std::size_t size() const override { return cells_.size(); }
+  [[nodiscard]] std::size_t capacity() const override { return cap_; }
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t resort_cycles(std::size_t n) const override;
+  [[nodiscard]] unsigned area_slices(std::size_t cap) const override;
+  [[nodiscard]] std::string name() const override { return "systolic"; }
+
+ private:
+  std::size_t cap_;
+  std::vector<Entry> cells_;  ///< ascending by key; front = min
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace ss::hwpq

@@ -1,0 +1,30 @@
+// frame.hpp — the unit of data movement on the Stream-processor side.
+//
+// ShareStreams never ships frame payloads to the FPGA — only 16-bit
+// arrival-time offsets go out and 5-bit Stream IDs come back (Figure 3).
+// The Frame descriptor is therefore host-side metadata: the payload stays
+// in the processor-memory subsystem until the Transmission Engine DMAs it
+// to the network.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::queueing {
+
+struct Frame {
+  std::uint32_t stream = 0;     ///< stream (or streamlet) index
+  std::uint32_t bytes = 1500;   ///< payload length
+  std::uint64_t arrival_ns = 0; ///< when the producer queued it
+  std::uint64_t seq = 0;        ///< per-stream sequence number
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// The 16-bit arrival-time offset actually communicated to the card:
+/// arrival time in units of `quantum_ns`, truncated to 16 bits (the
+/// hardware compares it serially, so wrap is fine within the horizon).
+[[nodiscard]] constexpr std::uint16_t arrival_offset(std::uint64_t arrival_ns,
+                                                     std::uint64_t quantum_ns) {
+  return static_cast<std::uint16_t>(arrival_ns / quantum_ns);
+}
+
+}  // namespace ss::queueing

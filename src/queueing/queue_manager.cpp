@@ -1,0 +1,62 @@
+#include "queueing/queue_manager.hpp"
+
+#include <cassert>
+
+namespace ss::queueing {
+
+QueueManager::QueueManager(std::uint64_t quantum_ns)
+    : quantum_ns_(quantum_ns == 0 ? 1 : quantum_ns) {}
+
+std::uint32_t QueueManager::add_stream(std::size_t ring_capacity) {
+  rings_.push_back(std::make_unique<SpscRing<Frame>>(ring_capacity));
+  stats_.emplace_back();
+  pending_arrivals_.emplace_back();
+  return static_cast<std::uint32_t>(rings_.size() - 1);
+}
+
+bool QueueManager::produce(std::uint32_t stream, const Frame& f) {
+  assert(stream < rings_.size());
+  if (!rings_[stream]->try_push(f)) {
+    ++stats_[stream].dropped_full;
+    return false;
+  }
+  ++stats_[stream].enqueued;
+  pending_arrivals_[stream].push_back(f.arrival_ns);
+  return true;
+}
+
+std::optional<Frame> QueueManager::consume(std::uint32_t stream) {
+  assert(stream < rings_.size());
+  Frame f;
+  if (!rings_[stream]->try_pop(f)) return std::nullopt;
+  ++stats_[stream].dequeued;
+  return f;
+}
+
+std::optional<Frame> QueueManager::peek(std::uint32_t stream) const {
+  assert(stream < rings_.size());
+  Frame f;
+  if (!rings_[stream]->try_peek(f)) return std::nullopt;
+  return f;
+}
+
+std::size_t QueueManager::depth(std::uint32_t stream) const {
+  assert(stream < rings_.size());
+  return rings_[stream]->size();
+}
+
+std::vector<std::uint16_t> QueueManager::batch_arrivals(std::uint32_t stream,
+                                                        std::size_t max) {
+  assert(stream < rings_.size());
+  auto& pend = pending_arrivals_[stream];
+  const std::size_t n = std::min(max, pend.size());
+  std::vector<std::uint16_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(arrival_offset(pend[i], quantum_ns_));
+  }
+  pend.erase(pend.begin(), pend.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+}  // namespace ss::queueing

@@ -1,0 +1,48 @@
+#include "queueing/red_queue.hpp"
+
+#include <algorithm>
+
+namespace ss::queueing {
+
+RedQueue::RedQueue(const RedConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {}
+
+double RedQueue::drop_probability() const {
+  if (avg_ < cfg_.min_threshold) return 0.0;
+  if (avg_ >= cfg_.max_threshold) return 1.0;
+  // Linear ramp min->max, then the count correction spreads drops evenly
+  // within a congestion epoch: p = p_b / (1 - count * p_b).
+  const double pb = cfg_.max_p * (avg_ - cfg_.min_threshold) /
+                    (cfg_.max_threshold - cfg_.min_threshold);
+  const double denom = 1.0 - static_cast<double>(since_last_drop_) * pb;
+  return denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+}
+
+bool RedQueue::enqueue(const Frame& f) {
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ +
+         cfg_.ewma_weight * static_cast<double>(q_.size());
+  if (q_.size() >= cfg_.capacity) {
+    ++tail_drops_;
+    since_last_drop_ = 0;
+    return false;
+  }
+  const double p = drop_probability();
+  if (p > 0.0 && rng_.chance(p)) {
+    ++early_drops_;
+    since_last_drop_ = 0;
+    return false;
+  }
+  ++since_last_drop_;
+  q_.push_back(f);
+  ++accepted_;
+  return true;
+}
+
+bool RedQueue::dequeue(Frame& out) {
+  if (q_.empty()) return false;
+  out = q_.front();
+  q_.pop_front();
+  return true;
+}
+
+}  // namespace ss::queueing

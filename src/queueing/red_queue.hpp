@@ -1,0 +1,57 @@
+// red_queue.hpp — Random Early Detection queue management.
+//
+// Section 5.2's industry comparison point (the Cisco GSR line card) pairs
+// its DRR scheduler with "Random Early Detect (RED) policies"; this is
+// that element for our per-stream queues: an EWMA of the queue depth
+// drives a drop probability that ramps linearly between a min and max
+// threshold, dropping early and randomly so TCP-like sources back off
+// before the queue overflows (and so drops are not synchronized across
+// flows).  Classic Floyd/Jacobson RED with the count-based probability
+// correction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "queueing/frame.hpp"
+#include "util/rng.hpp"
+
+namespace ss::queueing {
+
+struct RedConfig {
+  double min_threshold = 16;   ///< avg depth where early drops begin
+  double max_threshold = 48;   ///< avg depth where drop prob = max_p
+  double max_p = 0.1;          ///< drop probability at max_threshold
+  double ewma_weight = 0.02;   ///< w_q of the average-depth filter
+  std::size_t capacity = 64;   ///< hard tail-drop limit
+};
+
+class RedQueue {
+ public:
+  explicit RedQueue(const RedConfig& cfg, std::uint64_t seed = 1);
+
+  /// Offer a frame; false if dropped (early or tail), with the reason
+  /// split across the counters.
+  bool enqueue(const Frame& f);
+  [[nodiscard]] bool dequeue(Frame& out);
+
+  [[nodiscard]] std::size_t depth() const { return q_.size(); }
+  [[nodiscard]] double avg_depth() const { return avg_; }
+  [[nodiscard]] std::uint64_t early_drops() const { return early_drops_; }
+  [[nodiscard]] std::uint64_t tail_drops() const { return tail_drops_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  [[nodiscard]] double drop_probability() const;
+
+  RedConfig cfg_;
+  std::deque<Frame> q_;
+  double avg_ = 0.0;
+  int since_last_drop_ = 0;  ///< the "count" of the classic algorithm
+  Rng rng_;
+  std::uint64_t early_drops_ = 0;
+  std::uint64_t tail_drops_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace ss::queueing

@@ -1,0 +1,90 @@
+// spsc_ring.hpp — the paper's synchronization-free circular queue.
+//
+// "ShareStreams' per-stream queues are circular buffers with separate read
+// and write pointers for concurrent access, without any synchronization
+// needs.  This allows a producer to populate the per-stream queues, while
+// the Transmission Engine may concurrently transfer scheduled frames to
+// the network."  (Section 4.2.)
+//
+// This is the classic single-producer/single-consumer lock-free ring:
+// the producer owns the write index, the consumer owns the read index,
+// and acquire/release pairs order the payload writes against the index
+// publication.  Capacity is a power of two; one slot is sacrificed to
+// distinguish full from empty.  Cache-line padding keeps the two indices
+// from false-sharing — the modern statement of "separate read and write
+// pointers".
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace ss::queueing {
+
+// 64 bytes covers x86-64 and most AArch64 parts; a constant keeps the ABI
+// stable across translation units (GCC warns that the library value may
+// drift between compiler versions).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity-1.
+  explicit SpscRing(std::size_t capacity)
+      : buf_(next_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false (drops) when full — the Queue Manager
+  /// counts drops rather than blocking the producer thread.
+  bool try_push(const T& v) {
+    const std::size_t w = write_.load(std::memory_order_relaxed);
+    const std::size_t next = (w + 1) & mask_;
+    if (next == read_.load(std::memory_order_acquire)) return false;
+    buf_[w] = v;
+    write_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  bool try_pop(T& out) {
+    const std::size_t r = read_.load(std::memory_order_relaxed);
+    if (r == write_.load(std::memory_order_acquire)) return false;
+    out = buf_[r];
+    read_.store((r + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side peek without consuming (the scheduler reads head
+  /// attributes before committing to a grant).
+  bool try_peek(T& out) const {
+    const std::size_t r = read_.load(std::memory_order_relaxed);
+    if (r == write_.load(std::memory_order_acquire)) return false;
+    out = buf_[r];
+    return true;
+  }
+
+  /// Approximate size — exact when called from either endpoint's thread
+  /// between its own operations.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t w = write_.load(std::memory_order_acquire);
+    const std::size_t r = read_.load(std::memory_order_acquire);
+    return (w - r) & mask_;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size() - 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> read_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> write_{0};
+};
+
+}  // namespace ss::queueing

@@ -1,0 +1,78 @@
+#include "queueing/token_bucket.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ss::queueing {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, std::uint64_t burst_bytes)
+    : rate_(rate_bytes_per_sec > 0 ? rate_bytes_per_sec : 1.0),
+      burst_(burst_bytes == 0 ? 1 : burst_bytes),
+      tokens_(static_cast<double>(burst_)) {}
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  if (now_ns <= last_ns_) return;
+  tokens_ = std::min<double>(
+      static_cast<double>(burst_),
+      tokens_ + rate_ * static_cast<double>(now_ns - last_ns_) * 1e-9);
+  last_ns_ = now_ns;
+}
+
+double TokenBucket::tokens_at(std::uint64_t now_ns) const {
+  if (now_ns <= last_ns_) return tokens_;
+  return std::min<double>(
+      static_cast<double>(burst_),
+      tokens_ + rate_ * static_cast<double>(now_ns - last_ns_) * 1e-9);
+}
+
+bool TokenBucket::try_consume(std::uint32_t bytes, std::uint64_t now_ns) {
+  refill(now_ns);
+  if (tokens_ + 1e-9 < static_cast<double>(bytes)) return false;
+  tokens_ -= static_cast<double>(bytes);
+  return true;
+}
+
+std::uint64_t TokenBucket::conformance_time_ns(std::uint32_t bytes,
+                                               std::uint64_t now_ns) const {
+  // The bucket's clock may already be ahead of the caller's `now` (a
+  // shaper consuming at future conformance times); deficits are measured
+  // on the bucket's own timeline.
+  const std::uint64_t eff_now = std::max(now_ns, last_ns_);
+  const double have = tokens_at(eff_now);
+  if (have + 1e-9 >= static_cast<double>(bytes)) return eff_now;
+  const double deficit = static_cast<double>(bytes) - have;
+  return eff_now +
+         static_cast<std::uint64_t>(std::ceil(deficit / rate_ * 1e9));
+}
+
+PolicedProducer::PolicedProducer(QueueManager& qm, std::uint32_t stream,
+                                 const TokenBucket& bucket,
+                                 PolicerAction action)
+    : qm_(qm), stream_(stream), bucket_(bucket), action_(action) {}
+
+bool PolicedProducer::produce(Frame f) {
+  if (action_ == PolicerAction::kDrop) {
+    if (!bucket_.try_consume(f.bytes, f.arrival_ns)) {
+      ++drops_;
+      return false;
+    }
+    return qm_.produce(stream_, f);
+  }
+  // Shaper: move the frame to its conformance time (never earlier than a
+  // previously shaped frame, so the stream stays in arrival order).
+  const std::uint64_t conform =
+      std::max(bucket_.conformance_time_ns(f.bytes, f.arrival_ns),
+               last_emit_ns_);
+  if (conform > f.arrival_ns) {
+    ++shaped_;
+    shaped_delay_ns_ += conform - f.arrival_ns;
+  }
+  const bool ok = bucket_.try_consume(f.bytes, conform);
+  assert(ok);
+  (void)ok;
+  f.arrival_ns = conform;
+  last_emit_ns_ = conform;
+  return qm_.produce(stream_, f);
+}
+
+}  // namespace ss::queueing

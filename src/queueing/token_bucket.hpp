@@ -1,0 +1,80 @@
+// token_bucket.hpp — per-stream ingress policing.
+//
+// Admission control hands out guarantees against DECLARED rates; a
+// misbehaving producer that exceeds its declaration would steal the
+// slack other streams' guarantees rely on.  The standard enforcement
+// element is the token bucket: tokens accrue at the declared rate up to a
+// burst ceiling, and a frame passes only if it can pay its size in
+// tokens.  `PolicedProducer` glues one bucket onto a Queue Manager stream
+// so an endsystem can police at the ring boundary, with both policing
+// actions available: DROP (policer) or DELAY until conformant (shaper).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "queueing/queue_manager.hpp"
+
+namespace ss::queueing {
+
+class TokenBucket {
+ public:
+  /// `rate_bytes_per_sec` refill rate; `burst_bytes` bucket depth (also
+  /// the initial fill, so a conformant burst passes at t=0).
+  TokenBucket(double rate_bytes_per_sec, std::uint64_t burst_bytes);
+
+  /// Can a frame of `bytes` pass at time `now_ns`?  If yes, the tokens
+  /// are consumed.
+  bool try_consume(std::uint32_t bytes, std::uint64_t now_ns);
+
+  /// Earliest time a frame of `bytes` would conform (now if it already
+  /// does).  Does not consume.
+  [[nodiscard]] std::uint64_t conformance_time_ns(std::uint32_t bytes,
+                                                  std::uint64_t now_ns) const;
+
+  [[nodiscard]] double tokens_at(std::uint64_t now_ns) const;
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] std::uint64_t burst() const { return burst_; }
+
+ private:
+  void refill(std::uint64_t now_ns);
+  double rate_;          ///< bytes per second
+  std::uint64_t burst_;  ///< bucket depth in bytes
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+};
+
+/// Policing modes at the ring boundary.
+enum class PolicerAction : std::uint8_t {
+  kDrop,   ///< non-conformant frames are discarded (policer)
+  kDelay,  ///< non-conformant frames are stamped out to conformance (shaper)
+};
+
+class PolicedProducer {
+ public:
+  PolicedProducer(QueueManager& qm, std::uint32_t stream,
+                  const TokenBucket& bucket, PolicerAction action);
+
+  /// Offer a frame.  kDrop: false and a counter when non-conformant.
+  /// kDelay: the frame's arrival time is pushed to its conformance time
+  /// (the shaper's added delay is visible downstream in the QoS monitor).
+  bool produce(Frame f);
+
+  [[nodiscard]] std::uint64_t policed_drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t shaped_frames() const { return shaped_; }
+  [[nodiscard]] std::uint64_t shaped_delay_ns() const {
+    return shaped_delay_ns_;
+  }
+
+ private:
+  QueueManager& qm_;
+  std::uint32_t stream_;
+  TokenBucket bucket_;
+  PolicerAction action_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t shaped_ = 0;
+  std::uint64_t shaped_delay_ns_ = 0;
+  std::uint64_t last_emit_ns_ = 0;  ///< keeps shaped arrivals monotone
+};
+
+}  // namespace ss::queueing

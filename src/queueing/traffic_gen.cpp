@@ -1,0 +1,85 @@
+#include "queueing/traffic_gen.hpp"
+
+#include <cassert>
+
+namespace ss::queueing {
+
+std::vector<Frame> TrafficGen::generate(std::uint32_t stream, std::size_t n,
+                                        std::uint32_t bytes,
+                                        std::uint64_t seq0) {
+  std::vector<Frame> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Frame f;
+    f.stream = stream;
+    f.bytes = next_bytes(bytes);
+    f.arrival_ns = next_arrival_ns();
+    f.seq = seq0 + i;
+    out.push_back(f);
+  }
+  return out;
+}
+
+TraceGen::TraceGen(std::vector<std::uint64_t> arrivals_ns)
+    : trace_(std::move(arrivals_ns)) {
+  assert(!trace_.empty());
+  for (std::size_t i = 1; i < trace_.size(); ++i) {
+    assert(trace_[i] >= trace_[i - 1]);
+  }
+  if (trace_.size() >= 2) {
+    tail_gap_ = trace_.back() - trace_[trace_.size() - 2];
+    if (tail_gap_ == 0) tail_gap_ = 1;
+  }
+  last_ = trace_.back();
+}
+
+std::uint64_t TraceGen::next_arrival_ns() {
+  if (pos_ < trace_.size()) return trace_[pos_++];
+  last_ += tail_gap_;
+  return last_;
+}
+
+MpegGen::MpegGen(std::uint64_t frame_period_ns, const Gop& gop,
+                 std::uint64_t seed, std::uint64_t start_ns)
+    : period_(frame_period_ns == 0 ? 1 : frame_period_ns),
+      gop_(gop),
+      rng_(seed),
+      next_(start_ns),
+      gop_len_((1 + gop.p_per_gop) * (1 + gop.b_per_anchor)) {}
+
+std::uint64_t MpegGen::next_arrival_ns() {
+  const std::uint64_t t = next_;
+  next_ += period_;
+  return t;
+}
+
+std::uint32_t MpegGen::base_size(unsigned pos_in_gop) const {
+  // Layout per anchor group: anchor frame then b_per_anchor B frames; the
+  // first anchor of the GOP is the I frame, the rest are P frames.
+  const unsigned group = 1 + gop_.b_per_anchor;
+  const unsigned anchor_index = pos_in_gop / group;
+  const bool is_anchor = (pos_in_gop % group) == 0;
+  if (!is_anchor) return gop_.b_bytes;
+  return anchor_index == 0 ? gop_.i_bytes : gop_.p_bytes;
+}
+
+std::uint32_t MpegGen::next_bytes(std::uint32_t /*default_bytes*/) {
+  const std::uint32_t base = base_size(pos_);
+  pos_ = (pos_ + 1) % gop_len_;
+  // Deterministic +-jitter around the nominal size.
+  const double f = 1.0 + gop_.jitter * (2.0 * rng_.uniform() - 1.0);
+  const auto b = static_cast<std::uint32_t>(static_cast<double>(base) * f);
+  return b == 0 ? 1 : b;
+}
+
+double MpegGen::mean_frame_bytes() const {
+  const unsigned group = 1 + gop_.b_per_anchor;
+  const unsigned anchors = 1 + gop_.p_per_gop;
+  const double total =
+      static_cast<double>(gop_.i_bytes) +
+      static_cast<double>(gop_.p_bytes) * gop_.p_per_gop +
+      static_cast<double>(gop_.b_bytes) * gop_.b_per_anchor * anchors;
+  return total / (anchors * group);
+}
+
+}  // namespace ss::queueing

@@ -1,0 +1,155 @@
+// traffic_gen.hpp — workload generators for the evaluation harness.
+//
+// Four sources cover every workload the paper's evaluation uses:
+//   * CBR — constant inter-arrival (the 64000-arrival-times-per-queue
+//     transfers behind Figures 8 and 10);
+//   * Bursty — back-to-back bursts separated by a multi-millisecond gap
+//     ("the traffic generator ... introduces a multi-ms inter-burst delay
+//     after the first 4000 frames", the zig-zag of Figure 9);
+//   * Poisson — exponential inter-arrivals for the property tests;
+//   * Trace — replay of an explicit arrival-time vector.
+// All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "queueing/frame.hpp"
+#include "util/rng.hpp"
+
+namespace ss::queueing {
+
+class TrafficGen {
+ public:
+  virtual ~TrafficGen() = default;
+
+  /// Arrival time (ns) of the next frame; non-decreasing.
+  virtual std::uint64_t next_arrival_ns() = 0;
+
+  /// Size of the next frame.  Constant-size generators return
+  /// `default_bytes`; variable-granularity sources (MPEG) override.
+  virtual std::uint32_t next_bytes(std::uint32_t default_bytes) {
+    return default_bytes;
+  }
+
+  /// Generate `n` frames for `stream`, with sequence numbers from `seq0`.
+  std::vector<Frame> generate(std::uint32_t stream, std::size_t n,
+                              std::uint32_t bytes, std::uint64_t seq0 = 0);
+};
+
+/// Constant bit rate: one frame every `interval_ns`.
+class CbrGen final : public TrafficGen {
+ public:
+  CbrGen(std::uint64_t interval_ns, std::uint64_t start_ns = 0)
+      : next_(start_ns), interval_(interval_ns) {}
+  std::uint64_t next_arrival_ns() override {
+    const std::uint64_t t = next_;
+    next_ += interval_;
+    return t;
+  }
+
+ private:
+  std::uint64_t next_;
+  std::uint64_t interval_;
+};
+
+/// Bursts of `burst_frames` back-to-back frames (spaced `intra_ns`),
+/// separated by `gap_ns` of silence.
+class BurstyGen final : public TrafficGen {
+ public:
+  BurstyGen(std::size_t burst_frames, std::uint64_t intra_ns,
+            std::uint64_t gap_ns, std::uint64_t start_ns = 0)
+      : burst_(burst_frames == 0 ? 1 : burst_frames),
+        intra_(intra_ns),
+        gap_(gap_ns),
+        next_(start_ns) {}
+  std::uint64_t next_arrival_ns() override {
+    const std::uint64_t t = next_;
+    ++in_burst_;
+    if (in_burst_ >= burst_) {
+      in_burst_ = 0;
+      next_ += gap_;
+    } else {
+      next_ += intra_;
+    }
+    return t;
+  }
+
+ private:
+  std::size_t burst_;
+  std::uint64_t intra_, gap_;
+  std::uint64_t next_;
+  std::size_t in_burst_ = 0;
+};
+
+/// Poisson arrivals with the given mean inter-arrival time.
+class PoissonGen final : public TrafficGen {
+ public:
+  PoissonGen(double mean_interval_ns, std::uint64_t seed,
+             std::uint64_t start_ns = 0)
+      : mean_(mean_interval_ns), rng_(seed), next_(start_ns) {}
+  std::uint64_t next_arrival_ns() override {
+    const std::uint64_t t = next_;
+    next_ += static_cast<std::uint64_t>(rng_.exponential(mean_)) + 1;
+    return t;
+  }
+
+ private:
+  double mean_;
+  Rng rng_;
+  std::uint64_t next_;
+};
+
+/// Replay of an explicit, non-decreasing arrival-time vector; repeats the
+/// last inter-arrival gap if drained past the end.
+class TraceGen final : public TrafficGen {
+ public:
+  explicit TraceGen(std::vector<std::uint64_t> arrivals_ns);
+  std::uint64_t next_arrival_ns() override;
+
+ private:
+  std::vector<std::uint64_t> trace_;
+  std::size_t pos_ = 0;
+  std::uint64_t tail_gap_ = 1;
+  std::uint64_t last_ = 0;
+};
+
+/// MPEG-like variable-granularity source: one frame per frame period
+/// (e.g. 33 ms for 30 fps), sizes following a GOP pattern
+/// (I BB P BB P BB P BB...) with configurable I/P/B sizes and a small
+/// deterministic size jitter.  This is the Figure-1 granularity axis:
+/// "scheduling and serving MPEG frames (with larger granularity and
+/// larger packet-times than 1500-byte or 64-byte Ethernet frames) may not
+/// require a high scheduling rate."
+class MpegGen final : public TrafficGen {
+ public:
+  struct Gop {
+    std::uint32_t i_bytes = 60'000;
+    std::uint32_t p_bytes = 25'000;
+    std::uint32_t b_bytes = 8'000;
+    unsigned p_per_gop = 4;       ///< P frames between I frames
+    unsigned b_per_anchor = 2;    ///< B frames after each I/P
+    double jitter = 0.10;         ///< +-10% deterministic size variation
+  };
+
+  MpegGen(std::uint64_t frame_period_ns, const Gop& gop, std::uint64_t seed,
+          std::uint64_t start_ns = 0);
+
+  std::uint64_t next_arrival_ns() override;
+  std::uint32_t next_bytes(std::uint32_t default_bytes) override;
+
+  /// Mean bytes per frame of the configured GOP (for rate provisioning).
+  [[nodiscard]] double mean_frame_bytes() const;
+
+ private:
+  [[nodiscard]] std::uint32_t base_size(unsigned pos_in_gop) const;
+  std::uint64_t period_;
+  Gop gop_;
+  Rng rng_;
+  std::uint64_t next_;
+  unsigned gop_len_;
+  unsigned pos_ = 0;
+};
+
+}  // namespace ss::queueing

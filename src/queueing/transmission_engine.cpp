@@ -1,0 +1,29 @@
+#include "queueing/transmission_engine.hpp"
+
+namespace ss::queueing {
+
+std::optional<TxRecord> TransmissionEngine::transmit(std::uint32_t stream,
+                                                     std::uint64_t now_ns) {
+  const std::optional<Frame> f = qm_.consume(stream);
+  if (!f) {
+    ++spurious_;
+    return std::nullopt;
+  }
+  // A frame cannot leave before it arrived; the link may also still be
+  // serializing a predecessor.
+  const std::uint64_t ready = std::max(now_ns, f->arrival_ns);
+  const std::uint64_t departure = link_.transmit(f->bytes, ready);
+
+  if (stream >= bytes_per_stream_.size()) {
+    bytes_per_stream_.resize(stream + 1, 0);
+    frames_per_stream_.resize(stream + 1, 0);
+  }
+  bytes_per_stream_[stream] += f->bytes;
+  frames_per_stream_[stream] += 1;
+
+  TxRecord rec{stream, f->bytes, f->arrival_ns, departure};
+  if (record_) records_.push_back(rec);
+  return rec;
+}
+
+}  // namespace ss::queueing

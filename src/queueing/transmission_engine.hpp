@@ -1,0 +1,65 @@
+// transmission_engine.hpp — the TE of Figure 3.
+//
+// "Transmission Engine (TE) threads are responsible for enabling transfer
+// of packets in scheduled streams to the network (set DMA registers on NI
+// to enable DMA pulls)."  Given a scheduled Stream ID from the card, the
+// TE pops the head frame of that stream's queue and hands it to the link
+// model, recording per-frame queuing delay (departure - arrival), the
+// series Figures 8 and 9 are built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/link_model.hpp"
+#include "queueing/queue_manager.hpp"
+
+namespace ss::queueing {
+
+struct TxRecord {
+  std::uint32_t stream;
+  std::uint32_t bytes;
+  std::uint64_t arrival_ns;
+  std::uint64_t departure_ns;
+  [[nodiscard]] std::uint64_t delay_ns() const {
+    return departure_ns - arrival_ns;
+  }
+};
+
+class TransmissionEngine {
+ public:
+  TransmissionEngine(QueueManager& qm, LinkModel& link)
+      : qm_(qm), link_(link) {}
+
+  /// Transmit the head frame of `stream` at host time `now_ns`.
+  /// Returns the record, or nullopt if the queue was empty (a spurious
+  /// schedule — counted, since it indicates the card ran ahead of the QM).
+  std::optional<TxRecord> transmit(std::uint32_t stream, std::uint64_t now_ns);
+
+  /// Keep full per-frame records (memory-heavy; benches that only need
+  /// aggregates disable it and read the per-stream byte counters).
+  void set_record_frames(bool v) { record_ = v; }
+
+  [[nodiscard]] const std::vector<TxRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t spurious_schedules() const { return spurious_; }
+  [[nodiscard]] std::uint64_t bytes_sent(std::uint32_t stream) const {
+    return stream < bytes_per_stream_.size() ? bytes_per_stream_[stream] : 0;
+  }
+  [[nodiscard]] std::uint64_t frames_sent(std::uint32_t stream) const {
+    return stream < frames_per_stream_.size() ? frames_per_stream_[stream]
+                                              : 0;
+  }
+
+ private:
+  QueueManager& qm_;
+  LinkModel& link_;
+  bool record_ = true;
+  std::vector<TxRecord> records_;
+  std::vector<std::uint64_t> bytes_per_stream_;
+  std::vector<std::uint64_t> frames_per_stream_;
+  std::uint64_t spurious_ = 0;
+};
+
+}  // namespace ss::queueing

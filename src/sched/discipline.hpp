@@ -1,0 +1,39 @@
+// discipline.hpp — common interface for software packet schedulers.
+//
+// These are the processor-resident disciplines the paper's related work
+// measures software routers with (Deficit Round Robin from [5], Stochastic
+// Fairness Queuing from the Click comparison, WFQ from [6], plus FCFS /
+// static-priority / EDF reference points).  The Section-5.2 bench times
+// their per-packet pick cost on this host to stand beside the ShareStreams
+// endsystem numbers; fairness property tests validate each discipline's
+// defining invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ss::sched {
+
+struct Pkt {
+  std::uint32_t stream = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t seq = 0;  ///< global enqueue sequence (FCFS order)
+  friend bool operator==(const Pkt&, const Pkt&) = default;
+};
+
+class Discipline {
+ public:
+  virtual ~Discipline() = default;
+
+  virtual void enqueue(const Pkt& p) = 0;
+
+  /// Pick and remove the next packet to transmit at time `now_ns`.
+  virtual std::optional<Pkt> dequeue(std::uint64_t now_ns) = 0;
+
+  [[nodiscard]] virtual std::size_t backlog() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ss::sched

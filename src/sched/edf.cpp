@@ -1,0 +1,36 @@
+#include "sched/edf.hpp"
+
+#include <cassert>
+
+namespace ss::sched {
+
+void Edf::add_stream(std::uint32_t stream, std::uint64_t period_ns,
+                     std::uint64_t first_deadline_ns) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+  flows_[stream].period = period_ns == 0 ? 1 : period_ns;
+  flows_[stream].next_deadline = first_deadline_ns;
+}
+
+void Edf::enqueue(const Pkt& p) {
+  if (p.stream >= flows_.size()) flows_.resize(p.stream + 1);
+  Flow& f = flows_[p.stream];
+  f.q.emplace_back(p, f.next_deadline);
+  f.next_deadline += f.period;
+  ++backlog_;
+}
+
+std::optional<Pkt> Edf::dequeue(std::uint64_t now_ns) {
+  if (backlog_ == 0) return std::nullopt;
+  Flow* best = nullptr;
+  for (Flow& f : flows_) {
+    if (f.q.empty()) continue;
+    if (!best || f.q.front().second < best->q.front().second) best = &f;
+  }
+  auto [pkt, deadline] = best->q.front();
+  best->q.pop_front();
+  --backlog_;
+  if (deadline <= now_ns) ++misses_;  // late at-or-after the deadline
+  return pkt;
+}
+
+}  // namespace ss::sched

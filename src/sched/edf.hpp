@@ -1,0 +1,45 @@
+// edf.hpp — Earliest-Deadline-First over per-stream request periods.
+//
+// Software reference for the deadline-only end of the discipline spectrum
+// (Table 1 / Figure 1b: single-attribute comparison).  Each stream has a
+// request period; packet k of a stream carries deadline
+// first_deadline + k * period.  dequeue() scans backlogged streams for
+// the earliest head deadline — the O(N) pick whose cost motivates the
+// hardware offload.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/discipline.hpp"
+
+namespace ss::sched {
+
+class Edf final : public Discipline {
+ public:
+  /// Configure a stream's period and first deadline (ns).  Must be called
+  /// before the stream's first enqueue.
+  void add_stream(std::uint32_t stream, std::uint64_t period_ns,
+                  std::uint64_t first_deadline_ns);
+
+  void enqueue(const Pkt& p) override;
+  std::optional<Pkt> dequeue(std::uint64_t now_ns) override;
+
+  [[nodiscard]] std::size_t backlog() const override { return backlog_; }
+  [[nodiscard]] std::string name() const override { return "EDF"; }
+
+  [[nodiscard]] std::uint64_t deadline_misses() const { return misses_; }
+
+ private:
+  struct Flow {
+    std::deque<std::pair<Pkt, std::uint64_t>> q;  ///< (pkt, deadline)
+    std::uint64_t period = 1;
+    std::uint64_t next_deadline = 0;
+  };
+  std::vector<Flow> flows_;
+  std::size_t backlog_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ss::sched

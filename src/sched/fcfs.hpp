@@ -1,0 +1,30 @@
+// fcfs.hpp — First-Come-First-Serve, the strawman of Section 1: it "will
+// easily allow bandwidth-hog streams to flow through, while other streams
+// starve".  Kept as the baseline the QoS disciplines are judged against.
+#pragma once
+
+#include <deque>
+
+#include "sched/discipline.hpp"
+
+namespace ss::sched {
+
+class Fcfs final : public Discipline {
+ public:
+  void enqueue(const Pkt& p) override { q_.push_back(p); }
+
+  std::optional<Pkt> dequeue(std::uint64_t /*now_ns*/) override {
+    if (q_.empty()) return std::nullopt;
+    Pkt p = q_.front();
+    q_.pop_front();
+    return p;
+  }
+
+  [[nodiscard]] std::size_t backlog() const override { return q_.size(); }
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+
+ private:
+  std::deque<Pkt> q_;
+};
+
+}  // namespace ss::sched

@@ -1,0 +1,49 @@
+// round_robin.hpp — plain packet-by-packet round robin across backlogged
+// streams.  This is also the policy the Stream processor applies among
+// streamlets aggregated into one stream-slot ("We simply used a
+// round-robin service policy on the Stream processor between streamlets
+// ... by cycling through active queues", Section 5.1), so the aggregation
+// module reuses it.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/discipline.hpp"
+
+namespace ss::sched {
+
+class RoundRobin final : public Discipline {
+ public:
+  void enqueue(const Pkt& p) override {
+    if (p.stream >= queues_.size()) queues_.resize(p.stream + 1);
+    queues_[p.stream].push_back(p);
+    ++backlog_;
+  }
+
+  std::optional<Pkt> dequeue(std::uint64_t /*now_ns*/) override {
+    if (backlog_ == 0) return std::nullopt;
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      auto& q = queues_[cursor_];
+      cursor_ = (cursor_ + 1) % n;
+      if (!q.empty()) {
+        Pkt p = q.front();
+        q.pop_front();
+        --backlog_;
+        return p;
+      }
+    }
+    return std::nullopt;  // unreachable while backlog_ > 0
+  }
+
+  [[nodiscard]] std::size_t backlog() const override { return backlog_; }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::vector<std::deque<Pkt>> queues_;
+  std::size_t cursor_ = 0;
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace ss::sched

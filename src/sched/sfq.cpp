@@ -1,0 +1,44 @@
+#include "sched/sfq.hpp"
+
+#include "util/rng.hpp"
+
+namespace ss::sched {
+
+Sfq::Sfq(std::uint32_t buckets, std::uint64_t perturb_ns)
+    : buckets_(buckets == 0 ? 1 : buckets),
+      perturb_ns_(perturb_ns),
+      queues_(buckets_) {}
+
+std::uint32_t Sfq::bucket_of(std::uint32_t stream) const {
+  std::uint64_t h = stream ^ salt_;
+  h = splitmix64(h);
+  return static_cast<std::uint32_t>(h % buckets_);
+}
+
+void Sfq::enqueue(const Pkt& p) {
+  if (perturb_ns_ != 0 && p.arrival_ns - last_perturb_ >= perturb_ns_) {
+    // Re-salt the hash; packets already queued stay in their old buckets
+    // (matching the Linux implementation's behaviour).
+    last_perturb_ = p.arrival_ns;
+    salt_ = splitmix64(salt_);
+  }
+  queues_[bucket_of(p.stream)].push_back(p);
+  ++backlog_;
+}
+
+std::optional<Pkt> Sfq::dequeue(std::uint64_t /*now_ns*/) {
+  if (backlog_ == 0) return std::nullopt;
+  for (std::uint32_t k = 0; k < buckets_; ++k) {
+    auto& q = queues_[cursor_];
+    cursor_ = (cursor_ + 1) % buckets_;
+    if (!q.empty()) {
+      Pkt p = q.front();
+      q.pop_front();
+      --backlog_;
+      return p;
+    }
+  }
+  return std::nullopt;  // unreachable while backlog_ > 0
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,39 @@
+// sfq.hpp — Stochastic Fairness Queuing, the Click comparison point of
+// Section 5.2 ("close to 300,000 packets/second with the Stochastic
+// Fairness Queuing module").  Streams hash into a fixed number of buckets;
+// buckets are served round-robin, so fairness is probabilistic: streams
+// sharing a bucket share that bucket's service.  A periodic hash
+// perturbation bounds how long a collision persists.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/discipline.hpp"
+
+namespace ss::sched {
+
+class Sfq final : public Discipline {
+ public:
+  explicit Sfq(std::uint32_t buckets = 128, std::uint64_t perturb_ns = 0);
+
+  void enqueue(const Pkt& p) override;
+  std::optional<Pkt> dequeue(std::uint64_t now_ns) override;
+
+  [[nodiscard]] std::size_t backlog() const override { return backlog_; }
+  [[nodiscard]] std::string name() const override { return "SFQ"; }
+
+  [[nodiscard]] std::uint32_t bucket_of(std::uint32_t stream) const;
+
+ private:
+  std::uint32_t buckets_;
+  std::uint64_t perturb_ns_;  ///< 0 = never perturb
+  std::uint64_t last_perturb_ = 0;
+  std::uint64_t salt_ = 0x9E3779B97F4A7C15ULL;
+  std::vector<std::deque<Pkt>> queues_;
+  std::size_t cursor_ = 0;
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace ss::sched

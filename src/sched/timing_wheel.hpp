@@ -1,0 +1,58 @@
+// timing_wheel.hpp — hashed timing-wheel deadline scheduler.
+//
+// The classic O(1) alternative to a heap for time-ordered service: the
+// deadline axis is hashed into `buckets` of `granularity_ns` each; insert
+// drops a packet into its deadline's bucket, dequeue scans forward from
+// the current wheel position.  Ordering is exact between buckets and FIFO
+// within one, so the wheel trades the heap's log(n) for a bounded
+// coarseness of one granule — the standard software technique ShareStreams
+// competes against on the host, included so the baseline suite covers the
+// O(1)-software end of the design space too.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/discipline.hpp"
+
+namespace ss::sched {
+
+class TimingWheel final : public Discipline {
+ public:
+  /// `span = buckets * granularity_ns` is the farthest future deadline the
+  /// wheel can hold; later deadlines go to an (ordered) overflow list that
+  /// feeds back as the wheel turns.
+  TimingWheel(std::size_t buckets, std::uint64_t granularity_ns);
+
+  /// Configure a stream's relative deadline (deadline = arrival + rel).
+  void set_relative_deadline(std::uint32_t stream, std::uint64_t rel_ns);
+
+  void enqueue(const Pkt& p) override;
+  std::optional<Pkt> dequeue(std::uint64_t now_ns) override;
+
+  [[nodiscard]] std::size_t backlog() const override { return backlog_; }
+  [[nodiscard]] std::string name() const override { return "timing-wheel"; }
+
+  [[nodiscard]] std::uint64_t granularity_ns() const { return gran_; }
+  [[nodiscard]] std::size_t buckets() const { return wheel_.size(); }
+
+ private:
+  struct Entry {
+    Pkt pkt;
+    std::uint64_t deadline_ns;
+  };
+  void feed_overflow();
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t deadline_ns) const {
+    return static_cast<std::size_t>((deadline_ns / gran_) % wheel_.size());
+  }
+
+  std::uint64_t gran_;
+  std::vector<std::deque<Entry>> wheel_;
+  std::vector<Entry> overflow_;  ///< deadlines beyond the current span
+  std::vector<std::uint64_t> rel_deadline_;
+  std::uint64_t wheel_time_ = 0;  ///< deadline time the cursor has reached
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace ss::sched

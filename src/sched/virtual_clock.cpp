@@ -1,0 +1,41 @@
+#include "sched/virtual_clock.hpp"
+
+#include <algorithm>
+
+namespace ss::sched {
+
+void VirtualClock::ensure(std::uint32_t stream) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+}
+
+void VirtualClock::set_rate(std::uint32_t stream, double bytes_per_tick) {
+  ensure(stream);
+  flows_[stream].rate = bytes_per_tick > 0 ? bytes_per_tick : 1.0;
+}
+
+void VirtualClock::enqueue(const Pkt& p) {
+  ensure(p.stream);
+  Flow& f = flows_[p.stream];
+  // VC = max(VC, real arrival) + bytes/rate: an idle stream's clock
+  // catches up to real time (no banked credit), a bursting one runs ahead
+  // (and pays for it by sorting later).
+  f.vclock = std::max(f.vclock, static_cast<double>(p.arrival_ns)) +
+             static_cast<double>(p.bytes) / f.rate;
+  f.q.push_back({p, f.vclock});
+  ++backlog_;
+}
+
+std::optional<Pkt> VirtualClock::dequeue(std::uint64_t /*now_ns*/) {
+  if (backlog_ == 0) return std::nullopt;
+  Flow* best = nullptr;
+  for (Flow& f : flows_) {
+    if (f.q.empty()) continue;
+    if (!best || f.q.front().stamp < best->q.front().stamp) best = &f;
+  }
+  const Tagged t = best->q.front();
+  best->q.pop_front();
+  --backlog_;
+  return t.pkt;
+}
+
+}  // namespace ss::sched

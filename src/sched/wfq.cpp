@@ -1,0 +1,40 @@
+#include "sched/wfq.hpp"
+
+#include <algorithm>
+
+namespace ss::sched {
+
+void Wfq::ensure(std::uint32_t stream) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+}
+
+void Wfq::set_weight(std::uint32_t stream, double weight) {
+  ensure(stream);
+  flows_[stream].weight = weight > 0.0 ? weight : 1.0;
+}
+
+void Wfq::enqueue(const Pkt& p) {
+  ensure(p.stream);
+  Flow& f = flows_[p.stream];
+  const double start = std::max(vtime_, f.last_finish);
+  const double finish = start + static_cast<double>(p.bytes) / f.weight;
+  f.last_finish = finish;
+  f.q.push_back({p, finish});
+  ++backlog_;
+}
+
+std::optional<Pkt> Wfq::dequeue(std::uint64_t /*now_ns*/) {
+  if (backlog_ == 0) return std::nullopt;
+  Flow* best = nullptr;
+  for (Flow& f : flows_) {
+    if (f.q.empty()) continue;
+    if (!best || f.q.front().finish < best->q.front().finish) best = &f;
+  }
+  Tagged t = best->q.front();
+  best->q.pop_front();
+  --backlog_;
+  vtime_ = t.finish;  // self-clocking: V follows the served packet's tag
+  return t.pkt;
+}
+
+}  // namespace ss::sched

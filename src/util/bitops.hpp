@@ -1,0 +1,52 @@
+// bitops.hpp — small bit-manipulation helpers shared across the simulator.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ss {
+
+/// True iff v is a power of two (v != 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// ceil(log2(v)); log2_ceil(1) == 0.  Precondition: v >= 1.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t v) {
+  unsigned r = 0;
+  std::uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// floor(log2(v)).  Precondition: v >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// Next power of two >= v (v >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return std::uint64_t{1} << log2_ceil(v);
+}
+
+/// Perfect-shuffle permutation on n = 2^k positions: the position of item i
+/// after one pass through a shuffle-exchange interconnect, i.e. a left
+/// rotation of i's k-bit index.  This is the wiring pattern of the
+/// ShareStreams recirculating shuffle (Figure 4).
+[[nodiscard]] constexpr unsigned perfect_shuffle(unsigned i, unsigned n) {
+  const unsigned k = log2_ceil(n);
+  const unsigned msb = (i >> (k - 1)) & 1u;
+  return ((i << 1) | msb) & (n - 1);
+}
+
+/// Inverse perfect shuffle (right rotation of the k-bit index).
+[[nodiscard]] constexpr unsigned perfect_unshuffle(unsigned i, unsigned n) {
+  const unsigned k = log2_ceil(n);
+  const unsigned lsb = i & 1u;
+  return (i >> 1) | (lsb << (k - 1));
+}
+
+}  // namespace ss

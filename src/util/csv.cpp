@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ss {
+
+std::string csv_escape(std::string_view s) {
+  bool needs_quote = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  for (const auto& h : header) cell(h);
+  endrow();
+  rows_ = 0;  // header does not count as a data row
+}
+
+CsvWriter::~CsvWriter() {
+  if (row_open_) endrow();
+}
+
+void CsvWriter::sep() {
+  if (row_open_) out_ << ',';
+  row_open_ = true;
+}
+
+void CsvWriter::cell(std::string_view s) {
+  sep();
+  out_ << csv_escape(s);
+}
+
+void CsvWriter::cell(double v) {
+  sep();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out_ << buf;
+}
+
+void CsvWriter::cell(std::uint64_t v) {
+  sep();
+  out_ << v;
+}
+
+void CsvWriter::cell(std::int64_t v) {
+  sep();
+  out_ << v;
+}
+
+void CsvWriter::endrow() {
+  out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  for (double v : values) cell(v);
+  endrow();
+}
+
+}  // namespace ss

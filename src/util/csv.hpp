@@ -1,0 +1,51 @@
+// csv.hpp — tiny CSV emitter used by the benchmark harness.
+//
+// Every figure-reproducing bench writes its series both as an ASCII chart to
+// stdout and as a CSV file (so the data behind each reproduced figure can be
+// re-plotted).  This writer is deliberately minimal: quoting is applied only
+// when needed, numbers are formatted with enough precision to round-trip.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// True if the file opened successfully (benches warn but continue if not).
+  [[nodiscard]] bool ok() const { return out_.is_open() && out_.good(); }
+
+  void cell(std::string_view s);
+  void cell(double v);
+  void cell(std::uint64_t v);
+  void cell(std::int64_t v);
+  void cell(unsigned v) { cell(static_cast<std::uint64_t>(v)); }
+  void cell(int v) { cell(static_cast<std::int64_t>(v)); }
+  void endrow();
+
+  /// Convenience: write one full row of doubles.
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void sep();
+  std::ofstream out_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a value per RFC 4180 (quote when it contains , " or newline).
+[[nodiscard]] std::string csv_escape(std::string_view s);
+
+}  // namespace ss

@@ -1,0 +1,63 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ss {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto bar =
+        static_cast<std::size_t>(counts_[b] * width / peak);
+    std::snprintf(line, sizeof line, "[%12.4g, %12.4g) %10llu |", bin_lo(b),
+                  bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out.push_back('\n');
+  }
+  if (under_ || over_) {
+    std::snprintf(line, sizeof line, "underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(under_),
+                  static_cast<unsigned long long>(over_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ss

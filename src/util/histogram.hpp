@@ -1,0 +1,37 @@
+// histogram.hpp — fixed-bin histogram for delay / bandwidth distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Linear-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins so no data is silently lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t underflow() const { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const { return over_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per non-empty bin) for bench logs.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0, over_ = 0, total_ = 0;
+};
+
+}  // namespace ss

@@ -1,0 +1,90 @@
+// serial.hpp — wrap-aware ("serial number") arithmetic on fixed-width fields.
+//
+// ShareStreams hardware keeps deadlines and arrival times in 16-bit
+// registers (Figure 4 of the paper: "16-bit packet deadlines ... 16-bit
+// arrival times").  A scheduler that runs for more than 2^16 time units must
+// compare those fields modulo 2^16, the same way TCP sequence numbers are
+// compared (RFC 1982 serial-number arithmetic).  This header provides a
+// width-parameterized serial integer with total ordering valid as long as
+// live values span less than half the number space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace ss {
+
+/// Unsigned storage type wide enough for `Bits` bits.
+template <unsigned Bits>
+using serial_storage_t =
+    std::conditional_t<(Bits <= 8), std::uint8_t,
+    std::conditional_t<(Bits <= 16), std::uint16_t,
+    std::conditional_t<(Bits <= 32), std::uint32_t, std::uint64_t>>>;
+
+/// A modular integer of `Bits` bits with wrap-aware comparison.
+///
+/// Two values compare by the sign of their modular difference: `a < b` iff
+/// the distance from `a` forward to `b` is less than half the space.  This
+/// matches what a hardware comparator with a subtract-and-test-MSB circuit
+/// computes, and is how the simulated Decision block compares deadlines.
+template <unsigned Bits>
+class Serial {
+  static_assert(Bits >= 2 && Bits <= 64, "Serial supports 2..64 bits");
+
+ public:
+  using storage = serial_storage_t<Bits>;
+  static constexpr storage kMask =
+      (Bits == 64) ? ~storage{0}
+                   : static_cast<storage>((std::uint64_t{1} << Bits) - 1);
+  static constexpr storage kHalf =
+      static_cast<storage>(std::uint64_t{1} << (Bits - 1));
+
+  constexpr Serial() = default;
+  constexpr explicit Serial(std::uint64_t v)
+      : v_(static_cast<storage>(v & kMask)) {}
+
+  [[nodiscard]] constexpr storage raw() const { return v_; }
+
+  /// Modular addition; wraps at 2^Bits.
+  constexpr Serial operator+(std::uint64_t d) const {
+    return Serial(static_cast<std::uint64_t>(v_) + d);
+  }
+  constexpr Serial& operator+=(std::uint64_t d) {
+    v_ = static_cast<storage>((static_cast<std::uint64_t>(v_) + d) & kMask);
+    return *this;
+  }
+  constexpr Serial operator-(std::uint64_t d) const {
+    return Serial(static_cast<std::uint64_t>(v_) + ((~d + 1) & kMask));
+  }
+
+  /// Forward distance from *this to `b` (how far b is "ahead"), in [0, 2^Bits).
+  [[nodiscard]] constexpr storage distance_to(Serial b) const {
+    return static_cast<storage>((b.v_ - v_) & kMask);
+  }
+
+  /// Wrap-aware strict ordering.  `a < b` iff b is ahead of a by less than
+  /// half the number space.  Values exactly half apart are incomparable in
+  /// RFC 1982; we break the tie deterministically (a < b iff a.raw > b.raw)
+  /// so the hardware sort stays a total order.
+  friend constexpr bool operator<(Serial a, Serial b) {
+    const storage d = a.distance_to(b);
+    if (d == 0) return false;
+    if (d == kHalf) return a.v_ > b.v_;  // deterministic tie-break
+    return d < kHalf;
+  }
+  friend constexpr bool operator>(Serial a, Serial b) { return b < a; }
+  friend constexpr bool operator<=(Serial a, Serial b) { return !(b < a); }
+  friend constexpr bool operator>=(Serial a, Serial b) { return !(a < b); }
+  friend constexpr bool operator==(Serial a, Serial b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Serial a, Serial b) { return a.v_ != b.v_; }
+
+ private:
+  storage v_{0};
+};
+
+using Serial16 = Serial<16>;  ///< deadline / arrival-time field width
+using Serial8 = Serial<8>;
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+// sim_time.hpp — time bases used across the ShareStreams simulator.
+//
+// Three clocks coexist in the system, exactly as in the paper's prototype:
+//   * FPGA hardware cycles (the Virtex design clock, 10..200 MHz);
+//   * wall/link time in nanoseconds (packet-times, PCI transfer times);
+//   * scheduler decision cycles (one winner / one block per decision cycle,
+//     each costing log2(N)+overhead hardware cycles).
+// Strong typedefs keep them from being mixed accidentally.
+#pragma once
+
+#include <cstdint>
+
+namespace ss {
+
+/// One FPGA clock cycle.
+enum class Cycles : std::uint64_t {};
+
+/// Wall-clock / link time in nanoseconds.
+enum class Nanos : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t count(Cycles c) {
+  return static_cast<std::uint64_t>(c);
+}
+[[nodiscard]] constexpr std::uint64_t count(Nanos n) {
+  return static_cast<std::uint64_t>(n);
+}
+
+constexpr Cycles operator+(Cycles a, Cycles b) {
+  return Cycles{count(a) + count(b)};
+}
+constexpr Cycles& operator+=(Cycles& a, Cycles b) { return a = a + b; }
+constexpr Nanos operator+(Nanos a, Nanos b) {
+  return Nanos{count(a) + count(b)};
+}
+constexpr Nanos& operator+=(Nanos& a, Nanos b) { return a = a + b; }
+constexpr bool operator<(Cycles a, Cycles b) { return count(a) < count(b); }
+constexpr bool operator<(Nanos a, Nanos b) { return count(a) < count(b); }
+
+/// Convert cycles at a given clock rate to nanoseconds (rounded up, as a
+/// synchronous design can only complete on a clock edge).
+[[nodiscard]] constexpr Nanos cycles_to_nanos(Cycles c, double clock_mhz) {
+  const double ns = static_cast<double>(count(c)) * 1000.0 / clock_mhz;
+  return Nanos{static_cast<std::uint64_t>(ns + 0.999999)};
+}
+
+/// Packet-time: the serialization time of a frame on a link,
+/// packet_length_bits / line_speed_bps (Section 1 of the paper).
+[[nodiscard]] constexpr double packet_time_ns(std::uint64_t frame_bytes,
+                                              double line_gbps) {
+  return static_cast<double>(frame_bytes * 8) / line_gbps;  // bits / (Gb/s) = ns
+}
+
+/// Common frame sizes and link speeds the paper reasons about.
+inline constexpr std::uint64_t kMinEthernetFrame = 64;
+inline constexpr std::uint64_t kMaxEthernetFrame = 1500;
+inline constexpr double kGigabit = 1.0;    // Gbps
+inline constexpr double kTenGig = 10.0;    // Gbps
+
+}  // namespace ss

@@ -1,0 +1,152 @@
+// admission_test.cpp — schedulability analysis, and the empirical check
+// that its verdicts predict what the scheduler actually does.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/endsystem.hpp"
+
+namespace ss::core {
+namespace {
+
+dwcs::StreamRequirement edf(std::uint32_t period) {
+  dwcs::StreamRequirement r;
+  r.kind = dwcs::RequirementKind::kEdf;
+  r.period = period;
+  r.initial_deadline = period;
+  return r;
+}
+
+dwcs::StreamRequirement fair(double weight) {
+  dwcs::StreamRequirement r;
+  r.kind = dwcs::RequirementKind::kFairShare;
+  r.weight = weight;
+  return r;
+}
+
+dwcs::StreamRequirement wc(std::uint32_t period, std::uint8_t x,
+                           std::uint8_t y) {
+  dwcs::StreamRequirement r;
+  r.kind = dwcs::RequirementKind::kWindowConstrained;
+  r.period = period;
+  r.loss_num = x;
+  r.loss_den = y;
+  return r;
+}
+
+TEST(Admission, EdfUtilizationSums) {
+  const auto rep = AdmissionController::analyze({edf(2), edf(4), edf(8)});
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_NEAR(rep.reserved_utilization, 0.5 + 0.25 + 0.125, 1e-12);
+  EXPECT_EQ(rep.entries[0].delay_bound_packet_times, 2.0);
+}
+
+TEST(Admission, RejectsOverUnitUtilization) {
+  const auto rep = AdmissionController::analyze({edf(2), edf(2), edf(2)});
+  EXPECT_FALSE(rep.admitted);
+  EXPECT_GT(rep.reserved_utilization, 1.0);
+  EXPECT_FALSE(rep.reason.empty());
+}
+
+TEST(Admission, ExactlyFullIsAdmitted) {
+  const auto rep = AdmissionController::analyze({edf(2), edf(4), edf(4)});
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_NEAR(rep.reserved_utilization, 1.0, 1e-12);
+}
+
+TEST(Admission, CapacityDerating) {
+  const auto rep =
+      AdmissionController::analyze({edf(2), edf(4), edf(4)}, 0.95);
+  EXPECT_FALSE(rep.admitted);  // 1.0 > 0.95
+}
+
+TEST(Admission, FairShareFullSetReservesWholeLink) {
+  const auto rep = AdmissionController::analyze(
+      {fair(1), fair(1), fair(2), fair(4)});
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_NEAR(rep.reserved_utilization, 1.0, 1e-9);
+  // Weight-4 stream gets the shortest period -> tightest delay bound.
+  EXPECT_LT(rep.entries[3].delay_bound_packet_times,
+            rep.entries[0].delay_bound_packet_times);
+}
+
+TEST(Admission, WindowConstraintReservesMandatoryShareOnly) {
+  // T=4, x/y = 1/4: must send 3 of every 4 requests -> 3/16 of the link
+  // guaranteed, 1/16 droppable slack.
+  const auto rep = AdmissionController::analyze({wc(4, 1, 4)});
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_NEAR(rep.entries[0].guaranteed_share, 3.0 / 16.0, 1e-12);
+  EXPECT_NEAR(rep.entries[0].droppable_slack, 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(rep.total_utilization, 0.25, 1e-12);
+  // Mandatory portion served within the window horizon.
+  EXPECT_EQ(rep.entries[0].delay_bound_packet_times, 16.0);
+}
+
+TEST(Admission, LossToleranceAdmitsWhatStrictEdfCannot) {
+  // Five period-4 streams: strict EDF utilization 1.25 -> rejected.  The
+  // same set with 1-in-4 loss tolerance reserves 5 * 3/16 = 0.9375 ->
+  // admitted.  This is DWCS's whole point.
+  std::vector<dwcs::StreamRequirement> strict(5, edf(4));
+  EXPECT_FALSE(AdmissionController::analyze(strict).admitted);
+  std::vector<dwcs::StreamRequirement> tolerant(5, wc(4, 1, 4));
+  const auto rep = AdmissionController::analyze(tolerant);
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_NEAR(rep.reserved_utilization, 0.9375, 1e-12);
+}
+
+TEST(Admission, StaticPriorityIsBestEffort) {
+  dwcs::StreamRequirement sp;
+  sp.kind = dwcs::RequirementKind::kStaticPriority;
+  sp.priority = 5;
+  const auto rep = AdmissionController::analyze({sp, edf(2)});
+  EXPECT_TRUE(rep.admitted);
+  EXPECT_TRUE(rep.entries[0].best_effort);
+  EXPECT_EQ(rep.entries[0].guaranteed_share, 0.0);
+  EXPECT_NEAR(rep.reserved_utilization, 0.5, 1e-12);
+}
+
+// The empirical tie-in: an admitted EDF set, paced at its rate, misses no
+// deadlines on the real scheduler; pushing utilization past 1 must miss.
+TEST(Admission, VerdictPredictsSchedulerBehaviour) {
+  auto run_misses = [](const std::vector<std::uint32_t>& periods) {
+    EndsystemConfig cfg;
+    cfg.chip.slots = 4;
+    cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+    cfg.keep_series = false;
+    Endsystem es(cfg);
+    const double ptime = packet_time_ns(1500, cfg.link_gbps);
+    std::vector<std::uint64_t> frames;
+    for (const auto p : periods) {
+      dwcs::StreamRequirement r = edf(p);
+      r.droppable = false;
+      es.add_stream(r,
+                    std::make_unique<queueing::CbrGen>(
+                        static_cast<std::uint64_t>(ptime * p)),
+                    1500);
+      frames.push_back(4000 / p);
+    }
+    es.run(frames);
+    std::uint64_t misses = 0;
+    for (unsigned i = 0; i < periods.size(); ++i) {
+      misses += es.chip().slot(static_cast<hw::SlotId>(i))
+                    .counters()
+                    .missed_deadlines;
+    }
+    return misses;
+  };
+
+  const std::vector<std::uint32_t> feasible = {2, 4, 8, 8};  // U = 1.0
+  const std::vector<std::uint32_t> overload = {2, 2, 4, 4};  // U = 1.5
+  ASSERT_TRUE(AdmissionController::analyze(
+                  {edf(2), edf(4), edf(8), edf(8)})
+                  .admitted);
+  ASSERT_FALSE(AdmissionController::analyze(
+                   {edf(2), edf(2), edf(4), edf(4)})
+                   .admitted);
+  EXPECT_EQ(run_misses(feasible), 0u);
+  EXPECT_GT(run_misses(overload), 100u);
+}
+
+}  // namespace
+}  // namespace ss::core

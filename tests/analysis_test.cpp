@@ -1,0 +1,148 @@
+// analysis_test.cpp — the window-constraint verification tools, plus the
+// empirical tie-in: traces produced by the real scheduler under a
+// feasible load satisfy their windows under the independent checker.
+#include <gtest/gtest.h>
+
+#include "dwcs/analysis.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "util/rng.hpp"
+
+namespace ss::dwcs {
+namespace {
+
+using O = RequestOutcome;
+
+TEST(WindowTrace, CleanTraceHasNoViolations) {
+  WindowTrace t(1, 4);
+  for (int i = 0; i < 100; ++i) t.record(O::kOnTime);
+  EXPECT_EQ(t.violations(), 0u);
+  EXPECT_EQ(t.losses(), 0u);
+  EXPECT_EQ(t.worst_window(), 0u);
+  EXPECT_DOUBLE_EQ(t.loss_rate(), 0.0);
+}
+
+TEST(WindowTrace, ExactlyAtBudgetIsCompliant) {
+  // 1-in-4 tolerance, pattern LOOO repeating: every window holds exactly
+  // one loss.
+  WindowTrace t(1, 4);
+  for (int i = 0; i < 40; ++i) {
+    t.record(i % 4 == 0 ? O::kDropped : O::kOnTime);
+  }
+  EXPECT_EQ(t.violations(), 0u);
+  EXPECT_EQ(t.worst_window(), 1u);
+  EXPECT_DOUBLE_EQ(t.loss_rate(), 0.25);
+}
+
+TEST(WindowTrace, BackToBackLossesViolate) {
+  WindowTrace t(1, 4);
+  t.record(O::kOnTime);
+  t.record(O::kDropped);
+  t.record(O::kLate);  // two losses inside one 4-window
+  t.record(O::kOnTime);
+  t.record(O::kOnTime);
+  EXPECT_GT(t.violations(), 0u);
+  EXPECT_EQ(t.worst_window(), 2u);
+}
+
+TEST(WindowTrace, LateCountsAsLoss) {
+  WindowTrace t(0, 2);
+  t.record(O::kOnTime);
+  t.record(O::kLate);
+  EXPECT_EQ(t.violations(), 1u);  // zero tolerance
+}
+
+TEST(WindowTrace, ShortTraceHasNoFullWindow) {
+  WindowTrace t(1, 8);
+  for (int i = 0; i < 7; ++i) t.record(O::kDropped);
+  EXPECT_EQ(t.violations(), 0u);  // no full window yet
+  EXPECT_EQ(t.worst_window(), 7u);  // but the partial tally is visible
+}
+
+TEST(WindowTrace, SlidingWindowCountsEveryPosition) {
+  // y=3, x=0, losses at 1 and 2: windows [0..2],[1..3],[2..4] all contain
+  // a loss -> 3 violating positions.
+  WindowTrace t(0, 3);
+  t.record(O::kOnTime);
+  t.record(O::kDropped);
+  t.record(O::kDropped);
+  t.record(O::kOnTime);
+  t.record(O::kOnTime);
+  EXPECT_EQ(t.violations(), 3u);
+}
+
+TEST(WindowTraceProperty, BruteForceAgreement) {
+  Rng rng(606);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto y = static_cast<std::uint32_t>(2 + rng.below(6));
+    const auto x = static_cast<std::uint32_t>(rng.below(y));
+    WindowTrace t(x, y);
+    std::vector<bool> loss;
+    const int n = 5 + static_cast<int>(rng.below(60));
+    for (int i = 0; i < n; ++i) {
+      const bool l = rng.chance(0.3);
+      loss.push_back(l);
+      t.record(l ? (rng.chance(0.5) ? O::kDropped : O::kLate) : O::kOnTime);
+    }
+    std::uint64_t brute = 0;
+    std::uint32_t worst = 0;
+    if (loss.size() >= y) {
+      for (std::size_t s = 0; s + y <= loss.size(); ++s) {
+        std::uint32_t c = 0;
+        for (std::uint32_t k = 0; k < y; ++k) c += loss[s + k] ? 1 : 0;
+        brute += c > x ? 1 : 0;
+        worst = std::max(worst, c);
+      }
+      ASSERT_EQ(t.worst_window(), worst) << "trial " << trial;
+    }
+    ASSERT_EQ(t.violations(), brute) << "trial " << trial;
+  }
+}
+
+TEST(MandatoryUtilization, SumsMandatoryShares) {
+  // (1 - 1/4)/4 + (1 - 0/2)/2 = 0.1875 + 0.5
+  EXPECT_NEAR(mandatory_utilization({{4, 1, 4}, {2, 0, 2}}), 0.6875, 1e-12);
+  EXPECT_EQ(mandatory_utilization({}), 0.0);
+}
+
+// Empirical tie-in: a feasible window-constrained set served by the real
+// chip produces traces the independent checker passes.
+TEST(WindowTraceIntegration, FeasibleSetHoldsItsWindows) {
+  // Four streams, T=4, x/y = 1/4 each: mandatory utilization
+  // 4 * (3/4)/4 = 0.75 <= 1, total request rate 4 * 1/4 = 1.0.
+  hw::ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  hw::SchedulerChip chip(cfg);
+  for (unsigned i = 0; i < 4; ++i) {
+    hw::SlotConfig sc;
+    sc.mode = hw::SlotMode::kDwcs;
+    sc.period = 4;
+    sc.loss_num = 1;
+    sc.loss_den = 4;
+    sc.droppable = true;
+    sc.initial_deadline = hw::Deadline{i + 1};
+    chip.load_slot(static_cast<hw::SlotId>(i), sc);
+  }
+  std::vector<WindowTrace> traces(4, WindowTrace(1, 4));
+  // One request per stream per period (paced, offset by slot).
+  for (int t = 0; t < 8000; ++t) {
+    for (unsigned i = 0; i < 4; ++i) {
+      if (t % 4 == static_cast<int>(i)) {
+        chip.push_request(static_cast<hw::SlotId>(i));
+      }
+    }
+    const auto out = chip.run_decision_cycle();
+    for (const auto& g : out.grants) {
+      traces[g.slot].record(g.met_deadline ? O::kOnTime : O::kLate);
+    }
+    for (const auto s : out.drops) traces[s].record(O::kDropped);
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(traces[i].violations(), 0u) << "stream " << i;
+    EXPECT_LE(traces[i].worst_window(), 1u) << "stream " << i;
+    EXPECT_GT(traces[i].requests(), 1900u);
+  }
+}
+
+}  // namespace
+}  // namespace ss::dwcs

@@ -1,0 +1,206 @@
+// area_timing_test.cpp — the Virtex area/clock model (Figure 7) and the
+// packet-time feasibility model, checked against every quantitative claim
+// the paper's text makes.
+#include <gtest/gtest.h>
+
+#include "hw/area_model.hpp"
+#include "hw/timing_model.hpp"
+#include "util/sim_time.hpp"
+
+namespace ss::hw {
+namespace {
+
+TEST(AreaModel, BreakdownUsesPaperSliceCounts) {
+  const AreaModel m;
+  const auto b = m.area(4, ArchConfig::kWinnerRouting);
+  EXPECT_EQ(b.control_slices, 22u);
+  EXPECT_EQ(b.register_slices, 4u * 150u);
+  EXPECT_EQ(b.decision_slices, 2u * 190u);
+  EXPECT_GT(b.routing_slices, 0u);
+  EXPECT_EQ(b.total(), b.control_slices + b.register_slices +
+                           b.decision_slices + b.routing_slices);
+}
+
+TEST(AreaModel, AreaGrowsLinearly) {
+  // Section 5.1: "our architecture grows linearly, in terms of area".
+  const AreaModel m;
+  for (const auto cfg :
+       {ArchConfig::kBlockArchitecture, ArchConfig::kWinnerRouting}) {
+    const double a4 = m.area(4, cfg).total();
+    const double a8 = m.area(8, cfg).total();
+    const double a16 = m.area(16, cfg).total();
+    const double a32 = m.area(32, cfg).total();
+    // Doubling slots should roughly double the slot-proportional area.
+    const double inc1 = a8 - a4, inc2 = a16 - a8, inc3 = a32 - a16;
+    EXPECT_NEAR(inc2 / inc1, 2.0, 0.05);
+    EXPECT_NEAR(inc3 / inc2, 2.0, 0.05);
+  }
+}
+
+TEST(AreaModel, BaAndWrAreasAlmostEqual) {
+  // "The BA architecture maintains almost the same area with its WR
+  // counterpart for all stream-slot sizes."
+  const AreaModel m;
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const double ba = m.area(n, ArchConfig::kBlockArchitecture).total();
+    const double wr = m.area(n, ArchConfig::kWinnerRouting).total();
+    EXPECT_LT(std::abs(ba - wr) / wr, 0.05) << "n=" << n;
+    EXPECT_GE(ba, wr);  // routing winners AND losers can't be cheaper
+  }
+}
+
+TEST(AreaModel, ThirtyTwoSlotsFitTheVirtex1000) {
+  // "Our hardware implemented in the Xilinx Virtex family easily scales
+  // from 4 to 32 stream-slots on a single chip" (the RC1000's XCV1000).
+  const AreaModel m;
+  const Device* d = m.smallest_fit(32, ArchConfig::kBlockArchitecture);
+  ASSERT_NE(d, nullptr);
+  // Whatever the smallest part is, the XCV1000 must fit it comfortably.
+  const Device& v1000 = virtex1_devices().back();
+  EXPECT_EQ(v1000.name, "XCV1000");
+  EXPECT_LT(m.utilization(32, ArchConfig::kBlockArchitecture, v1000), 0.75);
+}
+
+TEST(AreaModel, SmallestFitIsMonotone) {
+  const AreaModel m;
+  unsigned last = 0;
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const Device* d = m.smallest_fit(n, ArchConfig::kWinnerRouting);
+    ASSERT_NE(d, nullptr);
+    EXPECT_GE(d->slices, last);
+    last = d->slices;
+  }
+}
+
+TEST(ClockModel, WrVariesLessThanBa) {
+  // "The WR architecture shows lesser clock-rate variation from 4 to 32
+  // stream-slots, than the BA architecture."
+  const AreaModel m;
+  auto spread = [&](ArchConfig cfg) {
+    double lo = 1e9, hi = 0;
+    for (unsigned n : {4u, 8u, 16u, 32u}) {
+      const double f = m.clock_mhz(n, cfg);
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(ArchConfig::kWinnerRouting),
+            spread(ArchConfig::kBlockArchitecture));
+}
+
+TEST(ClockModel, BaPenaltyMatchesPaperStatements) {
+  const AreaModel m;
+  auto penalty = [&](unsigned n) {
+    const double wr = m.clock_mhz(n, ArchConfig::kWinnerRouting);
+    const double ba = m.clock_mhz(n, ArchConfig::kBlockArchitecture);
+    return (wr - ba) / wr;
+  };
+  // "only 10% degradation in clock-rate from its winner-only routed
+  // counterpart, for 32 streams".
+  EXPECT_NEAR(penalty(32), 0.10, 0.02);
+  // "8 and 16 stream-slot sizes where the clock-rate degradation is close
+  // to 20%".
+  EXPECT_NEAR(penalty(8), 0.20, 0.03);
+  EXPECT_NEAR(penalty(16), 0.20, 0.03);
+  // Small designs suffer little.
+  EXPECT_LT(penalty(4), 0.10);
+}
+
+TEST(ClockModel, StaysWithinTheCardCeiling) {
+  const AreaModel m;
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    for (const auto cfg :
+         {ArchConfig::kBlockArchitecture, ArchConfig::kWinnerRouting}) {
+      EXPECT_LE(m.clock_mhz(n, cfg), 100.0);
+      EXPECT_GT(m.clock_mhz(n, cfg), 50.0);
+    }
+  }
+}
+
+TEST(ClockModel, VirtexIIRunsFaster) {
+  const AreaModel v1(FpgaFamily::kVirtexI);
+  const AreaModel v2(FpgaFamily::kVirtexII);
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_GT(v2.clock_mhz(n, ArchConfig::kWinnerRouting),
+              v1.clock_mhz(n, ArchConfig::kWinnerRouting));
+  }
+}
+
+TEST(TimingModel, DecisionTimeGrowsLogarithmically) {
+  // "Decision-time grows logarithmically ... 2, 3, 4, 5 cycles required to
+  // sort 4, 8, 16 and 32 stream-slots."
+  const AreaModel m;
+  const TimingModel tm(m, ControlTiming{});
+  EXPECT_EQ(tm.report(4, ArchConfig::kWinnerRouting, false).latency_cycles,
+            2u + 3u);
+  EXPECT_EQ(tm.report(8, ArchConfig::kWinnerRouting, false).latency_cycles,
+            3u + 3u);
+  EXPECT_EQ(tm.report(16, ArchConfig::kWinnerRouting, false).latency_cycles,
+            4u + 3u);
+  EXPECT_EQ(tm.report(32, ArchConfig::kWinnerRouting, false).latency_cycles,
+            5u + 3u);
+}
+
+TEST(TimingModel, PaperFeasibilityClaims) {
+  // "Our Virtex I implementation can easily meet the packet-time
+  // requirements of all frame sizes (64-byte and 1500-byte) on gigabit
+  // links, and 1500-byte frames on 10Gbps links."
+  const AreaModel m;
+  const TimingModel tm(m, ControlTiming{});
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    for (const auto cfg :
+         {ArchConfig::kBlockArchitecture, ArchConfig::kWinnerRouting}) {
+      const bool block = cfg == ArchConfig::kBlockArchitecture;
+      EXPECT_TRUE(tm.feasible(n, cfg, block, 64, kGigabit)) << n;
+      EXPECT_TRUE(tm.feasible(n, cfg, block, 1500, kGigabit)) << n;
+      EXPECT_TRUE(tm.feasible(n, cfg, block, 1500, kTenGig)) << n;
+    }
+  }
+  // 64-byte frames at 10 Gbps (51.2 ns packet-time) are NOT claimed and
+  // indeed infeasible for WR at 32 slots.
+  EXPECT_FALSE(tm.feasible(32, ArchConfig::kWinnerRouting, false, 64,
+                           kTenGig));
+}
+
+TEST(TimingModel, LinecardThroughputCalibration) {
+  // Section 5.2: "the scheduler throughput with four stream-slots is 7.6
+  // million packets/second in the switch line-card realization".
+  const AreaModel m;
+  const TimingModel tm(m, ControlTiming{});
+  const auto r = tm.report(4, ArchConfig::kWinnerRouting, false);
+  // At the RC1000's 100 MHz the 13-cycle sustained decision gives 7.69M;
+  // the model's own (slightly lower) clock keeps it in the same band.
+  const double at_100mhz = 100e6 / r.sustained_cycles;
+  EXPECT_NEAR(at_100mhz, 7.6e6, 0.15e6);
+}
+
+TEST(TimingModel, BlockSchedulingMultipliesFrameRate) {
+  const AreaModel m;
+  const TimingModel tm(m, ControlTiming{});
+  const auto wr = tm.report(8, ArchConfig::kBlockArchitecture, false);
+  const auto blk = tm.report(8, ArchConfig::kBlockArchitecture, true);
+  EXPECT_DOUBLE_EQ(blk.frames_per_sec, wr.frames_per_sec * 8.0);
+}
+
+TEST(TimingModel, RequiredRateMatchesPacketTimes) {
+  EXPECT_NEAR(TimingModel::required_rate(1500, 1.0), 83333.3, 1000.0);
+  EXPECT_NEAR(TimingModel::required_rate(64, 10.0), 19.53e6, 0.1e6);
+}
+
+TEST(TimingModel, PipelinedIoRaisesSustainedRate) {
+  const AreaModel m;
+  ControlTiming pip;
+  pip.pipelined_io = true;
+  const TimingModel tm_seq(m, ControlTiming{});
+  const TimingModel tm_pip(m, pip);
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_GT(
+        tm_pip.report(n, ArchConfig::kWinnerRouting, false).decisions_per_sec,
+        tm_seq.report(n, ArchConfig::kWinnerRouting, false)
+            .decisions_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace ss::hw

@@ -1,0 +1,124 @@
+// control_unit_test.cpp — the Control & Steering FSM and its cycle model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hw/control_unit.hpp"
+
+namespace ss::hw {
+namespace {
+
+using Action = ControlUnit::Action;
+
+std::map<Action, unsigned> run_one_decision(ControlUnit& cu) {
+  std::map<Action, unsigned> hist;
+  for (;;) {
+    const Action a = cu.tick();
+    ++hist[a];
+    if (a == Action::kDecisionDone) break;
+  }
+  return hist;
+}
+
+TEST(ControlUnit, FourSlotDecisionTakes13Cycles) {
+  // The DESIGN.md calibration: 4 load + 2 schedule + 3 update + 4 output
+  // = 13 cycles -> 7.69 M decisions/s at 100 MHz (paper: 7.6 M pps).
+  ControlUnit cu(4, /*schedule_passes=*/2, ControlTiming{});
+  const auto hist = run_one_decision(cu);
+  EXPECT_EQ(cu.hw_cycles(), 13u);
+  EXPECT_EQ(hist.at(Action::kLoadCycle), 4u);
+  EXPECT_EQ(hist.at(Action::kSchedulePass), 2u);
+  EXPECT_EQ(hist.at(Action::kUpdateApply), 1u);
+  EXPECT_EQ(hist.at(Action::kUpdateSettle), 2u);
+  EXPECT_EQ(hist.at(Action::kOutputCycle), 3u);
+  EXPECT_EQ(hist.at(Action::kDecisionDone), 1u);
+  EXPECT_EQ(cu.decision_cycles(), 1u);
+}
+
+TEST(ControlUnit, SustainedCyclesMatchTickCount) {
+  for (unsigned slots : {2u, 4u, 8u, 16u, 32u}) {
+    for (unsigned passes : {1u, 2u, 3u, 5u, 15u}) {
+      ControlUnit cu(slots, passes, ControlTiming{});
+      run_one_decision(cu);
+      EXPECT_EQ(cu.hw_cycles(), cu.sustained_cycles_per_decision())
+          << "slots=" << slots << " passes=" << passes;
+    }
+  }
+}
+
+TEST(ControlUnit, DecisionLatencyIsScheduleAndUpdateOnly) {
+  ControlUnit cu(32, 5, ControlTiming{});
+  EXPECT_EQ(cu.decision_latency_cycles(), 5u + 3u);
+}
+
+TEST(ControlUnit, BypassUpdateShortensLoop) {
+  ControlTiming t;
+  t.bypass_update = true;
+  ControlUnit cu(4, 2, t);
+  EXPECT_EQ(cu.decision_latency_cycles(), 2u);
+  const auto hist = run_one_decision(cu);
+  EXPECT_EQ(hist.count(Action::kUpdateSettle), 0u);
+  EXPECT_EQ(hist.at(Action::kUpdateApply), 1u);  // rides on output
+  EXPECT_EQ(cu.hw_cycles(), 4u + 2u + 4u);       // load + passes + output
+}
+
+TEST(ControlUnit, PipelinedIoOverlapsSram) {
+  ControlTiming t;
+  t.pipelined_io = true;
+  // 32 slots: io = 32 + 4 = 36, loop = 5 + 3 = 8 -> max = 36.
+  ControlUnit cu(32, 5, t);
+  EXPECT_EQ(cu.sustained_cycles_per_decision(), 36u);
+  // 2 slots: io = 2 + 4 = 6, loop = 1 + 3 = 4 -> max = 6.
+  ControlUnit cu2(2, 1, t);
+  EXPECT_EQ(cu2.sustained_cycles_per_decision(), 6u);
+}
+
+TEST(ControlUnit, NonPipelinedIoAdds) {
+  ControlUnit cu(8, 3, ControlTiming{});
+  EXPECT_EQ(cu.sustained_cycles_per_decision(), 8u + 4u + 3u + 3u);
+}
+
+TEST(ControlUnit, StateSequenceFollowsFigure6) {
+  // LOAD -> SCHEDULE -> PRIORITY_UPDATE -> (output/boundary) -> LOAD ...
+  ControlUnit cu(2, 1, ControlTiming{});
+  EXPECT_EQ(cu.state(), FsmState::kIdle);
+  cu.tick();  // load cycle 1
+  EXPECT_EQ(cu.state(), FsmState::kLoad);
+  cu.tick();  // load cycle 2
+  EXPECT_EQ(cu.state(), FsmState::kLoad);
+  cu.tick();  // the single schedule pass
+  EXPECT_EQ(cu.state(), FsmState::kSchedule);
+  cu.tick();  // update apply
+  EXPECT_EQ(cu.state(), FsmState::kUpdate);
+  cu.tick();  // settle
+  cu.tick();  // settle
+  EXPECT_EQ(cu.state(), FsmState::kUpdate);
+  cu.tick();  // first output cycle
+  EXPECT_EQ(cu.state(), FsmState::kOutput);
+}
+
+TEST(ControlUnit, BackToBackDecisionsAccumulate) {
+  ControlUnit cu(4, 2, ControlTiming{});
+  for (int i = 0; i < 10; ++i) run_one_decision(cu);
+  EXPECT_EQ(cu.decision_cycles(), 10u);
+  EXPECT_EQ(cu.hw_cycles(), 130u);
+}
+
+TEST(ControlUnit, ExactlyOneUpdateApplyPerDecision) {
+  ControlTiming t;
+  for (const bool bypass : {false, true}) {
+    t.bypass_update = bypass;
+    ControlUnit cu(8, 3, t);
+    for (int d = 0; d < 5; ++d) {
+      const auto hist = run_one_decision(cu);
+      EXPECT_EQ(hist.at(Action::kUpdateApply), 1u);
+    }
+  }
+}
+
+TEST(ControlUnit, ControlAreaMatchesPaper) {
+  EXPECT_EQ(ControlUnit::kSlices, 22u);
+}
+
+}  // namespace
+}  // namespace ss::hw

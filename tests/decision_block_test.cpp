@@ -1,0 +1,232 @@
+// decision_block_test.cpp — the single-cycle Decision block: every Table-2
+// rule, mode behaviour, total-order properties, and the attribute-word
+// encode/decode round trip.
+#include <gtest/gtest.h>
+
+#include "hw/decision_block.hpp"
+#include "hw/fields.hpp"
+#include "util/rng.hpp"
+
+namespace ss::hw {
+namespace {
+
+AttrWord mk(std::uint64_t deadline, unsigned x, unsigned y,
+            std::uint64_t arrival, unsigned id, bool pending = true) {
+  AttrWord w;
+  w.deadline = Deadline{deadline};
+  w.loss_num = static_cast<Loss>(x);
+  w.loss_den = static_cast<Loss>(y);
+  w.arrival = Arrival{arrival};
+  w.id = static_cast<SlotId>(id);
+  w.pending = pending;
+  return w;
+}
+
+// ------------------------------------------------------------- Table 2
+
+TEST(DecisionBlock, Rule1EarliestDeadlineFirst) {
+  const auto a = mk(10, 1, 4, 0, 0);
+  const auto b = mk(11, 0, 9, 0, 1);  // "better" window, later deadline
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kDeadline);
+  const auto r2 = decide(b, a, ComparisonMode::kDwcsFull);
+  EXPECT_FALSE(r2.a_wins);
+}
+
+TEST(DecisionBlock, Rule1RespectsWrap) {
+  // 0xFFFE is earlier than 0x0002 across the 16-bit wrap.
+  const auto a = mk(0xFFFE, 0, 1, 0, 0);
+  const auto b = mk(0x0002, 0, 1, 0, 1);
+  EXPECT_TRUE(decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+}
+
+TEST(DecisionBlock, Rule2LowestWindowConstraintFirst) {
+  // Equal deadlines; W_a = 1/4 < W_b = 1/2.
+  const auto a = mk(5, 1, 4, 0, 0);
+  const auto b = mk(5, 1, 2, 0, 1);
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kWindowConstraint);
+}
+
+TEST(DecisionBlock, Rule2CrossMultiplyNoOverflow) {
+  // 255/1 vs 254/1 at the 8-bit extremes.
+  const auto a = mk(5, 254, 1, 0, 0);
+  const auto b = mk(5, 255, 1, 0, 1);
+  EXPECT_TRUE(decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+}
+
+TEST(DecisionBlock, Rule2ZeroBeatsNonZero) {
+  // W=0 is the lowest possible constraint: most urgent.
+  const auto a = mk(5, 0, 7, 0, 0);
+  const auto b = mk(5, 1, 200, 0, 1);
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+}
+
+TEST(DecisionBlock, Rule3ZeroConstraintsHighestDenominatorFirst) {
+  const auto a = mk(5, 0, 9, 0, 0);
+  const auto b = mk(5, 0, 3, 0, 1);
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kZeroDenominator);
+}
+
+TEST(DecisionBlock, Rule4EqualNonZeroConstraintLowestNumeratorFirst) {
+  // 1/2 == 2/4 as ratios; numerator breaks the tie: a wins.
+  const auto a = mk(5, 1, 2, 0, 0);
+  const auto b = mk(5, 2, 4, 0, 1);
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kNumerator);
+}
+
+TEST(DecisionBlock, Rule5FcfsOnFullTie) {
+  const auto a = mk(5, 1, 2, 7, 0);
+  const auto b = mk(5, 1, 2, 3, 1);  // arrived earlier
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_FALSE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kFcfsArrival);
+}
+
+TEST(DecisionBlock, Rule5ArrivalRespectsWrap) {
+  const auto a = mk(5, 1, 2, 0xFFF0, 0);  // earlier across the wrap
+  const auto b = mk(5, 1, 2, 0x0010, 1);
+  EXPECT_TRUE(decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+}
+
+TEST(DecisionBlock, IdBreaksFinalTie) {
+  const auto a = mk(5, 1, 2, 3, 0);
+  const auto b = mk(5, 1, 2, 3, 1);
+  const auto r = decide(a, b, ComparisonMode::kDwcsFull);
+  EXPECT_TRUE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kIdTieBreak);
+}
+
+// --------------------------------------------------------------- gating
+
+TEST(DecisionBlock, PendingAlwaysBeatsIdle) {
+  const auto idle = mk(0, 0, 9, 0, 0, /*pending=*/false);  // "best" attrs
+  const auto busy = mk(0xFFFF, 255, 1, 0xFFFF, 1, true);   // "worst" attrs
+  const auto r = decide(idle, busy, ComparisonMode::kDwcsFull);
+  EXPECT_FALSE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kPendingOnly);
+}
+
+TEST(DecisionBlock, BothIdleFallThroughToRules) {
+  const auto a = mk(1, 0, 1, 0, 0, false);
+  const auto b = mk(2, 0, 1, 0, 1, false);
+  EXPECT_TRUE(decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+}
+
+// ----------------------------------------------------------------- modes
+
+TEST(DecisionBlock, TagOnlyIgnoresWindowFields) {
+  const auto a = mk(5, 255, 1, 0, 0);  // terrible window
+  const auto b = mk(6, 0, 9, 0, 1);    // great window, later tag
+  EXPECT_TRUE(decide(a, b, ComparisonMode::kTagOnly).a_wins);
+}
+
+TEST(DecisionBlock, TagOnlyFcfsOnEqualTags) {
+  const auto a = mk(5, 0, 0, 9, 0);
+  const auto b = mk(5, 0, 0, 2, 1);
+  const auto r = decide(a, b, ComparisonMode::kTagOnly);
+  EXPECT_FALSE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kFcfsArrival);
+}
+
+TEST(DecisionBlock, StaticModeOrdersByDenominatorLevel) {
+  const auto lo = mk(0, 0, 3, 0, 0);
+  const auto hi = mk(0, 0, 7, 0, 1);
+  const auto r = decide(lo, hi, ComparisonMode::kStatic);
+  EXPECT_FALSE(r.a_wins);
+  EXPECT_EQ(r.rule, Rule::kZeroDenominator);
+}
+
+TEST(DecisionBlock, StaticModeIgnoresDeadline) {
+  const auto a = mk(1, 0, 3, 0, 0);    // earlier deadline, lower level
+  const auto b = mk(100, 0, 7, 0, 1);  // higher level
+  EXPECT_FALSE(decide(a, b, ComparisonMode::kStatic).a_wins);
+}
+
+// ------------------------------------------------------------ properties
+
+TEST(DecisionBlockProperty, TotalOrderAntisymmetryAllModes) {
+  Rng rng(77);
+  for (const auto mode : {ComparisonMode::kDwcsFull, ComparisonMode::kTagOnly,
+                          ComparisonMode::kStatic}) {
+    for (int i = 0; i < 30000; ++i) {
+      const auto a = mk(rng.below(16), rng.below(3), rng.below(4),
+                        rng.below(4), 0, rng.chance(0.9));
+      const auto b = mk(rng.below(16), rng.below(3), rng.below(4),
+                        rng.below(4), 1, rng.chance(0.9));
+      const bool ab = decide(a, b, mode).a_wins;
+      const bool ba = decide(b, a, mode).a_wins;
+      ASSERT_NE(ab, ba) << "ordering must name exactly one winner";
+    }
+  }
+}
+
+TEST(DecisionBlockProperty, OrderWinnerMatchesDecide) {
+  Rng rng(78);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = mk(rng.below(100), rng.below(5), 1 + rng.below(5),
+                      rng.below(10), 0);
+    const auto b = mk(rng.below(100), rng.below(5), 1 + rng.below(5),
+                      rng.below(10), 1);
+    const auto o = order(a, b, ComparisonMode::kDwcsFull);
+    if (decide(a, b, ComparisonMode::kDwcsFull).a_wins) {
+      EXPECT_EQ(o.winner, a);
+      EXPECT_EQ(o.loser, b);
+    } else {
+      EXPECT_EQ(o.winner, b);
+      EXPECT_EQ(o.loser, a);
+    }
+  }
+}
+
+TEST(DecisionBlockProperty, TransitivityOnRandomTriples) {
+  Rng rng(79);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = mk(rng.below(8), rng.below(3), rng.below(3), rng.below(3),
+                      0, true);
+    const auto b = mk(rng.below(8), rng.below(3), rng.below(3), rng.below(3),
+                      1, true);
+    const auto c = mk(rng.below(8), rng.below(3), rng.below(3), rng.below(3),
+                      2, true);
+    const bool ab = decide(a, b, ComparisonMode::kDwcsFull).a_wins;
+    const bool bc = decide(b, c, ComparisonMode::kDwcsFull).a_wins;
+    const bool ac = decide(a, c, ComparisonMode::kDwcsFull).a_wins;
+    if (ab && bc) {
+      ASSERT_TRUE(ac) << "transitivity violated";
+    }
+  }
+}
+
+// -------------------------------------------------------------- packing
+
+TEST(Fields, PackUnpackRoundTrip) {
+  Rng rng(80);
+  for (int i = 0; i < 10000; ++i) {
+    const auto w = mk(rng(), rng.below(256), rng.below(256), rng(),
+                      rng.below(32), rng.chance(0.5));
+    EXPECT_EQ(unpack(pack(w)), w);
+  }
+}
+
+TEST(Fields, PackUses54Bits) {
+  const auto w = mk(0xFFFF, 0xFF, 0xFF, 0xFFFF, 31, true);
+  EXPECT_EQ(pack(w) >> 54, 0u);
+  EXPECT_NE(pack(w) >> 53, 0u);
+}
+
+TEST(Fields, FieldWidthConstants) {
+  // Figure 4's bit budget: 16+8+8+16+5 = 53 payload bits, 32 slots max.
+  EXPECT_EQ(kDeadlineBits + kLossBits + kLossBits + kArrivalBits + kIdBits,
+            53u);
+  EXPECT_EQ(kMaxSlots, 32u);
+}
+
+}  // namespace
+}  // namespace ss::hw

@@ -1,0 +1,339 @@
+// dwcs_test.cpp — the software DWCS layer: Table-2 ordering, the reference
+// scheduler's update semantics, and the user-requirement mode mappings.
+#include <gtest/gtest.h>
+
+#include "dwcs/modes.hpp"
+#include "dwcs/ordering.hpp"
+#include "dwcs/reference_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ss::dwcs {
+namespace {
+
+StreamAttrs attrs(std::uint64_t dl, std::uint32_t x, std::uint32_t y,
+                  std::uint64_t arr, std::uint32_t id, bool pending = true) {
+  return {dl, x, y, arr, id, pending};
+}
+
+// ----------------------------------------------------------- ordering
+
+TEST(Ordering, DeadlineDominates) {
+  EXPECT_TRUE(precedes(attrs(1, 9, 9, 9, 1), attrs(2, 0, 9, 0, 0)));
+}
+
+TEST(Ordering, StrictWeakOrdering) {
+  const auto a = attrs(5, 1, 2, 3, 4);
+  EXPECT_FALSE(precedes(a, a));  // irreflexive
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = attrs(rng.below(4), rng.below(3), rng.below(3),
+                         rng.below(3), rng.below(8));
+    const auto y = attrs(rng.below(4), rng.below(3), rng.below(3),
+                         rng.below(3), rng.below(8));
+    ASSERT_FALSE(precedes(x, y) && precedes(y, x));  // antisymmetric
+  }
+}
+
+TEST(Ordering, EdfVariantIgnoresWindows) {
+  const auto a = attrs(5, 9, 1, 0, 0);
+  const auto b = attrs(5, 0, 9, 1, 1);
+  // Full rules: b outranks (W=0).  EDF: a outranks (earlier arrival).
+  EXPECT_TRUE(precedes(b, a));
+  EXPECT_TRUE(precedes_edf(a, b));
+}
+
+TEST(Ordering, PendingGatesBothVariants) {
+  const auto idle = attrs(0, 0, 9, 0, 0, false);
+  const auto busy = attrs(999, 9, 1, 999, 1, true);
+  EXPECT_TRUE(precedes(busy, idle));
+  EXPECT_TRUE(precedes_edf(busy, idle));
+}
+
+// ------------------------------------------------- reference scheduler
+
+StreamSpec edf_spec(std::uint32_t period, std::uint64_t dl0,
+                    bool droppable = true) {
+  StreamSpec s;
+  s.mode = StreamMode::kEdf;
+  s.period = period;
+  s.initial_deadline = dl0;
+  s.droppable = droppable;
+  return s;
+}
+
+TEST(ReferenceScheduler, PicksEarliestDeadline) {
+  ReferenceScheduler::Options opt;
+  opt.edf_comparison = true;
+  ReferenceScheduler sched(opt);
+  sched.add_stream(edf_spec(10, 7));
+  sched.add_stream(edf_spec(10, 3));
+  sched.push_request(0);
+  sched.push_request(1);
+  const auto d = sched.run_decision_cycle();
+  ASSERT_EQ(d.grants.size(), 1u);
+  EXPECT_EQ(d.grants[0].stream, 1u);
+  EXPECT_TRUE(d.grants[0].met_deadline);
+}
+
+TEST(ReferenceScheduler, IdleCycleAdvancesTime) {
+  ReferenceScheduler sched;
+  sched.add_stream(edf_spec(1, 1));
+  const auto d = sched.run_decision_cycle();
+  EXPECT_TRUE(d.idle);
+  EXPECT_EQ(sched.vtime(), 1u);
+  EXPECT_EQ(sched.decision_cycles(), 1u);
+}
+
+TEST(ReferenceScheduler, DwcsWindowAccountingOverARun) {
+  // One stream with W = 2/4 under 3x overload against two competitors:
+  // the window fields must stay within [0, original] bounds and reset
+  // exactly when both hit zero.
+  ReferenceScheduler sched;
+  StreamSpec wc;
+  wc.mode = StreamMode::kDwcs;
+  wc.period = 3;
+  wc.loss_num = 2;
+  wc.loss_den = 4;
+  wc.initial_deadline = 3;
+  sched.add_stream(wc);
+  sched.add_stream(edf_spec(3, 1));
+  sched.add_stream(edf_spec(3, 2));
+  for (int k = 0; k < 200; ++k) {
+    for (std::uint32_t s = 0; s < 3; ++s) sched.push_request(s);
+    sched.run_decision_cycle();
+    const auto& st = sched.stream(0);
+    // y' >= x' always (you cannot owe more losses than window remains),
+    // except transiently a violated stream grows y' alone.
+    ASSERT_LE(st.attrs.loss_num, 2u);
+    ASSERT_GE(st.attrs.loss_den, 1u);
+  }
+  // Stream 0 holds roughly a third of the service under the 3x overload;
+  // the rest of its requests resolve as drops/misses spread across the
+  // run (droppable heads advance their deadlines, so misses only fire
+  // when the deadline actually lapses).
+  const auto& c = sched.stream(0).counters;
+  EXPECT_GT(c.serviced, 40u);
+  EXPECT_GT(c.serviced + c.missed_deadlines, 50u);
+}
+
+TEST(ReferenceScheduler, ZeroConstraintWinsDeadlineTies) {
+  // Two identical-period streams, one with a zero window-constraint
+  // (cannot tolerate loss): deadlines alternate 50/50 under rule 1 (EDF
+  // dominates), but every deadline TIE must go to the constrained stream
+  // (rule 2: W = 0 is the lowest constraint), and its violations must be
+  // accounted under the 2x overload.
+  ReferenceScheduler sched;
+  StreamSpec constrained;
+  constrained.mode = StreamMode::kDwcs;
+  constrained.period = 1;
+  constrained.loss_num = 0;
+  constrained.loss_den = 2;
+  constrained.initial_deadline = 1;
+  constrained.droppable = false;
+  StreamSpec tolerant = constrained;
+  tolerant.loss_num = 200;  // effectively always tolerable
+  tolerant.loss_den = 255;
+  sched.add_stream(constrained);
+  sched.add_stream(tolerant);
+  // First decision: both heads carry deadline 1 -> the tie must go to the
+  // constrained stream.
+  sched.push_request(0);
+  sched.push_request(1);
+  const auto first = sched.run_decision_cycle();
+  EXPECT_EQ(first.grants.at(0).stream, 0u);
+  for (int k = 0; k < 300; ++k) {
+    sched.push_request(0);
+    sched.push_request(1);
+    sched.run_decision_cycle();
+  }
+  // EDF alternation gives both streams equal long-run service (within the
+  // one-cycle parity of the alternation); the constrained stream never
+  // falls behind.
+  const auto s0 = sched.stream(0).counters.serviced;
+  const auto s1 = sched.stream(1).counters.serviced;
+  EXPECT_LE(s1 > s0 ? s1 - s0 : s0 - s1, 1u);
+  EXPECT_GT(sched.stream(0).counters.violations, 0u);
+}
+
+TEST(ReferenceScheduler, BlockModeGrantsAllPending) {
+  ReferenceScheduler::Options opt;
+  opt.block_mode = true;
+  opt.edf_comparison = true;
+  ReferenceScheduler sched(opt);
+  for (int i = 0; i < 4; ++i) {
+    sched.add_stream(edf_spec(4, static_cast<std::uint64_t>(i) + 1));
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) sched.push_request(s);
+  const auto d = sched.run_decision_cycle();
+  EXPECT_EQ(d.grants.size(), 4u);
+  EXPECT_EQ(d.grants[0].stream, 0u);
+  EXPECT_EQ(*d.circulated, 0u);
+  EXPECT_EQ(sched.vtime(), 4u);
+}
+
+TEST(ReferenceScheduler, MinFirstReversesBlock) {
+  ReferenceScheduler::Options opt;
+  opt.block_mode = true;
+  opt.min_first = true;
+  opt.edf_comparison = true;
+  ReferenceScheduler sched(opt);
+  for (int i = 0; i < 4; ++i) {
+    sched.add_stream(edf_spec(4, static_cast<std::uint64_t>(i) + 1));
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) sched.push_request(s);
+  const auto d = sched.run_decision_cycle();
+  EXPECT_EQ(d.grants[0].stream, 3u);
+  EXPECT_EQ(*d.circulated, 3u);
+}
+
+TEST(ReferenceScheduler, DropsReportLateHeads) {
+  ReferenceScheduler::Options opt;
+  opt.edf_comparison = true;
+  ReferenceScheduler sched(opt);
+  sched.add_stream(edf_spec(1, 1, /*droppable=*/true));
+  sched.add_stream(edf_spec(1000, 2, /*droppable=*/true));
+  sched.push_request(1);
+  // Deterministic trace: cycle 0 serves stream 0 (deadline 1 < 2); cycle 1
+  // both heads carry deadline 2 and stream 1's older request wins the
+  // FCFS tie, so stream 0's now-expired head is the one dropped.
+  sched.push_request(0);
+  auto d = sched.run_decision_cycle();
+  EXPECT_EQ(d.grants.at(0).stream, 0u);
+  EXPECT_TRUE(d.drops.empty());
+  sched.push_request(0);
+  d = sched.run_decision_cycle();
+  EXPECT_EQ(d.grants.at(0).stream, 1u);
+  ASSERT_EQ(d.drops.size(), 1u);
+  EXPECT_EQ(d.drops[0], 0u);
+  EXPECT_EQ(sched.stream(0).counters.missed_deadlines, 1u);
+}
+
+TEST(ReferenceScheduler, FairTagStreamsFollowTags) {
+  ReferenceScheduler::Options opt;
+  opt.edf_comparison = true;
+  ReferenceScheduler sched(opt);
+  StreamSpec fair;
+  fair.mode = StreamMode::kFairTag;
+  sched.add_stream(fair);
+  sched.add_stream(fair);
+  sched.push_tagged_request(0, 10, 0);
+  sched.push_tagged_request(0, 30, 0);
+  sched.push_tagged_request(1, 20, 0);
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 3; ++i) {
+    const auto d = sched.run_decision_cycle();
+    order.push_back(d.grants.at(0).stream);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 0}));
+}
+
+// ------------------------------------------------------------- mappings
+
+TEST(Modes, FairSharePeriodsMatchWeights) {
+  std::vector<StreamRequirement> reqs(4);
+  for (auto& r : reqs) r.kind = RequirementKind::kFairShare;
+  reqs[0].weight = 1;
+  reqs[1].weight = 1;
+  reqs[2].weight = 2;
+  reqs[3].weight = 4;
+  const auto p = fair_share_periods(reqs);
+  // Sum of weights = 8: periods 8, 8, 4, 2 -> shares 1:1:2:4 and full
+  // utilization (1/8 + 1/8 + 1/4 + 1/2 = 1).
+  EXPECT_EQ(p, (std::vector<std::uint32_t>{8, 8, 4, 2}));
+}
+
+TEST(Modes, FairShareIgnoresNonFairEntries) {
+  std::vector<StreamRequirement> reqs(2);
+  reqs[0].kind = RequirementKind::kFairShare;
+  reqs[0].weight = 3;
+  reqs[1].kind = RequirementKind::kEdf;
+  reqs[1].period = 77;
+  const auto p = fair_share_periods(reqs);
+  // Residual = 1 - 1/77: the ideal fair period is 1.013, which rounds UP
+  // to 2 — integer periods never overshoot capacity (1/77 + 1/2 < 1),
+  // the conservative side of the quantization.
+  EXPECT_EQ(p[0], 2u);
+  EXPECT_EQ(p[1], 77u);
+  EXPECT_LT(1.0 / 77 + 1.0 / p[0], 1.0);
+}
+
+TEST(Modes, StaticPriorityMapsToRule3Field) {
+  StreamRequirement r;
+  r.kind = RequirementKind::kStaticPriority;
+  r.priority = 9;
+  const auto hwc = to_slot_config(r, 0);
+  EXPECT_EQ(hwc.mode, hw::SlotMode::kStaticPrio);
+  EXPECT_EQ(hwc.loss_den, 9);
+  EXPECT_EQ(hwc.initial_deadline.raw(), 0u);  // pinned
+  const auto sw = to_stream_spec(r, 0);
+  EXPECT_EQ(sw.mode, StreamMode::kStaticPrio);
+  EXPECT_EQ(sw.loss_den, 9u);
+}
+
+TEST(Modes, WindowConstrainedCarriesFullSpec) {
+  StreamRequirement r;
+  r.kind = RequirementKind::kWindowConstrained;
+  r.period = 5;
+  r.loss_num = 2;
+  r.loss_den = 7;
+  r.droppable = false;
+  const auto hwc = to_slot_config(r, 0);
+  EXPECT_EQ(hwc.mode, hw::SlotMode::kDwcs);
+  EXPECT_EQ(hwc.period, 5);
+  EXPECT_EQ(hwc.loss_num, 2);
+  EXPECT_EQ(hwc.loss_den, 7);
+  EXPECT_FALSE(hwc.droppable);
+}
+
+TEST(Modes, EdfMapsCleanly) {
+  StreamRequirement r;
+  r.kind = RequirementKind::kEdf;
+  r.period = 12;
+  r.initial_deadline = 30;
+  const auto hwc = to_slot_config(r, 0);
+  EXPECT_EQ(hwc.mode, hw::SlotMode::kEdf);
+  EXPECT_EQ(hwc.period, 12);
+  EXPECT_EQ(hwc.initial_deadline.raw(), 30u);
+}
+
+TEST(Modes, FairShareDividesResidualCapacity) {
+  // An EDF stream holding half the link: two equal fair streams split the
+  // remaining half -> periods of 4 (1/4 of the link each), not 2.
+  std::vector<StreamRequirement> reqs(3);
+  reqs[0].kind = RequirementKind::kEdf;
+  reqs[0].period = 2;
+  reqs[1].kind = RequirementKind::kFairShare;
+  reqs[1].weight = 1;
+  reqs[2].kind = RequirementKind::kFairShare;
+  reqs[2].weight = 1;
+  const auto p = fair_share_periods(reqs);
+  EXPECT_EQ(p[0], 2u);
+  EXPECT_EQ(p[1], 4u);
+  EXPECT_EQ(p[2], 4u);
+  // Total utilization lands at exactly 1.
+  EXPECT_NEAR(1.0 / p[0] + 1.0 / p[1] + 1.0 / p[2], 1.0, 1e-9);
+}
+
+TEST(Modes, StaticPriorityReservesNoResidual) {
+  std::vector<StreamRequirement> reqs(2);
+  reqs[0].kind = RequirementKind::kStaticPriority;
+  reqs[0].priority = 9;
+  reqs[1].kind = RequirementKind::kFairShare;
+  reqs[1].weight = 2;
+  const auto p = fair_share_periods(reqs);
+  EXPECT_EQ(p[1], 1u);  // fair stream gets the whole link
+}
+
+TEST(Modes, FairSharePeriodClampsToOne) {
+  std::vector<StreamRequirement> reqs(2);
+  reqs[0].kind = RequirementKind::kFairShare;
+  reqs[0].weight = 1000.0;
+  reqs[1].kind = RequirementKind::kFairShare;
+  reqs[1].weight = 0.001;
+  const auto p = fair_share_periods(reqs);
+  EXPECT_GE(p[0], 1u);
+  EXPECT_GT(p[1], 100000u);
+}
+
+}  // namespace
+}  // namespace ss::dwcs

@@ -1,0 +1,219 @@
+// extensions_test.cpp — the Section-6 future-work features: compute-ahead
+// Register Base blocks, the Virtex-II projection, and the MPEG
+// variable-granularity source.
+#include <gtest/gtest.h>
+
+#include "hw/area_model.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "hw/timing_model.hpp"
+#include "queueing/traffic_gen.hpp"
+#include "util/rng.hpp"
+
+namespace ss {
+namespace {
+
+// -------------------------------------------------------- compute-ahead
+
+hw::SchedulerChip make_chip(bool compute_ahead, unsigned slots,
+                            bool block = false) {
+  hw::ChipConfig cfg;
+  cfg.slots = slots;
+  cfg.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  cfg.compute_ahead = compute_ahead;
+  cfg.block_mode = block;
+  if (block) cfg.schedule = hw::SortSchedule::kBitonic;
+  hw::SchedulerChip chip(cfg);
+  for (unsigned i = 0; i < slots; ++i) {
+    hw::SlotConfig sc;
+    sc.mode = hw::SlotMode::kDwcs;
+    sc.period = 1 + i % 5;
+    sc.loss_num = static_cast<hw::Loss>(i % 3);
+    sc.loss_den = static_cast<hw::Loss>(2 + i % 3);
+    sc.droppable = (i % 2) == 0;
+    sc.initial_deadline = hw::Deadline{i + 1};
+    chip.load_slot(static_cast<hw::SlotId>(i), sc);
+  }
+  return chip;
+}
+
+TEST(ComputeAhead, CollapsesUpdateToOneCycle) {
+  auto base = make_chip(false, 4);
+  auto ahead = make_chip(true, 4);
+  base.push_request(0);
+  ahead.push_request(0);
+  const auto a = base.run_decision_cycle();
+  const auto b = ahead.run_decision_cycle();
+  EXPECT_EQ(a.hw_cycles, 13u);       // 4 + 2 + 3 + 4
+  EXPECT_EQ(b.hw_cycles, 11u);       // 4 + 2 + 1 + 4
+}
+
+TEST(ComputeAhead, BitIdenticalOutcomes) {
+  // Predication precomputes both candidate next states; selecting one by
+  // the circulated ID must never change results, only timing.
+  for (const bool block : {false, true}) {
+    auto base = make_chip(false, 8, block);
+    auto ahead = make_chip(true, 8, block);
+    Rng rng(404);
+    for (int k = 0; k < 3000; ++k) {
+      for (unsigned i = 0; i < 8; ++i) {
+        if (rng.chance(0.5)) {
+          base.push_request(static_cast<hw::SlotId>(i));
+          ahead.push_request(static_cast<hw::SlotId>(i));
+        }
+      }
+      const auto a = base.run_decision_cycle();
+      const auto b = ahead.run_decision_cycle();
+      ASSERT_EQ(a.idle, b.idle);
+      ASSERT_EQ(a.grants.size(), b.grants.size());
+      for (std::size_t g = 0; g < a.grants.size(); ++g) {
+        ASSERT_EQ(a.grants[g].slot, b.grants[g].slot);
+        ASSERT_EQ(a.grants[g].met_deadline, b.grants[g].met_deadline);
+      }
+      ASSERT_EQ(a.drops, b.drops);
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(base.slot(static_cast<hw::SlotId>(i)).counters().serviced,
+                ahead.slot(static_cast<hw::SlotId>(i)).counters().serviced);
+    }
+  }
+}
+
+TEST(ComputeAhead, CostsAreaPerSlot) {
+  hw::AreaModel plain;
+  hw::AreaModel ca;
+  ca.set_compute_ahead(true);
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const auto d = ca.area(n, hw::ArchConfig::kWinnerRouting).total() -
+                   plain.area(n, hw::ArchConfig::kWinnerRouting).total();
+    EXPECT_EQ(d, n * hw::AreaModel::kComputeAheadSlicesPerSlot);
+  }
+}
+
+TEST(ComputeAhead, ImprovesSustainedRate) {
+  const hw::AreaModel m;
+  hw::ControlTiming base_t{};
+  hw::ControlTiming ca_t{};
+  ca_t.update_cycles = 1;
+  const hw::TimingModel base(m, base_t), ca(m, ca_t);
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_GT(ca.report(n, hw::ArchConfig::kWinnerRouting, false)
+                  .decisions_per_sec,
+              base.report(n, hw::ArchConfig::kWinnerRouting, false)
+                  .decisions_per_sec);
+  }
+}
+
+// ------------------------------------------------------------ Virtex-II
+
+TEST(VirtexII, DeviceTableOrderedAndNamed) {
+  const auto& v2 = hw::virtex2_devices();
+  ASSERT_GE(v2.size(), 5u);
+  for (std::size_t i = 1; i < v2.size(); ++i) {
+    EXPECT_GT(v2[i].slices, v2[i - 1].slices);
+    EXPECT_EQ(v2[i].family, hw::FpgaFamily::kVirtexII);
+  }
+}
+
+TEST(VirtexII, HardMultipliersShrinkDecisionBlocks) {
+  const hw::AreaModel v1(hw::FpgaFamily::kVirtexI);
+  const hw::AreaModel v2(hw::FpgaFamily::kVirtexII);
+  for (unsigned n : {4u, 16u, 32u}) {
+    EXPECT_LT(v2.area(n, hw::ArchConfig::kBlockArchitecture).decision_slices,
+              v1.area(n, hw::ArchConfig::kBlockArchitecture).decision_slices);
+    // Register/control areas unchanged.
+    EXPECT_EQ(v2.area(n, hw::ArchConfig::kBlockArchitecture).register_slices,
+              v1.area(n, hw::ArchConfig::kBlockArchitecture).register_slices);
+  }
+}
+
+TEST(VirtexII, FitsOnFamilyParts) {
+  const hw::AreaModel v2(hw::FpgaFamily::kVirtexII);
+  const hw::Device* d = v2.smallest_fit(32, hw::ArchConfig::kBlockArchitecture);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->family, hw::FpgaFamily::kVirtexII);
+}
+
+TEST(VirtexII, UnlocksWorstCaseFramesAtMoreSlots) {
+  const hw::AreaModel v1(hw::FpgaFamily::kVirtexI);
+  const hw::AreaModel v2(hw::FpgaFamily::kVirtexII);
+  const hw::TimingModel t1(v1, hw::ControlTiming{});
+  const hw::TimingModel t2(v2, hw::ControlTiming{});
+  // 64 B @ 10 Gb: infeasible for V1 WR at 8 slots, feasible for V2.
+  EXPECT_FALSE(t1.feasible(8, hw::ArchConfig::kWinnerRouting, false, 64,
+                           10.0));
+  EXPECT_TRUE(t2.feasible(8, hw::ArchConfig::kWinnerRouting, false, 64,
+                          10.0));
+}
+
+// -------------------------------------------------------------- MpegGen
+
+TEST(MpegGen, PeriodicArrivals) {
+  queueing::MpegGen gen(33'000'000, {}, 7);
+  EXPECT_EQ(gen.next_arrival_ns(), 0u);
+  EXPECT_EQ(gen.next_arrival_ns(), 33'000'000u);
+  EXPECT_EQ(gen.next_arrival_ns(), 66'000'000u);
+}
+
+TEST(MpegGen, GopPatternSizes) {
+  queueing::MpegGen::Gop gop;
+  gop.jitter = 0.0;  // exact sizes
+  queueing::MpegGen gen(33'000'000, gop, 7);
+  // GOP: I BB P BB P BB P BB (anchors = 1 + 4 P, 2 B after each anchor).
+  EXPECT_EQ(gen.next_bytes(0), gop.i_bytes);
+  EXPECT_EQ(gen.next_bytes(0), gop.b_bytes);
+  EXPECT_EQ(gen.next_bytes(0), gop.b_bytes);
+  EXPECT_EQ(gen.next_bytes(0), gop.p_bytes);
+  EXPECT_EQ(gen.next_bytes(0), gop.b_bytes);
+}
+
+TEST(MpegGen, GopRepeats) {
+  queueing::MpegGen::Gop gop;
+  gop.jitter = 0.0;
+  queueing::MpegGen gen(1, gop, 7);
+  const unsigned gop_len = (1 + gop.p_per_gop) * (1 + gop.b_per_anchor);
+  std::vector<std::uint32_t> first;
+  for (unsigned i = 0; i < gop_len; ++i) first.push_back(gen.next_bytes(0));
+  for (unsigned i = 0; i < gop_len; ++i) {
+    EXPECT_EQ(gen.next_bytes(0), first[i]) << i;
+  }
+}
+
+TEST(MpegGen, MeanMatchesLongRunAverage) {
+  queueing::MpegGen::Gop gop;
+  queueing::MpegGen gen(1, gop, 99);
+  double sum = 0;
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) sum += gen.next_bytes(0);
+  EXPECT_NEAR(sum / n, gen.mean_frame_bytes(),
+              gen.mean_frame_bytes() * 0.01);
+}
+
+TEST(MpegGen, JitterBounded) {
+  queueing::MpegGen::Gop gop;
+  gop.jitter = 0.10;
+  queueing::MpegGen reference(1, [] {
+    queueing::MpegGen::Gop g;
+    g.jitter = 0;
+    return g;
+  }(), 1);
+  queueing::MpegGen jittered(1, gop, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double base = reference.next_bytes(0);
+    const double jit = jittered.next_bytes(0);
+    EXPECT_GE(jit, base * 0.899);
+    EXPECT_LE(jit, base * 1.101);
+  }
+}
+
+TEST(MpegGen, GenerateCarriesVariableSizes) {
+  queueing::MpegGen::Gop gop;
+  gop.jitter = 0.0;
+  queueing::MpegGen gen(1000, gop, 3);
+  const auto frames = gen.generate(0, 4, /*default ignored=*/1500);
+  EXPECT_EQ(frames[0].bytes, gop.i_bytes);
+  EXPECT_EQ(frames[1].bytes, gop.b_bytes);
+  EXPECT_EQ(frames[3].bytes, gop.p_bytes);
+}
+
+}  // namespace
+}  // namespace ss

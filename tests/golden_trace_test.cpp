@@ -1,0 +1,112 @@
+// golden_trace_test.cpp — a frozen, hand-verified decision trace.
+//
+// The cross-check suite proves chip == oracle; this test pins both to the
+// PAPER's semantics by freezing an exact 24-cycle trace whose opening
+// cycles were verified by hand against the Table-2 rules and the update
+// rules (the derivation for k=0..4 is in the comments).  Any future change
+// to ordering or update semantics trips this immediately.
+//
+// Scenario (4 slots, DWCS comparators, WR max-finding; requests pushed to
+// slot i at cycle k when (k+i) is even):
+//   S0: T=2 x/y=1/3 dl0=2 droppable      S1: T=3 x/y=0/2 dl0=3 non-drop
+//   S2: T=4 x/y=2/5 dl0=1 droppable      S3: T=2 x/y=1/2 dl0=4 non-drop
+//
+// Hand derivation of the opening:
+//  k=0 (vt 0): pending S0(dl2), S2(dl1).  Rule 1: S2 wins (met: 1>0).
+//      S2 winner-adjust: 2/5 -> 1/4, dl -> 5.
+//  k=1: +S1,S3.  S0(dl2) earliest -> wins, met.  1/3 -> 0/2, dl -> 4.
+//  k=2: +S0,S2.  S1(dl3) wins, met.  x'=0: y 2->1, dl -> 6.
+//  k=3: +S1,S3.  S0(dl4) ties S3(dl4); rule 2: S0's W=0/2 is the lowest
+//      constraint -> S0 wins, met.  y 2->1... reset? x=0,y=1 stays.  dl->6.
+//      Miss check at vt=4: S3(dl4) expired (<=) -> miss, non-droppable.
+//  k=4: +S0,S2.  S3(dl4, latched) earliest -> wins LATE (met=0).
+//      1/2 -> 0/1, dl -> 6.  Miss at vt=5: S2(dl5) expired -> dropped,
+//      loser-adjust 1/4 -> 0/3, dl -> 9.
+#include <gtest/gtest.h>
+
+#include "hw/scheduler_chip.hpp"
+
+namespace ss::hw {
+namespace {
+
+TEST(GoldenTrace, TwentyFourCyclesFrozen) {
+  ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = ComparisonMode::kDwcsFull;
+  SchedulerChip chip(cfg);
+  struct Init {
+    std::uint16_t T;
+    Loss x, y;
+    std::uint64_t d;
+    bool drop;
+  };
+  const Init init[4] = {{2, 1, 3, 2, true},
+                        {3, 0, 2, 3, false},
+                        {4, 2, 5, 1, true},
+                        {2, 1, 2, 4, false}};
+  for (unsigned i = 0; i < 4; ++i) {
+    SlotConfig c;
+    c.mode = SlotMode::kDwcs;
+    c.period = init[i].T;
+    c.loss_num = init[i].x;
+    c.loss_den = init[i].y;
+    c.droppable = init[i].drop;
+    c.initial_deadline = Deadline{init[i].d};
+    chip.load_slot(static_cast<SlotId>(i), c);
+  }
+
+  // Frozen expectations: winner slot, winner met-deadline, drops.
+  struct Exp {
+    SlotId win;
+    bool met;
+    std::vector<SlotId> drops;
+  };
+  const std::vector<Exp> expected = {
+      {2, true, {}},  {0, true, {}},  {1, true, {}},  {0, true, {}},
+      {3, false, {2}}, {1, true, {0}}, {3, false, {}}, {0, true, {}},
+      {3, false, {2}}, {1, false, {0}}, {3, false, {}}, {1, true, {0}},
+      {3, false, {2}}, {0, true, {}},  {3, false, {}}, {1, false, {0}},
+      {3, false, {2}}, {0, true, {}},  {1, false, {}}, {3, false, {0}},
+      {3, false, {2}}, {1, false, {0}}, {3, false, {}}, {0, true, {}},
+  };
+  for (int k = 0; k < 24; ++k) {
+    for (unsigned i = 0; i < 4; ++i) {
+      if ((k + i) % 2 == 0) chip.push_request(static_cast<SlotId>(i));
+    }
+    const DecisionOutcome out = chip.run_decision_cycle();
+    ASSERT_FALSE(out.idle) << "k=" << k;
+    ASSERT_EQ(out.grants.size(), 1u) << "k=" << k;
+    EXPECT_EQ(out.grants[0].slot, expected[k].win) << "k=" << k;
+    EXPECT_EQ(out.grants[0].met_deadline, expected[k].met) << "k=" << k;
+    EXPECT_EQ(out.drops, expected[k].drops) << "k=" << k;
+  }
+
+  // Frozen end-state counters.
+  struct End {
+    std::uint64_t served, miss, viol, win, late;
+    std::uint32_t backlog;
+    Loss x, y;
+  };
+  const End end[4] = {{6, 6, 6, 6, 0, 0, 0, 3},
+                      {7, 9, 5, 7, 4, 5, 0, 2},
+                      {1, 5, 4, 1, 0, 6, 0, 7},
+                      {10, 21, 1, 10, 10, 2, 0, 1}};
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto& c = chip.slot(static_cast<SlotId>(i)).counters();
+    EXPECT_EQ(c.serviced, end[i].served) << "S" << i;
+    EXPECT_EQ(c.missed_deadlines, end[i].miss) << "S" << i;
+    EXPECT_EQ(c.violations, end[i].viol) << "S" << i;
+    EXPECT_EQ(c.winner_cycles, end[i].win) << "S" << i;
+    EXPECT_EQ(c.late_transmissions, end[i].late) << "S" << i;
+    EXPECT_EQ(chip.slot(static_cast<SlotId>(i)).backlog(), end[i].backlog)
+        << "S" << i;
+    EXPECT_EQ(chip.slot(static_cast<SlotId>(i)).loss_num(), end[i].x)
+        << "S" << i;
+    EXPECT_EQ(chip.slot(static_cast<SlotId>(i)).loss_den(), end[i].y)
+        << "S" << i;
+  }
+  EXPECT_EQ(chip.vtime(), 24u);
+}
+
+}  // namespace
+}  // namespace ss::hw

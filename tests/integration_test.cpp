@@ -1,0 +1,282 @@
+// integration_test.cpp — end-to-end checks that the paper's experiments
+// reproduce with the right SHAPE (EXPERIMENTS.md records the exact values
+// beside the paper's).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/aggregation.hpp"
+#include "core/endsystem.hpp"
+#include "hw/scheduler_chip.hpp"
+
+namespace ss {
+namespace {
+
+hw::SlotConfig table3_slot(std::uint16_t period, std::uint64_t dl0) {
+  hw::SlotConfig c;
+  c.mode = hw::SlotMode::kEdf;
+  c.period = period;
+  c.droppable = false;  // Table 3 counts a miss every cycle a head is late
+  c.initial_deadline = hw::Deadline{dl0};
+  return c;
+}
+
+// Run the Table-3 workload: 4 streams, successive deadlines one apart,
+// requested every decision cycle, EDF mode.
+struct Table3Result {
+  std::uint64_t missed[4];
+  std::uint64_t winner_cycles[4];
+  std::uint64_t decision_cycles;
+  std::uint64_t frames;
+  std::uint64_t total_missed() const {
+    return missed[0] + missed[1] + missed[2] + missed[3];
+  }
+};
+
+Table3Result run_table3(bool block, bool min_first,
+                        std::uint64_t frames_per_stream) {
+  hw::ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.block_mode = block;
+  cfg.min_first = min_first;
+  cfg.schedule = hw::SortSchedule::kPerfectShuffle;
+  hw::SchedulerChip chip(cfg);
+  const std::uint16_t period = chip.period_per_decision_cycle();
+  // "We assigned each of the four streams successive deadlines that are
+  // one time unit apart."
+  for (unsigned i = 0; i < 4; ++i) {
+    chip.load_slot(static_cast<hw::SlotId>(i), table3_slot(period, i + 1));
+  }
+  // "Each stream was requested every decision-cycle (T_i = 1)."
+  std::uint64_t granted = 0;
+  std::uint64_t pushed = 0;
+  const std::uint64_t total = 4 * frames_per_stream;
+  while (granted < total) {
+    if (pushed < total) {
+      for (unsigned i = 0; i < 4; ++i) {
+        chip.push_request(static_cast<hw::SlotId>(i));
+      }
+      pushed += 4;
+    }
+    granted += chip.run_decision_cycle().grants.size();
+  }
+  Table3Result r{};
+  for (unsigned i = 0; i < 4; ++i) {
+    r.missed[i] = chip.slot(static_cast<hw::SlotId>(i))
+                      .counters()
+                      .missed_deadlines;
+    r.winner_cycles[i] =
+        chip.slot(static_cast<hw::SlotId>(i)).counters().winner_cycles;
+  }
+  r.decision_cycles = chip.decision_cycles();
+  r.frames = granted;
+  return r;
+}
+
+// Scaled Table 3: 4000 frames/stream (16000 total) keeps the 16-bit
+// deadline spread of the non-droppable backlog inside the serial horizon;
+// the paper's 64000-frame totals scale linearly (EXPERIMENTS.md).
+constexpr std::uint64_t kT3Frames = 4000;
+
+TEST(Table3, MaxFindingMissesAboutOncePerStreamPerCycle) {
+  const auto r = run_table3(false, false, kT3Frames);
+  // 64000-frame paper run: 255,950 misses over 64,000 cycles = 3.999 per
+  // cycle.  Scaled: ~4 per cycle minus a small startup deficit.
+  EXPECT_EQ(r.frames, 4 * kT3Frames);
+  EXPECT_EQ(r.decision_cycles, 4 * kT3Frames);  // one frame per cycle
+  const double per_cycle =
+      static_cast<double>(r.total_missed()) / r.decision_cycles;
+  EXPECT_GT(per_cycle, 3.9);
+  EXPECT_LE(per_cycle, 4.0);
+  // Every stream gets a quarter of the service (the paper's 16000-each
+  // "decision cycles" column, scaled).
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(r.winner_cycles[i]),
+                static_cast<double>(kT3Frames), kT3Frames * 0.02);
+  }
+}
+
+TEST(Table3, BlockMaxFirstMeetsEveryDeadline) {
+  const auto r = run_table3(true, false, kT3Frames);
+  EXPECT_EQ(r.total_missed(), 0u);  // the paper's headline result
+  // 4x fewer decision cycles: 64000 frames in 16000 cycles.
+  EXPECT_EQ(r.decision_cycles, kT3Frames);
+  EXPECT_EQ(r.frames, 4 * kT3Frames);
+}
+
+TEST(Table3, BlockMinFirstMissesSubstantially) {
+  const auto r = run_table3(true, true, kT3Frames);
+  EXPECT_GT(r.total_missed(), kT3Frames / 2);  // far from zero
+  EXPECT_EQ(r.decision_cycles, kT3Frames);     // still 4x throughput
+}
+
+TEST(Table3, OrderingAcrossConfigurations) {
+  // The paper's qualitative result: max-first (0) < min-first <
+  // max-finding.
+  const auto wr = run_table3(false, false, kT3Frames);
+  const auto max_first = run_table3(true, false, kT3Frames);
+  const auto min_first = run_table3(true, true, kT3Frames);
+  EXPECT_LT(max_first.total_missed(), min_first.total_missed());
+  EXPECT_LT(min_first.total_missed(), wr.total_missed());
+}
+
+// --------------------------------------------------------------- Figure 8
+
+core::EndsystemConfig fair_cfg(bool keep_series) {
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.link_gbps = 0.128;  // 16 MBps total: the Figure-8/10 bandwidth scale
+  cfg.keep_series = keep_series;
+  return cfg;
+}
+
+TEST(Figure8, FairBandwidthRatios1124) {
+  core::Endsystem es(fair_cfg(false));
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  // Weight-proportional counts keep all four streams contended to the end.
+  es.run(std::vector<std::uint64_t>{500, 500, 1000, 2000});
+  const auto& mon = es.monitor();
+  const double b0 = mon.mean_mbps(0);
+  EXPECT_GT(b0, 0.0);
+  EXPECT_NEAR(mon.mean_mbps(1) / b0, 1.0, 0.08);
+  EXPECT_NEAR(mon.mean_mbps(2) / b0, 2.0, 0.15);
+  EXPECT_NEAR(mon.mean_mbps(3) / b0, 4.0, 0.30);
+  // Absolute scale: 16 MBps split 1:1:2:4 -> 2, 2, 4, 8 MBps.
+  EXPECT_NEAR(b0, 2.0, 0.4);
+  EXPECT_NEAR(mon.mean_mbps(3), 8.0, 1.2);
+}
+
+TEST(Figure8, Stream4LowestDelay) {
+  // "Note that the reduced delay for Stream 4 is consistent with Figure 8."
+  core::Endsystem es(fair_cfg(false));
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  es.run(std::vector<std::uint64_t>{500, 500, 1000, 2000});
+  const auto& mon = es.monitor();
+  EXPECT_LT(mon.mean_delay_us(3), mon.mean_delay_us(0));
+  EXPECT_LT(mon.mean_delay_us(3), mon.mean_delay_us(1));
+  EXPECT_LT(mon.mean_delay_us(3), mon.mean_delay_us(2));
+}
+
+// --------------------------------------------------------------- Figure 9
+
+TEST(Figure9, BurstGapsProduceDelayZigZag) {
+  // Bursty generator (multi-ms gap after each burst): delay climbs within
+  // a burst and collapses after a gap -> the series must be non-monotone
+  // with a large dynamic range.
+  core::EndsystemConfig cfg = fair_cfg(true);
+  core::Endsystem es(cfg);
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    // Bursts of 100 frames arriving back-to-back, then a 100 ms gap —
+    // long enough for the 37.5 ms of queued burst work to drain, so the
+    // delay envelope collapses between bursts.
+    es.add_stream(
+        r, std::make_unique<queueing::BurstyGen>(100, 100, 100'000'000),
+        1500);
+  }
+  es.run(1600);  // sixteen bursts per stream
+  const auto& series = es.monitor().delay_series(0);
+  ASSERT_GT(series.size(), 100u);
+  // Zig-zag: count direction changes of the delay envelope.
+  int direction_changes = 0;
+  for (std::size_t i = 2; i < series.size(); ++i) {
+    const double d1 = series[i - 1].delay_us - series[i - 2].delay_us;
+    const double d2 = series[i].delay_us - series[i - 1].delay_us;
+    if (d1 * d2 < 0 &&
+        std::abs(series[i].delay_us - series[i - 1].delay_us) > 1000.0) {
+      ++direction_changes;
+    }
+  }
+  EXPECT_GE(direction_changes, 3);  // one collapse per inter-burst gap
+}
+
+// -------------------------------------------------------------- Figure 10
+
+TEST(Figure10, StreamletBandwidthFollowsSlotAndSetShares) {
+  // 100 streamlets per slot, slots at 2:2:4:8 MBps; slot 4 split into two
+  // sets with set 1 at twice set 2's share.
+  core::Endsystem es(fair_cfg(false));
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  core::AggregationManager agg;
+  for (int s = 0; s < 3; ++s) agg.bind_slot({{100, 1}});
+  agg.bind_slot({{50, 2}, {50, 1}});
+
+  // Drive the endsystem and fan grants out to streamlets (weight-
+  // proportional counts keep the slots contended throughout).
+  es.run(std::vector<std::uint64_t>{500, 500, 1000, 2000});
+  const auto& mon = es.monitor();
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    for (std::uint64_t f = 0; f < mon.frames(slot); ++f) {
+      agg.on_grant(slot);
+    }
+  }
+  // Slots 1-3: equal per-streamlet shares = slot_bw / 100.
+  for (std::uint32_t slot = 0; slot < 3; ++slot) {
+    const auto& g = agg.grants(slot);
+    for (std::uint32_t i = 1; i < 100; ++i) {
+      EXPECT_NEAR(static_cast<double>(g[i]), static_cast<double>(g[0]), 2.0);
+    }
+  }
+  // Slot 4: set 1 streamlets get ~2x set 2 streamlets.
+  const auto& g = agg.grants(3);
+  const double set1 = static_cast<double>(g[0]);
+  const double set2 = static_cast<double>(g[50]);
+  EXPECT_NEAR(set1 / set2, 2.0, 0.2);
+  // Per-streamlet bandwidth check: slot 4's set-1 streamlet beats any
+  // slot-1 streamlet (0.107 vs 0.02 MBps in the paper's units).
+  const double slot0_per = mon.mean_mbps(0) / 100.0;
+  const double slot3_set1_per =
+      mon.mean_mbps(3) * (2.0 / 3.0) / 50.0;
+  EXPECT_GT(slot3_set1_per, 3.0 * slot0_per);
+}
+
+// ------------------------------------------------------------ Section 5.2
+
+TEST(Section52, EndsystemSlowerWithPciAndBothBelowLinecardModel) {
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.pci_batch = 1;  // the paper's PIO (unbatched) configuration
+  cfg.keep_series = false;
+  core::Endsystem es(cfg);
+  for (double w : {1.0, 1.0, 2.0, 4.0}) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kFairShare;
+    r.weight = w;
+    r.droppable = false;
+    es.add_stream(r, std::make_unique<queueing::CbrGen>(100), 1500);
+  }
+  const auto rep = es.run(4000);
+  EXPECT_GT(rep.pps_excl_pci, rep.pps_incl_pci);
+  // The PCI PIO penalty lands in the paper's ballpark: they saw
+  // 469k -> 299k pps, a ~36% drop; require a visible drop here too.
+  const double drop = 1.0 - rep.pps_incl_pci / rep.pps_excl_pci;
+  EXPECT_GT(drop, 0.05);
+}
+
+}  // namespace
+}  // namespace ss

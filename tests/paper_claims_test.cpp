@@ -1,0 +1,206 @@
+// paper_claims_test.cpp — the traceability matrix: one test per textual
+// claim of the paper, each quoting the sentence it pins down.  Broader
+// suites cover these behaviours in depth; this file exists so a reviewer
+// can map claim -> executable check in one place.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/aggregation.hpp"
+#include "core/endsystem.hpp"
+#include "hw/area_model.hpp"
+#include "hw/scheduler_chip.hpp"
+#include "hw/timing_model.hpp"
+#include "util/sim_time.hpp"
+
+namespace ss {
+namespace {
+
+// "Our hardware implemented in the Xilinx Virtex family easily scales
+// from 4 to 32 stream-slots on a single chip."  (Abstract)
+TEST(PaperClaims, Abstract_ScalesTo32SlotsOnOneChip) {
+  const hw::AreaModel m;
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const hw::Device* d =
+        m.smallest_fit(n, hw::ArchConfig::kBlockArchitecture);
+    ASSERT_NE(d, nullptr) << n;
+    EXPECT_LE(m.area(n, hw::ArchConfig::kBlockArchitecture).total(),
+              hw::virtex1_devices().back().slices);
+  }
+}
+
+// "FPGA hardware uses a single-cycle Decision block to compare multiple
+// stream attributes simultaneously for pairwise ordering."  (Abstract)
+TEST(PaperClaims, Abstract_SingleCycleMultiAttributeDecision) {
+  // One network pass = one hardware cycle, and within it every Decision
+  // block resolves a full multi-attribute comparison (deadline + window
+  // fields + arrival), not just one field.
+  hw::ShuffleNetwork net(4, hw::SortSchedule::kPerfectShuffle,
+                         hw::ComparisonMode::kDwcsFull);
+  std::vector<hw::AttrWord> w(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    w[i].deadline = hw::Deadline{5};          // ties on rule 1
+    w[i].loss_num = static_cast<hw::Loss>(1); // ties on rule 2 numerically
+    w[i].loss_den = static_cast<hw::Loss>(4 - i);  // decided by rule 2
+    w[i].id = static_cast<hw::SlotId>(i);
+    w[i].pending = true;
+  }
+  net.load(w);
+  net.step();  // exactly one cycle
+  EXPECT_EQ(net.passes_executed(), 1u);
+  // The pass already ordered each pair by the window constraint.
+  EXPECT_EQ(net.lanes()[0].loss_den, 4);  // 1/4 beat 1/2 within its pair
+}
+
+// "The network requires N Register Base blocks, (N/2) Decision blocks and
+// log2(N) cycles of the recirculating shuffle-exchange network for
+// determination of a winner stream."  (Section 4.3)
+TEST(PaperClaims, Sec43_ComponentCounts) {
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const hw::AreaModel m;
+    const auto b = m.area(n, hw::ArchConfig::kWinnerRouting);
+    EXPECT_EQ(b.register_slices, n * 150u);
+    EXPECT_EQ(b.decision_slices, (n / 2) * 190u);
+    EXPECT_EQ(hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, n),
+              hw::schedule_passes(hw::SortSchedule::kPerfectShuffle, n));
+    hw::ShuffleNetwork net(n, hw::SortSchedule::kPerfectShuffle,
+                           hw::ComparisonMode::kDwcsFull);
+    unsigned k = 0;
+    while ((1u << k) < n) ++k;
+    EXPECT_EQ(net.total_passes(), k);
+    for (unsigned p = 0; p < net.total_passes(); ++p) {
+      EXPECT_EQ(net.pairings(p).size(), n / 2);
+    }
+  }
+}
+
+// "The stream processor communicates 16-bit arrival-time offsets to the
+// Scheduler hardware unit (not the packets themselves) and reads/receives
+// 5-bit Stream IDs."  (Section 4.2)
+TEST(PaperClaims, Sec42_OffsetsNotPackets) {
+  // The bus cost of the exchange is bytes-per-packet-scale, three orders
+  // below shipping a 1500 B frame.
+  const hw::PciModel pci;
+  const auto exchange = count(pci.per_packet_pio_exchange(32));
+  const auto frame = count(pci.pio_write(1500));
+  EXPECT_LT(exchange * 20, frame);
+  EXPECT_EQ(hw::kArrivalBits, 16u);
+  EXPECT_EQ(hw::kIdBits, 5u);
+}
+
+// "This can improve scheduler throughput by a factor of block size."
+// (Section 1, Contributions)
+TEST(PaperClaims, Sec1_BlockThroughputFactor) {
+  const hw::AreaModel m;
+  const hw::TimingModel tm(m, hw::ControlTiming{});
+  for (unsigned n : {4u, 8u, 32u}) {
+    const auto wr =
+        tm.report(n, hw::ArchConfig::kBlockArchitecture, false);
+    const auto blk =
+        tm.report(n, hw::ArchConfig::kBlockArchitecture, true);
+    EXPECT_DOUBLE_EQ(blk.frames_per_sec / wr.frames_per_sec, n);
+  }
+}
+
+// "Scheduling disciplines must be able to make a decision within a
+// packet-time (packet-length / line-speed)."  (Section 1)
+TEST(PaperClaims, Sec1_PacketTimeNumbers) {
+  // "the Ethernet frame time on a 10 Gigabit link ranges from
+  // approximately 0.05 microseconds (64 byte) to 1.2 microseconds
+  // (1500 byte)."
+  EXPECT_NEAR(packet_time_ns(64, 10.0) / 1000.0, 0.05, 0.002);
+  EXPECT_NEAR(packet_time_ns(1500, 10.0) / 1000.0, 1.2, 0.01);
+}
+
+// "Arrangement of decision blocks in a recirculating shuffle-exchange
+// network, requires only (N/2) decision blocks (only one level of the
+// equivalent Decision block tree)."  (Section 4.3) — vs N-1 for the tree.
+TEST(PaperClaims, Sec43_HalfTheTree) {
+  for (unsigned n : {8u, 16u, 32u}) {
+    const unsigned tree_blocks = n - 1;
+    const unsigned shuffle_blocks = n / 2;
+    EXPECT_LT(shuffle_blocks, tree_blocks);
+    EXPECT_LT(shuffle_blocks * 190, tree_blocks * 190);
+  }
+}
+
+// "In the max-finding configuration ... Only one stream can be picked
+// every decision cycle" / block mode grants all (Table 3 context).
+TEST(PaperClaims, Sec51_GrantCardinalities) {
+  for (const bool block : {false, true}) {
+    hw::ChipConfig cfg;
+    cfg.slots = 4;
+    cfg.cmp_mode = hw::ComparisonMode::kTagOnly;
+    cfg.block_mode = block;
+    hw::SchedulerChip chip(cfg);
+    for (unsigned i = 0; i < 4; ++i) {
+      hw::SlotConfig sc;
+      sc.mode = hw::SlotMode::kEdf;
+      sc.period = chip.period_per_decision_cycle();
+      sc.initial_deadline = hw::Deadline{i + 1};
+      chip.load_slot(static_cast<hw::SlotId>(i), sc);
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+      chip.push_request(static_cast<hw::SlotId>(i));
+    }
+    const auto out = chip.run_decision_cycle();
+    EXPECT_EQ(out.grants.size(), block ? 4u : 1u);
+  }
+}
+
+// "Stream aggregation is easy to achieve using processor resources ...
+// The idea is to save FPGA resources for streams not desiring per-stream
+// QoS by using cheaper processor/memory resources."  (Section 5.1)
+TEST(PaperClaims, Sec51_AggregationSavesFpgaArea) {
+  const hw::AreaModel m;
+  // 400 per-stream slots would need 400 register blocks; 4 slots + host
+  // queues need 4.  The FPGA-side saving is a factor of the aggregation.
+  const unsigned per_stream_area = 400 * 150;
+  const unsigned aggregated_area =
+      m.area(4, hw::ArchConfig::kWinnerRouting).register_slices;
+  EXPECT_GT(per_stream_area / aggregated_area, 50u);
+  // And the host side actually delivers the aggregate split:
+  core::AggregationManager agg;
+  const auto slot = agg.bind_slot({{100, 1}});
+  for (int i = 0; i < 1000; ++i) agg.on_grant(slot);
+  EXPECT_EQ(agg.grants(slot)[0], 10u);
+}
+
+// "Stream-specific deadlines are not possible with aggregation, although
+// the stream-slot they are bound to will be guaranteed a delay-bound."
+// (Section 6)
+TEST(PaperClaims, Sec6_AggregationDelayBoundIsPerSlot) {
+  std::vector<dwcs::StreamRequirement> reqs(1);
+  reqs[0].kind = dwcs::RequirementKind::kFairShare;
+  reqs[0].weight = 1.0;
+  const auto rep = core::AdmissionController::analyze(reqs);
+  ASSERT_TRUE(rep.admitted);
+  // One bound exists for the slot; the admission layer has no per-
+  // streamlet entry to hang a bound on — by construction of the API.
+  EXPECT_GT(rep.entries[0].delay_bound_packet_times, 0.0);
+  EXPECT_EQ(rep.entries.size(), reqs.size());
+}
+
+// "For supporting fair-queuing and priority-class scheduling disciplines,
+// the packet priority update cycle is simply bypassed."  (Section 2)
+TEST(PaperClaims, Sec2_UpdateBypass) {
+  hw::ControlTiming with{}, without{};
+  without.bypass_update = true;
+  const hw::ControlUnit cu_with(4, 2, with);
+  const hw::ControlUnit cu_without(4, 2, without);
+  EXPECT_EQ(cu_with.decision_latency_cycles() -
+                cu_without.decision_latency_cycles(),
+            with.update_cycles);
+}
+
+// "Packet arrival-times are batched and transferred to the FPGA PCI card
+// to take advantage of the burst PCI bandwidth."  (Section 5.1)
+TEST(PaperClaims, Sec51_BatchingBeatsUnbatched) {
+  const hw::PciModel pci;
+  EXPECT_LT(count(pci.per_packet_pio_exchange(32)),
+            count(pci.per_packet_pio_exchange(1)));
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,129 @@
+// rtl_equivalence_test.cpp — implementation vs specification: the flat
+// signal-level Decision block must compute the identical function to the
+// behavioural Table-2 cascade, and its internal wires must satisfy the
+// structural invariants of the Figure-5 datapath.
+#include <gtest/gtest.h>
+
+#include "hw/decision_block.hpp"
+#include "hw/decision_block_rtl.hpp"
+#include "util/rng.hpp"
+
+namespace ss::hw {
+namespace {
+
+AttrWord mk(std::uint64_t dl, unsigned x, unsigned y, std::uint64_t arr,
+            unsigned id, bool pending = true) {
+  AttrWord w;
+  w.deadline = Deadline{dl};
+  w.loss_num = static_cast<Loss>(x);
+  w.loss_den = static_cast<Loss>(y);
+  w.arrival = Arrival{arr};
+  w.id = static_cast<SlotId>(id);
+  w.pending = pending;
+  return w;
+}
+
+TEST(RtlEquivalence, ExhaustiveOverSmallGrid) {
+  // 3 deadlines x 3 numerators x 3 denominators x 2 arrivals x 2 pending
+  // per operand = 108^2 = 11664 pairs, checked exhaustively.
+  const std::uint64_t dls[] = {0, 1, 0xFFFF};
+  const unsigned xs[] = {0, 1, 255};
+  const unsigned ys[] = {0, 2, 255};
+  const std::uint64_t arrs[] = {0, 7};
+  const bool pend[] = {false, true};
+  std::vector<AttrWord> all;
+  for (auto d : dls)
+    for (auto x : xs)
+      for (auto y : ys)
+        for (auto ar : arrs)
+          for (auto p : pend) all.push_back(mk(d, x, y, ar, 0, p));
+  for (const AttrWord& a : all) {
+    for (AttrWord b : all) {
+      b.id = 1;  // distinct ids, as in hardware
+      ASSERT_EQ(rtl::a_wins(a, b),
+                decide(a, b, ComparisonMode::kDwcsFull).a_wins)
+          << "dl " << a.deadline.raw() << "/" << b.deadline.raw() << " x "
+          << int(a.loss_num) << "/" << int(b.loss_num) << " y "
+          << int(a.loss_den) << "/" << int(b.loss_den);
+    }
+  }
+}
+
+TEST(RtlEquivalence, RandomizedFullWidth) {
+  Rng rng(90210);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = mk(rng(), rng.below(256), rng.below(256), rng(), 0,
+                      rng.chance(0.8));
+    const auto b = mk(rng(), rng.below(256), rng.below(256), rng(), 1,
+                      rng.chance(0.8));
+    ASSERT_EQ(rtl::a_wins(a, b),
+              decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+  }
+}
+
+TEST(RtlEquivalence, RandomizedNarrowTieHeavy) {
+  // Small value ranges make every rule's tie path fire often.
+  Rng rng(90211);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = mk(rng.below(3), rng.below(3), rng.below(3),
+                      rng.below(2), 0, rng.chance(0.7));
+    const auto b = mk(rng.below(3), rng.below(3), rng.below(3),
+                      rng.below(2), 1, rng.chance(0.7));
+    ASSERT_EQ(rtl::a_wins(a, b),
+              decide(a, b, ComparisonMode::kDwcsFull).a_wins);
+  }
+}
+
+// ---- structural invariants of the signal network ----
+
+TEST(RtlSignals, ComparatorsAreMutuallyExclusive) {
+  Rng rng(90212);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = mk(rng.below(10), rng.below(4), rng.below(4),
+                      rng.below(4), 0);
+    const auto b = mk(rng.below(10), rng.below(4), rng.below(4),
+                      rng.below(4), 1);
+    const auto s = rtl::evaluate(a, b);
+    // The deadline comparator tri-states exactly one line.
+    ASSERT_EQ((s.dl_a_earlier ? 1 : 0) + (s.dl_b_earlier ? 1 : 0) +
+                  (s.dl_equal ? 1 : 0),
+              1);
+    // Rule-valid bits for rules 2/3/4 are pairwise exclusive by guard.
+    ASSERT_LE((s.r2_constraint ? 1 : 0) + (s.r3_denominator ? 1 : 0) +
+                  (s.r4_numerator ? 1 : 0),
+              1);
+  }
+}
+
+TEST(RtlSignals, MultipliersMatchCrossProducts) {
+  Rng rng(90213);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = mk(5, rng.below(256), rng.below(256), 0, 0);
+    const auto b = mk(5, rng.below(256), rng.below(256), 0, 1);
+    const auto s = rtl::evaluate(a, b);
+    ASSERT_EQ(s.cross_ab, a.loss_num * b.loss_den);
+    ASSERT_EQ(s.cross_ba, b.loss_num * a.loss_den);
+  }
+}
+
+TEST(RtlSignals, PendingGateOverridesEverything) {
+  const auto best = mk(0, 0, 255, 0, 0, /*pending=*/false);
+  const auto worst = mk(0xFFFF, 255, 1, 0xFFFF, 1, true);
+  const auto s = rtl::evaluate(best, worst);
+  EXPECT_TRUE(s.r_pending);
+  EXPECT_FALSE(s.a_wins);
+}
+
+TEST(RtlSignals, Rule5OnlyWhenHigherRulesAllTie) {
+  const auto a = mk(5, 1, 2, 3, 0);
+  const auto b = mk(5, 1, 2, 9, 1);
+  const auto s = rtl::evaluate(a, b);
+  EXPECT_FALSE(s.r1_deadline);
+  EXPECT_FALSE(s.r2_constraint);
+  EXPECT_FALSE(s.r4_numerator);
+  EXPECT_TRUE(s.r5_arrival);
+  EXPECT_TRUE(s.a_wins);
+}
+
+}  // namespace
+}  // namespace ss::hw

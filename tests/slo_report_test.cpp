@@ -1,0 +1,136 @@
+// slo_report_test.cpp — the admission-vs-delivery verdict layer, plus the
+// full-loop integration: spec -> admission -> endsystem run -> SLO check.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/endsystem.hpp"
+#include "core/slo_report.hpp"
+#include "core/spec_parser.hpp"
+
+namespace ss::core {
+namespace {
+
+AdmissionEntry entry(double share, double bound_pt, bool best_effort = false) {
+  AdmissionEntry e;
+  e.guaranteed_share = share;
+  e.delay_bound_packet_times = bound_pt;
+  e.best_effort = best_effort;
+  return e;
+}
+
+TEST(SloEvaluator, BandwidthVerdicts) {
+  SloEvaluator ev(/*link_mbps=*/100.0, /*pt_us=*/10.0, /*tol=*/0.05);
+  QosMonitor mon(2, 1'000'000);
+  // Stream 0 delivers 25 MB over 1 s (25 MBps); stream 1 delivers 10.
+  mon.record({0, 25'000'000, 0, 1'000'000'000});
+  mon.record({1, 10'000'000, 0, 1'000'000'000});
+  mon.finish();
+  hw::SlotCounters clean{};
+  // Guarantee 25% of 100 MBps = 25 MBps: delivered 25 -> OK.
+  EXPECT_TRUE(ev.evaluate_stream(entry(0.25, 1e9), mon, clean, 0)
+                  .bandwidth_ok);
+  // Guarantee 20 MBps but delivered 10 -> FAIL.
+  const auto s1 = ev.evaluate_stream(entry(0.20, 1e9), mon, clean, 1);
+  EXPECT_FALSE(s1.bandwidth_ok);
+  EXPECT_FALSE(s1.ok());
+}
+
+TEST(SloEvaluator, DelayVerdictUsesBoundPlusSerialization) {
+  SloEvaluator ev(100.0, /*pt_us=*/10.0);
+  QosMonitor mon(1, 1'000'000);
+  mon.record({0, 1000, 0, 85'000});  // 85 us delay
+  mon.finish();
+  hw::SlotCounters clean{};
+  // Bound 8 packet-times = 80 us; +1 pt tolerance = 90 us -> OK at 85.
+  EXPECT_TRUE(ev.evaluate_stream(entry(0.5, 8), mon, clean, 0).delay_ok);
+  // Bound 7 packet-times = 70 +10 = 80 -> FAIL at 85.
+  EXPECT_FALSE(ev.evaluate_stream(entry(0.5, 7), mon, clean, 0).delay_ok);
+}
+
+TEST(SloEvaluator, WindowViolationsFail) {
+  SloEvaluator ev(100.0, 10.0);
+  QosMonitor mon(1, 1'000'000);
+  mon.record({0, 1000, 0, 1000});
+  mon.finish();
+  hw::SlotCounters dirty{};
+  dirty.violations = 3;
+  const auto s = ev.evaluate_stream(entry(0.0001, 1e9), mon, dirty, 0);
+  EXPECT_FALSE(s.window_ok);
+  EXPECT_EQ(s.window_violations, 3u);
+}
+
+TEST(SloEvaluator, BestEffortSkipsBandwidthAndDelay) {
+  SloEvaluator ev(100.0, 10.0);
+  QosMonitor mon(1, 1'000'000);
+  mon.record({0, 100, 0, 90'000'000});  // horrible delay
+  mon.finish();
+  hw::SlotCounters clean{};
+  const auto s = ev.evaluate_stream(entry(0.0, 0.0, true), mon, clean, 0);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.best_effort);
+}
+
+TEST(SloReport, RenderNamesEveryVerdict) {
+  SloReport rep;
+  StreamSlo good;
+  good.delivered_mbps = 4.0;
+  good.guaranteed_mbps = 4.0;
+  rep.streams.push_back(good);
+  StreamSlo bad = good;
+  bad.delay_ok = false;
+  rep.streams.push_back(bad);
+  rep.all_ok = false;
+  const std::string r = rep.render();
+  EXPECT_NE(r.find("S1: bandwidth OK"), std::string::npos);
+  EXPECT_NE(r.find("delay FAIL"), std::string::npos);
+  EXPECT_NE(r.find("FAILED"), std::string::npos);
+}
+
+// Full loop: a feasible paced set must come out with every SLO green.
+TEST(SloIntegration, AdmittedPacedSetHoldsEverySlo) {
+  const auto parsed = parse_stream_specs(
+      "edf period=4 nodrop\n"
+      "fair weight=1 nodrop\n"
+      "fair weight=2 nodrop\n");
+  ASSERT_TRUE(parsed.ok);
+  const auto adm = AdmissionController::analyze(parsed.streams);
+  ASSERT_TRUE(adm.admitted);
+
+  EndsystemConfig cfg;
+  cfg.chip.slots = 4;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  Endsystem es(cfg);
+  const double pt_ns = packet_time_ns(1500, cfg.link_gbps);
+  // Pace each stream at its admitted rate.
+  const auto periods = dwcs::fair_share_periods(parsed.streams);
+  std::vector<std::uint64_t> frames;
+  for (std::size_t i = 0; i < parsed.streams.size(); ++i) {
+    const auto p = parsed.streams[i].kind == dwcs::RequirementKind::kFairShare
+                       ? periods[i]
+                       : parsed.streams[i].period;
+    es.add_stream(parsed.streams[i],
+                  std::make_unique<queueing::CbrGen>(
+                      static_cast<std::uint64_t>(pt_ns * p)),
+                  1500);
+    frames.push_back(8000 / p);
+  }
+  es.run(frames);
+
+  const double link_mbps = cfg.link_gbps * 1000.0 / 8.0;
+  const SloEvaluator ev(link_mbps, pt_ns / 1000.0);
+  // Build a 3-entry view matching the 3 admitted streams (the chip has a
+  // 4th idle slot which admission never saw).
+  const SloReport rep = ev.evaluate(adm, es.monitor(), es.chip());
+  EXPECT_TRUE(rep.all_ok) << rep.render();
+  ASSERT_EQ(rep.streams.size(), 3u);
+  for (const auto& s : rep.streams) {
+    EXPECT_TRUE(s.bandwidth_ok);
+    EXPECT_TRUE(s.delay_ok);
+    EXPECT_TRUE(s.window_ok);
+  }
+}
+
+}  // namespace
+}  // namespace ss::core

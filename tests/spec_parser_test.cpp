@@ -1,0 +1,150 @@
+// spec_parser_test.cpp — the user-specification language.
+#include <gtest/gtest.h>
+
+#include "core/spec_parser.hpp"
+#include "util/rng.hpp"
+
+namespace ss::core {
+namespace {
+
+using dwcs::RequirementKind;
+
+TEST(SpecParser, ParsesAllKinds) {
+  const auto res = parse_stream_specs(
+      "# media mix\n"
+      "edf period=8\n"
+      "static priority=5\n"
+      "fair weight=4\n"
+      "wc period=4 loss=1/8 nodrop\n");
+  ASSERT_TRUE(res.ok) << (res.errors.empty() ? "" : res.errors[0].message);
+  ASSERT_EQ(res.streams.size(), 4u);
+  EXPECT_EQ(res.streams[0].kind, RequirementKind::kEdf);
+  EXPECT_EQ(res.streams[0].period, 8u);
+  EXPECT_EQ(res.streams[0].initial_deadline, 8u);  // defaults to period
+  EXPECT_EQ(res.streams[1].kind, RequirementKind::kStaticPriority);
+  EXPECT_EQ(res.streams[1].priority, 5);
+  EXPECT_EQ(res.streams[2].kind, RequirementKind::kFairShare);
+  EXPECT_DOUBLE_EQ(res.streams[2].weight, 4.0);
+  EXPECT_EQ(res.streams[3].kind, RequirementKind::kWindowConstrained);
+  EXPECT_EQ(res.streams[3].loss_num, 1);
+  EXPECT_EQ(res.streams[3].loss_den, 8);
+  EXPECT_FALSE(res.streams[3].droppable);
+}
+
+TEST(SpecParser, CommentsBlankLinesAndKeyOrder) {
+  const auto res = parse_stream_specs(
+      "\n"
+      "   # full-line comment\n"
+      "wc loss=2/4 nodrop period=6   # trailing comment\n"
+      "\n");
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.streams.size(), 1u);
+  EXPECT_EQ(res.streams[0].period, 6u);
+  EXPECT_EQ(res.streams[0].loss_num, 2);
+}
+
+TEST(SpecParser, ExplicitDeadlineOverridesDefault) {
+  const auto res = parse_stream_specs("edf period=8 deadline=3\n");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.streams[0].initial_deadline, 3u);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+  const auto res = parse_stream_specs(
+      "edf period=8\n"
+      "bogus period=1\n"
+      "edf\n");
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.streams.empty());  // all-or-nothing
+  ASSERT_EQ(res.errors.size(), 2u);
+  EXPECT_EQ(res.errors[0].line, 2u);
+  EXPECT_NE(res.errors[0].message.find("bogus"), std::string::npos);
+  EXPECT_EQ(res.errors[1].line, 3u);
+  EXPECT_NE(res.errors[1].message.find("period"), std::string::npos);
+}
+
+TEST(SpecParser, RejectsBadValues) {
+  EXPECT_FALSE(parse_stream_specs("edf period=0\n").ok);
+  EXPECT_FALSE(parse_stream_specs("edf period=abc\n").ok);
+  EXPECT_FALSE(parse_stream_specs("fair weight=-1\n").ok);
+  EXPECT_FALSE(parse_stream_specs("static priority=300\n").ok);
+  EXPECT_FALSE(parse_stream_specs("wc period=4 loss=5\n").ok);
+  EXPECT_FALSE(parse_stream_specs("wc period=4 loss=9/4\n").ok);  // x > y
+  EXPECT_FALSE(parse_stream_specs("wc period=4 loss=1/0\n").ok);
+  EXPECT_FALSE(parse_stream_specs("edf period=8 frobnicate\n").ok);
+  EXPECT_FALSE(parse_stream_specs("edf period=8 color=red\n").ok);
+}
+
+TEST(SpecParser, MissingRequiredKeys) {
+  EXPECT_FALSE(parse_stream_specs("static\n").ok);
+  EXPECT_FALSE(parse_stream_specs("fair\n").ok);
+  EXPECT_FALSE(parse_stream_specs("wc period=4\n").ok);
+  EXPECT_FALSE(parse_stream_specs("wc loss=1/4\n").ok);
+}
+
+TEST(SpecParser, LastLineWithoutNewline) {
+  const auto res = parse_stream_specs("fair weight=2");
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.streams.size(), 1u);
+}
+
+TEST(SpecParser, RenderParsesBack) {
+  const auto res = parse_stream_specs(
+      "edf period=8 deadline=3 nodrop\n"
+      "static priority=7\n"
+      "fair weight=2.5\n"
+      "wc period=4 loss=1/8\n");
+  ASSERT_TRUE(res.ok);
+  for (const auto& r : res.streams) {
+    const auto round = parse_stream_specs(render_stream_spec(r) + "\n");
+    ASSERT_TRUE(round.ok) << render_stream_spec(r);
+    ASSERT_EQ(round.streams.size(), 1u);
+    const auto& q = round.streams[0];
+    EXPECT_EQ(q.kind, r.kind);
+    EXPECT_EQ(q.period, r.period);
+    EXPECT_EQ(q.priority, r.priority);
+    EXPECT_DOUBLE_EQ(q.weight, r.weight);
+    EXPECT_EQ(q.loss_num, r.loss_num);
+    EXPECT_EQ(q.loss_den, r.loss_den);
+    EXPECT_EQ(q.droppable, r.droppable);
+    EXPECT_EQ(q.initial_deadline, r.initial_deadline);
+  }
+}
+
+TEST(SpecParser, RandomizedRenderRoundTrip) {
+  Rng rng(31415);
+  for (int i = 0; i < 500; ++i) {
+    dwcs::StreamRequirement r;
+    switch (rng.below(4)) {
+      case 0:
+        r.kind = RequirementKind::kEdf;
+        r.period = 1 + static_cast<std::uint32_t>(rng.below(1000));
+        r.initial_deadline = 1 + rng.below(1000);
+        break;
+      case 1:
+        r.kind = RequirementKind::kStaticPriority;
+        r.priority = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      case 2:
+        r.kind = RequirementKind::kFairShare;
+        r.weight = 0.5 + static_cast<double>(rng.below(100));
+        break;
+      default: {
+        r.kind = RequirementKind::kWindowConstrained;
+        r.period = 1 + static_cast<std::uint32_t>(rng.below(100));
+        r.loss_den = static_cast<std::uint8_t>(1 + rng.below(255));
+        r.loss_num = static_cast<std::uint8_t>(rng.below(r.loss_den + 1u));
+        r.initial_deadline = 1 + rng.below(100);
+        break;
+      }
+    }
+    r.droppable = rng.chance(0.5);
+    const auto round = parse_stream_specs(render_stream_spec(r) + "\n");
+    ASSERT_TRUE(round.ok) << render_stream_spec(r);
+    ASSERT_EQ(round.streams[0].kind, r.kind);
+    ASSERT_EQ(round.streams[0].droppable, r.droppable);
+  }
+}
+
+}  // namespace
+}  // namespace ss::core

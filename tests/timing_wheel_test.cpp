@@ -1,0 +1,136 @@
+// timing_wheel_test.cpp — the hashed timing-wheel deadline scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/timing_wheel.hpp"
+#include "util/rng.hpp"
+
+namespace ss::sched {
+namespace {
+
+Pkt pkt(std::uint32_t stream, std::uint64_t arrival, std::uint64_t seq = 0) {
+  return {stream, 1500, arrival, seq};
+}
+
+TEST(TimingWheel, ServesInDeadlineOrderAcrossBuckets) {
+  TimingWheel tw(64, 100);
+  tw.set_relative_deadline(0, 500);
+  tw.set_relative_deadline(1, 200);
+  tw.enqueue(pkt(0, 0));  // deadline 500
+  tw.enqueue(pkt(1, 0));  // deadline 200
+  EXPECT_EQ(tw.dequeue(0)->stream, 1u);
+  EXPECT_EQ(tw.dequeue(0)->stream, 0u);
+  EXPECT_FALSE(tw.dequeue(0));
+}
+
+TEST(TimingWheel, FifoWithinAGranule) {
+  TimingWheel tw(64, 1000);
+  tw.set_relative_deadline(0, 1000);
+  // Deadlines 1000 and 1500 share the granule [1000, 2000).
+  tw.enqueue(pkt(0, 0, 1));
+  tw.enqueue(pkt(0, 500, 2));
+  EXPECT_EQ(tw.dequeue(0)->seq, 1u);
+  EXPECT_EQ(tw.dequeue(0)->seq, 2u);
+}
+
+TEST(TimingWheel, OverflowBeyondSpanStillServedInOrder) {
+  TimingWheel tw(8, 100);  // span = 800 ns
+  tw.set_relative_deadline(0, 10'000);  // far beyond the span
+  tw.set_relative_deadline(1, 100);
+  tw.enqueue(pkt(0, 0));
+  tw.enqueue(pkt(1, 0));
+  EXPECT_EQ(tw.dequeue(0)->stream, 1u);
+  EXPECT_EQ(tw.dequeue(0)->stream, 0u);  // the jump into overflow works
+}
+
+TEST(TimingWheel, PastDeadlinesServeImmediately) {
+  TimingWheel tw(16, 100);
+  tw.set_relative_deadline(0, 100);
+  tw.enqueue(pkt(0, 0));
+  tw.dequeue(0);  // cursor advances
+  tw.enqueue(pkt(0, 0));  // deadline 100 may be behind the cursor now
+  EXPECT_TRUE(tw.dequeue(0).has_value());
+  EXPECT_EQ(tw.backlog(), 0u);
+}
+
+TEST(TimingWheel, BacklogTracksBothWheelAndOverflow) {
+  TimingWheel tw(4, 100);  // span 400
+  tw.set_relative_deadline(0, 50);
+  tw.set_relative_deadline(1, 5000);
+  tw.enqueue(pkt(0, 0));
+  tw.enqueue(pkt(1, 0));
+  EXPECT_EQ(tw.backlog(), 2u);
+  tw.dequeue(0);
+  tw.dequeue(0);
+  EXPECT_EQ(tw.backlog(), 0u);
+}
+
+TEST(TimingWheelProperty, OrderMatchesSortedDeadlinesWithinGranularity) {
+  Rng rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    TimingWheel tw(32, 100);
+    std::vector<std::uint64_t> deadlines;
+    const int n = 1 + static_cast<int>(rng.below(100));
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t arrival = rng.below(500);
+      const std::uint64_t rel = 100 + rng.below(8000);
+      tw.set_relative_deadline(static_cast<std::uint32_t>(i), rel);
+      tw.enqueue(pkt(static_cast<std::uint32_t>(i), arrival));
+      deadlines.push_back(arrival + rel);
+    }
+    std::sort(deadlines.begin(), deadlines.end());
+    // Service order may deviate only within one granule of the true order.
+    std::size_t k = 0;
+    std::vector<std::uint64_t> rel_of(n);
+    while (auto p = tw.dequeue(0)) {
+      ASSERT_LT(k, deadlines.size());
+      ++k;
+    }
+    ASSERT_EQ(k, deadlines.size());
+    ASSERT_EQ(tw.backlog(), 0u);
+  }
+}
+
+TEST(TimingWheelProperty, DeadlineMonotoneUpToOneGranule) {
+  Rng rng(778);
+  TimingWheel tw(64, 100);
+  std::vector<std::uint64_t> rel(40);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    rel[i] = 100 + rng.below(4000);
+    tw.set_relative_deadline(i, rel[i]);
+    tw.enqueue(pkt(i, rng.below(300)));
+  }
+  std::uint64_t last_granule = 0;
+  // Reconstruct each packet's deadline from its stream's config.
+  std::vector<std::uint64_t> arrivals(40);
+  while (auto p = tw.dequeue(0)) {
+    const std::uint64_t d = p->arrival_ns + rel[p->stream];
+    const std::uint64_t granule = d / 100;
+    ASSERT_GE(granule + 1, last_granule)
+        << "service went backwards by more than a granule";
+    last_granule = std::max(last_granule, granule);
+  }
+}
+
+TEST(TimingWheel, ConservationUnderMixedOps) {
+  Rng rng(779);
+  TimingWheel tw(16, 250);
+  std::uint64_t in = 0, out = 0;
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.chance(0.55)) {
+      const auto s = static_cast<std::uint32_t>(rng.below(8));
+      tw.set_relative_deadline(s, 100 + rng.below(10000));
+      tw.enqueue(pkt(s, op));
+      ++in;
+    } else if (tw.dequeue(op)) {
+      ++out;
+    }
+  }
+  while (tw.dequeue(0)) ++out;
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(tw.backlog(), 0u);
+}
+
+}  // namespace
+}  // namespace ss::sched

@@ -1,0 +1,132 @@
+// token_bucket_test.cpp — ingress policing: bucket arithmetic, the
+// drop-vs-shape actions, and the long-run rate enforcement property.
+#include <gtest/gtest.h>
+
+#include "queueing/token_bucket.hpp"
+#include "util/rng.hpp"
+
+namespace ss::queueing {
+namespace {
+
+TEST(TokenBucket, StartsFullAndPassesABurst) {
+  TokenBucket tb(1000.0, 3000);  // 1 kB/s, 3 kB burst
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  EXPECT_FALSE(tb.try_consume(1, 0));  // burst exhausted
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1000.0, 1000);
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  EXPECT_FALSE(tb.try_consume(500, 100'000'000));  // 0.1 s -> 100 tokens
+  EXPECT_TRUE(tb.try_consume(500, 500'000'000));   // 0.5 s -> 500
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(1'000'000.0, 2000);
+  // After an hour the bucket holds exactly the burst, not more.
+  EXPECT_NEAR(tb.tokens_at(3600ull * 1'000'000'000ull), 2000.0, 1e-6);
+  EXPECT_TRUE(tb.try_consume(2000, 3600ull * 1'000'000'000ull));
+  EXPECT_FALSE(tb.try_consume(2000, 3600ull * 1'000'000'000ull));
+}
+
+TEST(TokenBucket, ConformanceTimeInvertsRefill) {
+  TokenBucket tb(1000.0, 1000);
+  ASSERT_TRUE(tb.try_consume(1000, 0));
+  // A 500-byte frame needs 0.5 s of refill.
+  const auto t = tb.conformance_time_ns(500, 0);
+  EXPECT_EQ(t, 500'000'000u);
+  EXPECT_TRUE(tb.try_consume(500, t));
+}
+
+TEST(TokenBucket, ConformanceNowWhenTokensSuffice) {
+  TokenBucket tb(1000.0, 1000);
+  EXPECT_EQ(tb.conformance_time_ns(800, 12345), 12345u);
+}
+
+TEST(PolicedProducer, DropActionDiscardsExcess) {
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 10);
+  // 1500 B/s with a one-frame burst: the second back-to-back frame drops.
+  PolicedProducer pol(qm, s, TokenBucket(1500.0, 1500),
+                      PolicerAction::kDrop);
+  Frame f;
+  f.stream = s;
+  f.bytes = 1500;
+  f.arrival_ns = 0;
+  EXPECT_TRUE(pol.produce(f));
+  EXPECT_FALSE(pol.produce(f));
+  EXPECT_EQ(pol.policed_drops(), 1u);
+  f.arrival_ns = 1'000'000'000;  // a second later: conformant again
+  EXPECT_TRUE(pol.produce(f));
+  EXPECT_EQ(qm.depth(s), 2u);
+}
+
+TEST(PolicedProducer, DelayActionShapesToConformance) {
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 10);
+  PolicedProducer pol(qm, s, TokenBucket(1500.0, 1500),
+                      PolicerAction::kDelay);
+  Frame f;
+  f.stream = s;
+  f.bytes = 1500;
+  f.arrival_ns = 0;
+  EXPECT_TRUE(pol.produce(f));  // burst passes untouched
+  EXPECT_TRUE(pol.produce(f));  // shaped out by one second
+  EXPECT_EQ(pol.shaped_frames(), 1u);
+  EXPECT_EQ(pol.shaped_delay_ns(), 1'000'000'000u);
+  qm.consume(s);
+  const auto shaped = qm.consume(s);
+  ASSERT_TRUE(shaped);
+  EXPECT_EQ(shaped->arrival_ns, 1'000'000'000u);
+}
+
+TEST(PolicedProducer, ShapedArrivalsStayMonotone) {
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 12);
+  PolicedProducer pol(qm, s, TokenBucket(15000.0, 1500),
+                      PolicerAction::kDelay);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    Frame f;
+    f.stream = s;
+    f.bytes = 1500;
+    f.arrival_ns = 0;  // pathological: everything "arrives" at once
+    ASSERT_TRUE(pol.produce(f));
+  }
+  while (const auto f = qm.consume(s)) {
+    ASSERT_GE(f->arrival_ns, last);
+    last = f->arrival_ns;
+  }
+  // 200 frames x 1500 B at 15 kB/s: the last leaves ~19.9 s out.
+  EXPECT_NEAR(static_cast<double>(last), 19.9e9, 0.2e9);
+}
+
+TEST(PolicedProducerProperty, LongRunRateNeverExceedsDeclared) {
+  Rng rng(2718);
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 15);
+  const double rate = 100'000.0;  // 100 kB/s declared
+  PolicedProducer pol(qm, s, TokenBucket(rate, 8000),
+                      PolicerAction::kDrop);
+  // The source misbehaves: ~3x the declared rate, bursty sizes.
+  std::uint64_t now = 0;
+  std::uint64_t accepted_bytes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    now += 1'000'000 + rng.below(4'000'000);  // ~2.5 kB per ~2.5 ms
+    Frame f;
+    f.stream = s;
+    f.bytes = 200 + static_cast<std::uint32_t>(rng.below(1301));
+    f.arrival_ns = now;
+    if (pol.produce(f)) accepted_bytes += f.bytes;
+  }
+  const double seconds = static_cast<double>(now) * 1e-9;
+  const double accepted_rate = static_cast<double>(accepted_bytes) / seconds;
+  EXPECT_LE(accepted_rate, rate * 1.02 + 8000.0 / seconds);
+  EXPECT_GT(accepted_rate, rate * 0.9);  // and it uses what it's owed
+  EXPECT_GT(pol.policed_drops(), 1000u);
+}
+
+}  // namespace
+}  // namespace ss::queueing

@@ -1,0 +1,117 @@
+// trace_test.cpp — the decision-cycle tracer (the simulator's waveform).
+#include <gtest/gtest.h>
+
+#include "hw/scheduler_chip.hpp"
+#include "hw/trace.hpp"
+
+namespace ss::hw {
+namespace {
+
+SchedulerChip traced_chip(Tracer& t, bool block = false) {
+  ChipConfig cfg;
+  cfg.slots = 4;
+  cfg.cmp_mode = ComparisonMode::kTagOnly;
+  cfg.block_mode = block;
+  if (block) cfg.schedule = SortSchedule::kBitonic;
+  SchedulerChip chip(cfg);
+  for (unsigned i = 0; i < 4; ++i) {
+    SlotConfig sc;
+    sc.mode = SlotMode::kEdf;
+    sc.period = block ? 4 : 1;
+    sc.initial_deadline = Deadline{i + 1};
+    chip.load_slot(static_cast<SlotId>(i), sc);
+  }
+  chip.attach_tracer(&t);
+  return chip;
+}
+
+TEST(Tracer, RecordsEveryDecisionCycle) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t);
+  for (int k = 0; k < 5; ++k) {
+    chip.push_request(0);
+    chip.run_decision_cycle();
+  }
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.at(0).grants.size(), 1u);
+  EXPECT_EQ(t.at(0).grants[0], 0);
+  EXPECT_EQ(t.at(0).loaded.size(), 4u);
+  EXPECT_EQ(t.at(0).block.size(), 4u);
+  EXPECT_EQ(t.at(0).hw_cycles, 13u);
+  EXPECT_EQ(t.at(3).vtime_start, 3u);
+}
+
+TEST(Tracer, IdleCyclesMarked) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t);
+  chip.run_decision_cycle();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.at(0).idle);
+  EXPECT_TRUE(t.at(0).grants.empty());
+}
+
+TEST(Tracer, BlockModeRecordsOrderAndCirculation) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t, /*block=*/true);
+  for (unsigned i = 0; i < 4; ++i) chip.push_request(static_cast<SlotId>(i));
+  chip.run_decision_cycle();
+  const TraceRecord& r = t.latest();
+  ASSERT_EQ(r.grants.size(), 4u);
+  EXPECT_EQ(r.grants[0], 0);  // earliest deadline first
+  ASSERT_TRUE(r.circulated.has_value());
+  EXPECT_EQ(*r.circulated, 0);
+  EXPECT_EQ(r.block[0].id, 0);
+}
+
+TEST(Tracer, RingBoundsDepth) {
+  Tracer t(3);
+  SchedulerChip chip = traced_chip(t);
+  for (int k = 0; k < 10; ++k) {
+    chip.push_request(0);
+    chip.run_decision_cycle();
+  }
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.latest().decision_cycle, 9u);
+  EXPECT_EQ(t.at(0).decision_cycle, 7u);  // oldest retained
+}
+
+TEST(Tracer, RenderContainsTheStory) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t);
+  chip.push_request(2);
+  chip.run_decision_cycle();
+  const std::string s = Tracer::render(t.latest());
+  EXPECT_NE(s.find("circ=S2"), std::string::npos);
+  EXPECT_NE(s.find("grants=[S2]"), std::string::npos);
+  EXPECT_NE(s.find("block["), std::string::npos);
+  EXPECT_NE(s.find("13 cyc"), std::string::npos);
+  // Idle slots are marked with '~'.
+  EXPECT_NE(s.find("~S0"), std::string::npos);
+}
+
+TEST(Tracer, RenderAllAndClear) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t);
+  chip.push_request(0);
+  chip.run_decision_cycle();
+  chip.run_decision_cycle();  // idle
+  const std::string all = t.render_all();
+  EXPECT_NE(all.find("idle"), std::string::npos);
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 2);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, DetachStopsRecording) {
+  Tracer t;
+  SchedulerChip chip = traced_chip(t);
+  chip.push_request(0);
+  chip.run_decision_cycle();
+  chip.attach_tracer(nullptr);
+  chip.push_request(0);
+  chip.run_decision_cycle();
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ss::hw

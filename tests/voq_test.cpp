@@ -1,0 +1,152 @@
+// voq_test.cpp — the VOQ/iSLIP fabric: matching legality, fairness, the
+// HOL-blocking contrast with the speedup-1 output-queued crossbar, and
+// full-throughput saturation.
+#include <gtest/gtest.h>
+
+#include "fabric/crossbar.hpp"
+#include "fabric/voq_switch.hpp"
+#include "util/rng.hpp"
+
+namespace ss::fabric {
+namespace {
+
+FabricFrame to(std::uint32_t out) {
+  FabricFrame f;
+  f.output_port = out;
+  return f;
+}
+
+TEST(VoqSwitch, BasicTransfer) {
+  VoqSwitch sw(2, 2);
+  EXPECT_TRUE(sw.offer(0, to(1)));
+  EXPECT_EQ(sw.cycle(), 1u);
+  FabricFrame f;
+  ASSERT_TRUE(sw.pull(1, f));
+  EXPECT_EQ(f.input_port, 0u);
+  EXPECT_FALSE(sw.pull(1, f));
+}
+
+TEST(VoqSwitch, MatchingIsLegalEveryCycle) {
+  // At most one frame per input and per output per cycle, always.
+  Rng rng(99);
+  VoqSwitch sw(4, 4);
+  for (int t = 0; t < 2000; ++t) {
+    for (unsigned i = 0; i < 4; ++i) {
+      if (rng.chance(0.7)) {
+        sw.offer(i, to(static_cast<std::uint32_t>(rng.below(4))));
+      }
+    }
+    const unsigned moved = sw.cycle();
+    ASSERT_LE(moved, 4u);
+    FabricFrame f;
+    unsigned pulled_total = 0;
+    for (unsigned j = 0; j < 4; ++j) {
+      unsigned here = 0;
+      while (sw.pull(j, f)) {
+        ++here;
+        ++pulled_total;
+      }
+      ASSERT_LE(here, 1u) << "output got two frames in one cell time";
+    }
+    ASSERT_EQ(pulled_total, moved);
+  }
+}
+
+TEST(VoqSwitch, NoHolBlockingAcrossOutputs) {
+  // Input 0 has a long backlog for hot output 0 AND one frame for idle
+  // output 1; inputs 1..3 also flood output 0.  With VOQs the output-1
+  // frame must leave within a few cell times; a single input FIFO would
+  // strand it behind the hot-output backlog.
+  VoqSwitch sw(4, 2);
+  for (int i = 0; i < 50; ++i) sw.offer(0, to(0));
+  sw.offer(0, to(1));
+  for (unsigned in = 1; in < 4; ++in) {
+    for (int i = 0; i < 50; ++i) sw.offer(in, to(0));
+  }
+  bool out1_served = false;
+  for (int t = 0; t < 4 && !out1_served; ++t) {
+    sw.cycle();
+    FabricFrame f;
+    while (sw.pull(1, f)) out1_served = true;
+    while (sw.pull(0, f)) {
+    }
+  }
+  EXPECT_TRUE(out1_served);
+}
+
+TEST(VoqSwitch, CrossbarAtSpeedup1SuffersHolVoqDoesNot) {
+  // Same admissible traffic into both fabrics: each input alternates
+  // between its "own" output and a shared one, so a FIFO head destined to
+  // the busy shared output blocks frames for the idle own output.
+  const int kCycles = 2000;
+  Crossbar xbar(4, 5, /*speedup=*/1, /*staging=*/1 << 12);
+  VoqSwitch voq(4, 5, 1 << 12);
+  std::uint64_t xbar_out = 0, voq_out = 0;
+  for (int t = 0; t < kCycles; ++t) {
+    for (unsigned i = 0; i < 4; ++i) {
+      // own output = i, shared = 4; one frame per input per cycle.
+      const std::uint32_t dst = (t % 2 == 0) ? 4u : i;
+      xbar.offer(i, to(dst));
+      voq.offer(i, to(dst));
+    }
+    xbar_out += xbar.cycle();
+    voq_out += voq.cycle();
+    FabricFrame f;
+    for (unsigned j = 0; j < 5; ++j) {
+      while (xbar.pull(j, f)) {
+      }
+      while (voq.pull(j, f)) {
+      }
+    }
+  }
+  // Offered: 4 frames/cycle, but output 4 receives 4 requests every other
+  // cycle (2/cycle sustained) -> the traffic is inadmissible at output 4;
+  // the point is the OTHER outputs: VOQ keeps them flowing, the FIFO
+  // crossbar strands them behind shared-output heads.
+  EXPECT_GT(voq_out, xbar_out * 6 / 5);
+}
+
+TEST(VoqSwitch, RoundRobinFairnessOnHotOutput) {
+  VoqSwitch sw(4, 1);
+  std::uint64_t served[4] = {0, 0, 0, 0};
+  for (int t = 0; t < 400; ++t) {
+    for (unsigned i = 0; i < 4; ++i) sw.offer(i, to(0));
+    sw.cycle();
+    FabricFrame f;
+    while (sw.pull(0, f)) ++served[f.input_port];
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(served[i]), 100.0, 4.0) << i;
+  }
+}
+
+TEST(VoqSwitch, UniformAdmissibleTrafficGetsFullThroughput) {
+  // One frame per input per cycle, destinations striped so every output
+  // receives exactly one request per cycle: every frame must move.
+  VoqSwitch sw(4, 4);
+  std::uint64_t moved = 0;
+  for (int t = 0; t < 1000; ++t) {
+    for (unsigned i = 0; i < 4; ++i) {
+      sw.offer(i, to(static_cast<std::uint32_t>((i + t) % 4)));
+    }
+    moved += sw.cycle();
+    FabricFrame f;
+    for (unsigned j = 0; j < 4; ++j) {
+      while (sw.pull(j, f)) {
+      }
+    }
+  }
+  EXPECT_EQ(moved, 4000u);
+  EXPECT_EQ(sw.drops(), 0u);
+}
+
+TEST(VoqSwitch, OverflowCountsDrops) {
+  VoqSwitch sw(1, 1, /*depth=*/4);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) accepted += sw.offer(0, to(0));
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(sw.drops(), 6u);
+}
+
+}  // namespace
+}  // namespace ss::fabric
