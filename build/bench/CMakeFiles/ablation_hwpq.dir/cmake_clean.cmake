@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hwpq.dir/ablation_hwpq.cpp.o"
+  "CMakeFiles/ablation_hwpq.dir/ablation_hwpq.cpp.o.d"
+  "ablation_hwpq"
+  "ablation_hwpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hwpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sortnet.dir/ablation_sortnet.cpp.o"
+  "CMakeFiles/ablation_sortnet.dir/ablation_sortnet.cpp.o.d"
+  "ablation_sortnet"
+  "ablation_sortnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sortnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_block_reuse.dir/ext_block_reuse.cpp.o"
+  "CMakeFiles/ext_block_reuse.dir/ext_block_reuse.cpp.o.d"
+  "ext_block_reuse"
+  "ext_block_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_block_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_framework.dir/fig1a_framework.cpp.o"
+  "CMakeFiles/fig1a_framework.dir/fig1a_framework.cpp.o.d"
+  "fig1a_framework"
+  "fig1a_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

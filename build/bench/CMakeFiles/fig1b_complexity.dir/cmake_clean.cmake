@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_complexity.dir/fig1b_complexity.cpp.o"
+  "CMakeFiles/fig1b_complexity.dir/fig1b_complexity.cpp.o.d"
+  "fig1b_complexity"
+  "fig1b_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_area_clock.dir/fig7_area_clock.cpp.o"
+  "CMakeFiles/fig7_area_clock.dir/fig7_area_clock.cpp.o.d"
+  "fig7_area_clock"
+  "fig7_area_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_area_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fair_bandwidth.dir/fig8_fair_bandwidth.cpp.o"
+  "CMakeFiles/fig8_fair_bandwidth.dir/fig8_fair_bandwidth.cpp.o.d"
+  "fig8_fair_bandwidth"
+  "fig8_fair_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fair_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

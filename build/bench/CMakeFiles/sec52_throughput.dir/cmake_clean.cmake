@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_throughput.dir/sec52_throughput.cpp.o"
+  "CMakeFiles/sec52_throughput.dir/sec52_throughput.cpp.o.d"
+  "sec52_throughput"
+  "sec52_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

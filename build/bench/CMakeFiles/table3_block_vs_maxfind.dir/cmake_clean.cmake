@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_block_vs_maxfind.dir/table3_block_vs_maxfind.cpp.o"
+  "CMakeFiles/table3_block_vs_maxfind.dir/table3_block_vs_maxfind.cpp.o.d"
+  "table3_block_vs_maxfind"
+  "table3_block_vs_maxfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_block_vs_maxfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_block_vs_maxfind.
+# This may be replaced when dependencies are built.

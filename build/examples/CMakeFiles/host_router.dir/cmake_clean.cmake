@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_router.dir/host_router.cpp.o"
+  "CMakeFiles/host_router.dir/host_router.cpp.o.d"
+  "host_router"
+  "host_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linecard_10g.dir/linecard_10g.cpp.o"
+  "CMakeFiles/linecard_10g.dir/linecard_10g.cpp.o.d"
+  "linecard_10g"
+  "linecard_10g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linecard_10g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_server.dir/media_server.cpp.o"
+  "CMakeFiles/media_server.dir/media_server.cpp.o.d"
+  "media_server"
+  "media_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

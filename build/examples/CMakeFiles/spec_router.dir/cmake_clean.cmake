@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_router.dir/spec_router.cpp.o"
+  "CMakeFiles/spec_router.dir/spec_router.cpp.o.d"
+  "spec_router"
+  "spec_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cli.dir/ss_cli.cpp.o"
+  "CMakeFiles/ss_cli.dir/ss_cli.cpp.o.d"
+  "ss_cli"
+  "ss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_demo.dir/switch_demo.cpp.o"
+  "CMakeFiles/switch_demo.dir/switch_demo.cpp.o.d"
+  "switch_demo"
+  "switch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

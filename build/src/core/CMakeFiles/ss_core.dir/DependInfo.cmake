@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/ss_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/ss_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/block_policy.cpp" "src/core/CMakeFiles/ss_core.dir/block_policy.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/block_policy.cpp.o.d"
+  "/root/repo/src/core/endsystem.cpp" "src/core/CMakeFiles/ss_core.dir/endsystem.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/endsystem.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/ss_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/ss_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/linecard.cpp" "src/core/CMakeFiles/ss_core.dir/linecard.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/linecard.cpp.o.d"
+  "/root/repo/src/core/qos_monitor.cpp" "src/core/CMakeFiles/ss_core.dir/qos_monitor.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/qos_monitor.cpp.o.d"
+  "/root/repo/src/core/slo_report.cpp" "src/core/CMakeFiles/ss_core.dir/slo_report.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/slo_report.cpp.o.d"
+  "/root/repo/src/core/spec_parser.cpp" "src/core/CMakeFiles/ss_core.dir/spec_parser.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/spec_parser.cpp.o.d"
+  "/root/repo/src/core/threaded_endsystem.cpp" "src/core/CMakeFiles/ss_core.dir/threaded_endsystem.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/threaded_endsystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwcs/CMakeFiles/ss_dwcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ss_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

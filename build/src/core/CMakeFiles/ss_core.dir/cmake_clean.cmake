@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/admission.cpp.o"
+  "CMakeFiles/ss_core.dir/admission.cpp.o.d"
+  "CMakeFiles/ss_core.dir/aggregation.cpp.o"
+  "CMakeFiles/ss_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/ss_core.dir/block_policy.cpp.o"
+  "CMakeFiles/ss_core.dir/block_policy.cpp.o.d"
+  "CMakeFiles/ss_core.dir/endsystem.cpp.o"
+  "CMakeFiles/ss_core.dir/endsystem.cpp.o.d"
+  "CMakeFiles/ss_core.dir/framework.cpp.o"
+  "CMakeFiles/ss_core.dir/framework.cpp.o.d"
+  "CMakeFiles/ss_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/ss_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/ss_core.dir/linecard.cpp.o"
+  "CMakeFiles/ss_core.dir/linecard.cpp.o.d"
+  "CMakeFiles/ss_core.dir/qos_monitor.cpp.o"
+  "CMakeFiles/ss_core.dir/qos_monitor.cpp.o.d"
+  "CMakeFiles/ss_core.dir/slo_report.cpp.o"
+  "CMakeFiles/ss_core.dir/slo_report.cpp.o.d"
+  "CMakeFiles/ss_core.dir/spec_parser.cpp.o"
+  "CMakeFiles/ss_core.dir/spec_parser.cpp.o.d"
+  "CMakeFiles/ss_core.dir/threaded_endsystem.cpp.o"
+  "CMakeFiles/ss_core.dir/threaded_endsystem.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwcs/analysis.cpp" "src/dwcs/CMakeFiles/ss_dwcs.dir/analysis.cpp.o" "gcc" "src/dwcs/CMakeFiles/ss_dwcs.dir/analysis.cpp.o.d"
+  "/root/repo/src/dwcs/modes.cpp" "src/dwcs/CMakeFiles/ss_dwcs.dir/modes.cpp.o" "gcc" "src/dwcs/CMakeFiles/ss_dwcs.dir/modes.cpp.o.d"
+  "/root/repo/src/dwcs/ordering.cpp" "src/dwcs/CMakeFiles/ss_dwcs.dir/ordering.cpp.o" "gcc" "src/dwcs/CMakeFiles/ss_dwcs.dir/ordering.cpp.o.d"
+  "/root/repo/src/dwcs/reference_scheduler.cpp" "src/dwcs/CMakeFiles/ss_dwcs.dir/reference_scheduler.cpp.o" "gcc" "src/dwcs/CMakeFiles/ss_dwcs.dir/reference_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_dwcs.dir/analysis.cpp.o"
+  "CMakeFiles/ss_dwcs.dir/analysis.cpp.o.d"
+  "CMakeFiles/ss_dwcs.dir/modes.cpp.o"
+  "CMakeFiles/ss_dwcs.dir/modes.cpp.o.d"
+  "CMakeFiles/ss_dwcs.dir/ordering.cpp.o"
+  "CMakeFiles/ss_dwcs.dir/ordering.cpp.o.d"
+  "CMakeFiles/ss_dwcs.dir/reference_scheduler.cpp.o"
+  "CMakeFiles/ss_dwcs.dir/reference_scheduler.cpp.o.d"
+  "libss_dwcs.a"
+  "libss_dwcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_dwcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ss_dwcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/crossbar.cpp" "src/fabric/CMakeFiles/ss_fabric.dir/crossbar.cpp.o" "gcc" "src/fabric/CMakeFiles/ss_fabric.dir/crossbar.cpp.o.d"
+  "/root/repo/src/fabric/flow_table.cpp" "src/fabric/CMakeFiles/ss_fabric.dir/flow_table.cpp.o" "gcc" "src/fabric/CMakeFiles/ss_fabric.dir/flow_table.cpp.o.d"
+  "/root/repo/src/fabric/switch_system.cpp" "src/fabric/CMakeFiles/ss_fabric.dir/switch_system.cpp.o" "gcc" "src/fabric/CMakeFiles/ss_fabric.dir/switch_system.cpp.o.d"
+  "/root/repo/src/fabric/voq_switch.cpp" "src/fabric/CMakeFiles/ss_fabric.dir/voq_switch.cpp.o" "gcc" "src/fabric/CMakeFiles/ss_fabric.dir/voq_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

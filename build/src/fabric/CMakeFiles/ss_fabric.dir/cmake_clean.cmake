@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_fabric.dir/crossbar.cpp.o"
+  "CMakeFiles/ss_fabric.dir/crossbar.cpp.o.d"
+  "CMakeFiles/ss_fabric.dir/flow_table.cpp.o"
+  "CMakeFiles/ss_fabric.dir/flow_table.cpp.o.d"
+  "CMakeFiles/ss_fabric.dir/switch_system.cpp.o"
+  "CMakeFiles/ss_fabric.dir/switch_system.cpp.o.d"
+  "CMakeFiles/ss_fabric.dir/voq_switch.cpp.o"
+  "CMakeFiles/ss_fabric.dir/voq_switch.cpp.o.d"
+  "libss_fabric.a"
+  "libss_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

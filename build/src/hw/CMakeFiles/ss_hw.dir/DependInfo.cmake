@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/area_model.cpp" "src/hw/CMakeFiles/ss_hw.dir/area_model.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/area_model.cpp.o.d"
+  "/root/repo/src/hw/control_unit.cpp" "src/hw/CMakeFiles/ss_hw.dir/control_unit.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/control_unit.cpp.o.d"
+  "/root/repo/src/hw/decision_block.cpp" "src/hw/CMakeFiles/ss_hw.dir/decision_block.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/decision_block.cpp.o.d"
+  "/root/repo/src/hw/decision_block_rtl.cpp" "src/hw/CMakeFiles/ss_hw.dir/decision_block_rtl.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/decision_block_rtl.cpp.o.d"
+  "/root/repo/src/hw/dma.cpp" "src/hw/CMakeFiles/ss_hw.dir/dma.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/dma.cpp.o.d"
+  "/root/repo/src/hw/pci.cpp" "src/hw/CMakeFiles/ss_hw.dir/pci.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/pci.cpp.o.d"
+  "/root/repo/src/hw/register_block.cpp" "src/hw/CMakeFiles/ss_hw.dir/register_block.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/register_block.cpp.o.d"
+  "/root/repo/src/hw/scheduler_chip.cpp" "src/hw/CMakeFiles/ss_hw.dir/scheduler_chip.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/scheduler_chip.cpp.o.d"
+  "/root/repo/src/hw/shuffle.cpp" "src/hw/CMakeFiles/ss_hw.dir/shuffle.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/shuffle.cpp.o.d"
+  "/root/repo/src/hw/sram.cpp" "src/hw/CMakeFiles/ss_hw.dir/sram.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/sram.cpp.o.d"
+  "/root/repo/src/hw/streaming_unit.cpp" "src/hw/CMakeFiles/ss_hw.dir/streaming_unit.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/streaming_unit.cpp.o.d"
+  "/root/repo/src/hw/timing_model.cpp" "src/hw/CMakeFiles/ss_hw.dir/timing_model.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/timing_model.cpp.o.d"
+  "/root/repo/src/hw/trace.cpp" "src/hw/CMakeFiles/ss_hw.dir/trace.cpp.o" "gcc" "src/hw/CMakeFiles/ss_hw.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_hw.dir/area_model.cpp.o"
+  "CMakeFiles/ss_hw.dir/area_model.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/control_unit.cpp.o"
+  "CMakeFiles/ss_hw.dir/control_unit.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/decision_block.cpp.o"
+  "CMakeFiles/ss_hw.dir/decision_block.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/decision_block_rtl.cpp.o"
+  "CMakeFiles/ss_hw.dir/decision_block_rtl.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/dma.cpp.o"
+  "CMakeFiles/ss_hw.dir/dma.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/pci.cpp.o"
+  "CMakeFiles/ss_hw.dir/pci.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/register_block.cpp.o"
+  "CMakeFiles/ss_hw.dir/register_block.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/scheduler_chip.cpp.o"
+  "CMakeFiles/ss_hw.dir/scheduler_chip.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/shuffle.cpp.o"
+  "CMakeFiles/ss_hw.dir/shuffle.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/sram.cpp.o"
+  "CMakeFiles/ss_hw.dir/sram.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/streaming_unit.cpp.o"
+  "CMakeFiles/ss_hw.dir/streaming_unit.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/timing_model.cpp.o"
+  "CMakeFiles/ss_hw.dir/timing_model.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/trace.cpp.o"
+  "CMakeFiles/ss_hw.dir/trace.cpp.o.d"
+  "libss_hw.a"
+  "libss_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwpq/binary_heap_pq.cpp" "src/hwpq/CMakeFiles/ss_hwpq.dir/binary_heap_pq.cpp.o" "gcc" "src/hwpq/CMakeFiles/ss_hwpq.dir/binary_heap_pq.cpp.o.d"
+  "/root/repo/src/hwpq/pipelined_heap_pq.cpp" "src/hwpq/CMakeFiles/ss_hwpq.dir/pipelined_heap_pq.cpp.o" "gcc" "src/hwpq/CMakeFiles/ss_hwpq.dir/pipelined_heap_pq.cpp.o.d"
+  "/root/repo/src/hwpq/shift_register_pq.cpp" "src/hwpq/CMakeFiles/ss_hwpq.dir/shift_register_pq.cpp.o" "gcc" "src/hwpq/CMakeFiles/ss_hwpq.dir/shift_register_pq.cpp.o.d"
+  "/root/repo/src/hwpq/systolic_pq.cpp" "src/hwpq/CMakeFiles/ss_hwpq.dir/systolic_pq.cpp.o" "gcc" "src/hwpq/CMakeFiles/ss_hwpq.dir/systolic_pq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_hwpq.dir/binary_heap_pq.cpp.o"
+  "CMakeFiles/ss_hwpq.dir/binary_heap_pq.cpp.o.d"
+  "CMakeFiles/ss_hwpq.dir/pipelined_heap_pq.cpp.o"
+  "CMakeFiles/ss_hwpq.dir/pipelined_heap_pq.cpp.o.d"
+  "CMakeFiles/ss_hwpq.dir/shift_register_pq.cpp.o"
+  "CMakeFiles/ss_hwpq.dir/shift_register_pq.cpp.o.d"
+  "CMakeFiles/ss_hwpq.dir/systolic_pq.cpp.o"
+  "CMakeFiles/ss_hwpq.dir/systolic_pq.cpp.o.d"
+  "libss_hwpq.a"
+  "libss_hwpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_hwpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/queue_manager.cpp" "src/queueing/CMakeFiles/ss_queueing.dir/queue_manager.cpp.o" "gcc" "src/queueing/CMakeFiles/ss_queueing.dir/queue_manager.cpp.o.d"
+  "/root/repo/src/queueing/red_queue.cpp" "src/queueing/CMakeFiles/ss_queueing.dir/red_queue.cpp.o" "gcc" "src/queueing/CMakeFiles/ss_queueing.dir/red_queue.cpp.o.d"
+  "/root/repo/src/queueing/token_bucket.cpp" "src/queueing/CMakeFiles/ss_queueing.dir/token_bucket.cpp.o" "gcc" "src/queueing/CMakeFiles/ss_queueing.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/queueing/traffic_gen.cpp" "src/queueing/CMakeFiles/ss_queueing.dir/traffic_gen.cpp.o" "gcc" "src/queueing/CMakeFiles/ss_queueing.dir/traffic_gen.cpp.o.d"
+  "/root/repo/src/queueing/transmission_engine.cpp" "src/queueing/CMakeFiles/ss_queueing.dir/transmission_engine.cpp.o" "gcc" "src/queueing/CMakeFiles/ss_queueing.dir/transmission_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_queueing.dir/queue_manager.cpp.o"
+  "CMakeFiles/ss_queueing.dir/queue_manager.cpp.o.d"
+  "CMakeFiles/ss_queueing.dir/red_queue.cpp.o"
+  "CMakeFiles/ss_queueing.dir/red_queue.cpp.o.d"
+  "CMakeFiles/ss_queueing.dir/token_bucket.cpp.o"
+  "CMakeFiles/ss_queueing.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/ss_queueing.dir/traffic_gen.cpp.o"
+  "CMakeFiles/ss_queueing.dir/traffic_gen.cpp.o.d"
+  "CMakeFiles/ss_queueing.dir/transmission_engine.cpp.o"
+  "CMakeFiles/ss_queueing.dir/transmission_engine.cpp.o.d"
+  "libss_queueing.a"
+  "libss_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

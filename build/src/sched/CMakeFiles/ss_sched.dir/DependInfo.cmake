@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/drr.cpp" "src/sched/CMakeFiles/ss_sched.dir/drr.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/drr.cpp.o.d"
+  "/root/repo/src/sched/edf.cpp" "src/sched/CMakeFiles/ss_sched.dir/edf.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/edf.cpp.o.d"
+  "/root/repo/src/sched/sfq.cpp" "src/sched/CMakeFiles/ss_sched.dir/sfq.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/sfq.cpp.o.d"
+  "/root/repo/src/sched/timing_wheel.cpp" "src/sched/CMakeFiles/ss_sched.dir/timing_wheel.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/timing_wheel.cpp.o.d"
+  "/root/repo/src/sched/virtual_clock.cpp" "src/sched/CMakeFiles/ss_sched.dir/virtual_clock.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/virtual_clock.cpp.o.d"
+  "/root/repo/src/sched/wfq.cpp" "src/sched/CMakeFiles/ss_sched.dir/wfq.cpp.o" "gcc" "src/sched/CMakeFiles/ss_sched.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

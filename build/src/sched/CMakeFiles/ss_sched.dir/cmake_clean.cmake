@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sched.dir/drr.cpp.o"
+  "CMakeFiles/ss_sched.dir/drr.cpp.o.d"
+  "CMakeFiles/ss_sched.dir/edf.cpp.o"
+  "CMakeFiles/ss_sched.dir/edf.cpp.o.d"
+  "CMakeFiles/ss_sched.dir/sfq.cpp.o"
+  "CMakeFiles/ss_sched.dir/sfq.cpp.o.d"
+  "CMakeFiles/ss_sched.dir/timing_wheel.cpp.o"
+  "CMakeFiles/ss_sched.dir/timing_wheel.cpp.o.d"
+  "CMakeFiles/ss_sched.dir/virtual_clock.cpp.o"
+  "CMakeFiles/ss_sched.dir/virtual_clock.cpp.o.d"
+  "CMakeFiles/ss_sched.dir/wfq.cpp.o"
+  "CMakeFiles/ss_sched.dir/wfq.cpp.o.d"
+  "libss_sched.a"
+  "libss_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

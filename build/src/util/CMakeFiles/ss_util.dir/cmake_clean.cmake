@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/ss_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/ss_util.dir/csv.cpp.o"
+  "CMakeFiles/ss_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ss_util.dir/histogram.cpp.o"
+  "CMakeFiles/ss_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ss_util.dir/stats.cpp.o"
+  "CMakeFiles/ss_util.dir/stats.cpp.o.d"
+  "libss_util.a"
+  "libss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

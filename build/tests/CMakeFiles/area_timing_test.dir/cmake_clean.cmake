@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_timing_test.dir/area_timing_test.cpp.o"
+  "CMakeFiles/area_timing_test.dir/area_timing_test.cpp.o.d"
+  "area_timing_test"
+  "area_timing_test.pdb"
+  "area_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

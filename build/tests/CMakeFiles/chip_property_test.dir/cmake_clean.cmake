@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_property_test.dir/chip_property_test.cpp.o"
+  "CMakeFiles/chip_property_test.dir/chip_property_test.cpp.o.d"
+  "chip_property_test"
+  "chip_property_test.pdb"
+  "chip_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

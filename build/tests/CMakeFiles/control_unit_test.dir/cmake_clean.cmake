@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_unit_test.dir/control_unit_test.cpp.o"
+  "CMakeFiles/control_unit_test.dir/control_unit_test.cpp.o.d"
+  "control_unit_test"
+  "control_unit_test.pdb"
+  "control_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_test.dir/dwcs_test.cpp.o"
+  "CMakeFiles/dwcs_test.dir/dwcs_test.cpp.o.d"
+  "dwcs_test"
+  "dwcs_test.pdb"
+  "dwcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

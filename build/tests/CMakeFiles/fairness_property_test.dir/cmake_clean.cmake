@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_property_test.dir/fairness_property_test.cpp.o"
+  "CMakeFiles/fairness_property_test.dir/fairness_property_test.cpp.o.d"
+  "fairness_property_test"
+  "fairness_property_test.pdb"
+  "fairness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

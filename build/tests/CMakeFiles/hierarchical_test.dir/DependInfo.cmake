@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hierarchical_test.cpp" "tests/CMakeFiles/hierarchical_test.dir/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/hierarchical_test.dir/hierarchical_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwcs/CMakeFiles/ss_dwcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ss_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwpq/CMakeFiles/ss_hwpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ss_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ss_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpq_test.dir/hwpq_test.cpp.o"
+  "CMakeFiles/hwpq_test.dir/hwpq_test.cpp.o.d"
+  "hwpq_test"
+  "hwpq_test.pdb"
+  "hwpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

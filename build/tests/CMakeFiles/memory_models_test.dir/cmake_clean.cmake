@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_models_test.dir/memory_models_test.cpp.o"
+  "CMakeFiles/memory_models_test.dir/memory_models_test.cpp.o.d"
+  "memory_models_test"
+  "memory_models_test.pdb"
+  "memory_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_block_test.dir/register_block_test.cpp.o"
+  "CMakeFiles/register_block_test.dir/register_block_test.cpp.o.d"
+  "register_block_test"
+  "register_block_test.pdb"
+  "register_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_equivalence_test.dir/rtl_equivalence_test.cpp.o"
+  "CMakeFiles/rtl_equivalence_test.dir/rtl_equivalence_test.cpp.o.d"
+  "rtl_equivalence_test"
+  "rtl_equivalence_test.pdb"
+  "rtl_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

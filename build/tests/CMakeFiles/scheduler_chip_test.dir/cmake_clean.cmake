@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_chip_test.dir/scheduler_chip_test.cpp.o"
+  "CMakeFiles/scheduler_chip_test.dir/scheduler_chip_test.cpp.o.d"
+  "scheduler_chip_test"
+  "scheduler_chip_test.pdb"
+  "scheduler_chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_report_test.dir/slo_report_test.cpp.o"
+  "CMakeFiles/slo_report_test.dir/slo_report_test.cpp.o.d"
+  "slo_report_test"
+  "slo_report_test.pdb"
+  "slo_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

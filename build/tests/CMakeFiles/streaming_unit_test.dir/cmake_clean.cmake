@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_unit_test.dir/streaming_unit_test.cpp.o"
+  "CMakeFiles/streaming_unit_test.dir/streaming_unit_test.cpp.o.d"
+  "streaming_unit_test"
+  "streaming_unit_test.pdb"
+  "streaming_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[GoldenTrace.TwentyFourCyclesFrozen]=]  /root/repo/build/tests/golden_trace_test [==[--gtest_filter=GoldenTrace.TwentyFourCyclesFrozen]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenTrace.TwentyFourCyclesFrozen]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  golden_trace_test_TESTS GoldenTrace.TwentyFourCyclesFrozen)
