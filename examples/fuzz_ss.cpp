@@ -1,0 +1,202 @@
+// fuzz_ss.cpp — differential fuzzing + deterministic replay CLI.
+//
+// The command-line face of src/testing: generates randomized scenarios
+// over the configuration lattice, runs every scheduler implementation in
+// lock-step, and on divergence shrinks the event stream to a minimal
+// reproducer and serializes it so the failure is a one-command repro.
+//
+//   fuzz_ss --seed 7 --scenarios 50 --events 1000     # a fuzz campaign
+//   fuzz_ss --seed 7 --seconds 30                     # time-budgeted smoke
+//   fuzz_ss --seed 7 --out run.sst                    # byte-deterministic
+//                                                       trace capture
+//   fuzz_ss --replay fuzz_failure.sst                 # deterministic repro
+//   fuzz_ss --seed 7 --inject-fault 3                 # self-test: corrupt
+//                                                       the oracle's 3rd
+//                                                       grant, shrink it
+//
+// Exit status: 0 = no divergence (or replay reproduced nothing), 1 = a
+// divergence was found (minimized reproducer written), 2 = usage/IO error.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "testing/differential_executor.hpp"
+#include "testing/shrinker.hpp"
+#include "testing/trace_io.hpp"
+#include "testing/workload_fuzzer.hpp"
+
+namespace {
+
+using namespace ss::testing;
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t scenarios = 20;
+  std::size_t events = 1000;
+  double seconds = 0;  // 0 = no time budget (scenario count governs)
+  std::uint64_t inject_fault = 0;
+  std::string out;     // trace capture path (fuzz mode)
+  std::string replay;  // replay path; empty = fuzz mode
+};
+
+const char* discipline_str(Discipline d) {
+  switch (d) {
+    case Discipline::kDwcs: return "dwcs";
+    case Discipline::kEdf: return "edf";
+    case Discipline::kStaticPrio: return "static";
+    case Discipline::kFairTag: return "fairtag";
+  }
+  return "?";
+}
+
+void print_point(const Scenario& sc) {
+  std::cout << "N=" << sc.fabric.slots << ' ' << discipline_str(sc.fabric.discipline)
+            << (sc.fabric.block_mode ? (sc.fabric.min_first ? " block-min" : " block-max")
+                                     : " wr")
+            << (sc.aggregation.empty() ? "" : " +agg") << " events="
+            << sc.events.size();
+}
+
+int usage() {
+  std::cerr <<
+      "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
+      "               [--out FILE] [--inject-fault G]\n"
+      "       fuzz_ss --replay FILE\n";
+  return 2;
+}
+
+int replay_mode(const std::string& path) {
+  TraceFile tf;
+  try {
+    tf = load_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_ss: " << e.what() << '\n';
+    return 2;
+  }
+  const DifferentialExecutor ex;
+  const RunResult r = ex.run(tf.scenario);
+  std::cout << "replay ";
+  print_point(tf.scenario);
+  std::cout << "\n  decisions=" << r.decisions << " grants=" << r.grants
+            << " drops=" << r.drops << " digest=" << r.digest << '\n';
+  if (tf.expected_digest && *tf.expected_digest != r.digest) {
+    std::cout << "  WARNING: digest differs from capture ("
+              << *tf.expected_digest << ") — semantics changed since\n";
+  }
+  if (r.diverged) {
+    std::cout << "  DIVERGENCE at event " << r.event_index << " (decision "
+              << r.decision_cycle << "): " << r.detail << '\n';
+    return 1;
+  }
+  std::cout << "  no divergence\n";
+  return 0;
+}
+
+int fuzz_mode(const Args& args) {
+  WorkloadFuzzer::Options fo;
+  fo.seed = args.seed;
+  fo.events_per_scenario = args.events;
+  WorkloadFuzzer fuzzer(fo);
+  const DifferentialExecutor ex;
+
+  std::ofstream trace;
+  if (!args.out.empty()) {
+    trace.open(args.out, std::ios::binary);
+    if (!trace) {
+      std::cerr << "fuzz_ss: cannot open " << args.out << '\n';
+      return 2;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::uint64_t total_decisions = 0, total_grants = 0;
+  for (std::uint64_t k = 0;; ++k) {
+    if (args.seconds > 0) {
+      if (elapsed() >= args.seconds) break;
+    } else if (k >= args.scenarios) {
+      break;
+    }
+
+    Scenario sc = fuzzer.next();
+    sc.inject_fault_at_grant = args.inject_fault;
+    const RunResult r = ex.run(sc);
+    total_decisions += r.decisions;
+    total_grants += r.grants;
+
+    std::cout << "scenario " << k << ": ";
+    print_point(sc);
+    std::cout << " decisions=" << r.decisions << " digest=" << r.digest
+              << (r.hwpq_checked ? " hwpq" : "") << '\n';
+    if (trace.is_open()) {
+      trace << serialize(sc, r.diverged ? std::optional<std::uint64_t>{}
+                                        : std::optional{r.digest});
+    }
+
+    if (r.diverged) {
+      std::cout << "DIVERGENCE at event " << r.event_index << " (decision "
+                << r.decision_cycle << "): " << r.detail << "\nshrinking...\n";
+      const ShrinkResult s = shrink(sc, ex);
+      const std::string repro = "fuzz_failure_seed" +
+                                std::to_string(args.seed) + "_scenario" +
+                                std::to_string(k) + ".sst";
+      save_file(repro, s.minimal, s.divergence.digest);
+      std::cout << "minimized " << s.initial_events << " -> "
+                << s.final_events << " events in " << s.executor_runs
+                << " executor runs\n"
+                << "reproducer written to " << repro << "\n"
+                << "replay with: fuzz_ss --replay " << repro << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "ok: " << fuzzer.scenarios_generated() << " scenarios, "
+            << total_decisions << " differential decisions, " << total_grants
+            << " grants, " << elapsed() << " s, no divergence\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](std::uint64_t& dst) {
+      if (i + 1 >= argc) return false;
+      dst = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (a == "--seed") {
+      if (!value(args.seed)) return usage();
+    } else if (a == "--scenarios") {
+      if (!value(args.scenarios)) return usage();
+    } else if (a == "--events") {
+      std::uint64_t v = 0;
+      if (!value(v)) return usage();
+      args.events = static_cast<std::size_t>(v);
+    } else if (a == "--seconds") {
+      if (i + 1 >= argc) return usage();
+      args.seconds = std::strtod(argv[++i], nullptr);
+    } else if (a == "--inject-fault") {
+      if (!value(args.inject_fault)) return usage();
+    } else if (a == "--out") {
+      if (i + 1 >= argc) return usage();
+      args.out = argv[++i];
+    } else if (a == "--replay") {
+      if (i + 1 >= argc) return usage();
+      args.replay = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  return args.replay.empty() ? fuzz_mode(args) : replay_mode(args.replay);
+}

@@ -24,6 +24,8 @@ namespace ss::core {
 struct StreamletSet {
   std::uint32_t streamlets = 1;  ///< queues in this set
   std::uint32_t weight = 1;      ///< relative share of the slot's bandwidth
+
+  friend bool operator==(const StreamletSet&, const StreamletSet&) = default;
 };
 
 class AggregationManager {

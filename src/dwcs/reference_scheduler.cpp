@@ -21,6 +21,20 @@ std::uint32_t ReferenceScheduler::add_stream(const StreamSpec& spec) {
   return s.attrs.id;
 }
 
+void ReferenceScheduler::reload_stream(std::uint32_t stream,
+                                       const StreamSpec& spec) {
+  StreamState& s = streams_.at(stream);
+  s.spec = spec;
+  s.attrs = StreamAttrs{};
+  s.attrs.deadline = spec.initial_deadline;
+  s.attrs.loss_num = spec.loss_num;
+  s.attrs.loss_den = spec.loss_den;
+  s.attrs.id = stream;
+  s.backlog = 0;
+  s.counters = {};
+  tag_fifos_[stream].clear();
+}
+
 void ReferenceScheduler::push_request(std::uint32_t stream) {
   push_request(stream, vtime_);
 }

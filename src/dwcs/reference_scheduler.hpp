@@ -47,6 +47,9 @@ struct StreamCounters {
   std::uint64_t serviced = 0;
   std::uint64_t late_transmissions = 0;
   std::uint64_t winner_cycles = 0;
+
+  friend bool operator==(const StreamCounters&, const StreamCounters&) =
+      default;
 };
 
 /// One stream's run-time state in the software scheduler.
@@ -83,6 +86,12 @@ class ReferenceScheduler {
 
   /// Add a stream; returns its index.
   std::uint32_t add_stream(const StreamSpec& spec);
+
+  /// Mid-run reconfiguration of an existing stream — the software mirror
+  /// of the chip's LOAD (`SchedulerChip::load_slot` on a live slot): the
+  /// spec is latched, attributes re-initialized, the backlog and counters
+  /// cleared, and any queued service tags discarded.
+  void reload_stream(std::uint32_t stream, const StreamSpec& spec);
 
   void push_request(std::uint32_t stream);
   void push_request(std::uint32_t stream, std::uint64_t arrival);

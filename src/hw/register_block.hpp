@@ -52,6 +52,8 @@ struct SlotCounters {
   std::uint64_t serviced = 0;           ///< frames granted to this slot
   std::uint64_t late_transmissions = 0; ///< frames that left after deadline
   std::uint64_t winner_cycles = 0;      ///< decision cycles won (circulated)
+
+  friend bool operator==(const SlotCounters&, const SlotCounters&) = default;
 };
 
 /// One Register Base block.

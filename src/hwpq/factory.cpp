@@ -1,0 +1,24 @@
+#include "hwpq/factory.hpp"
+
+#include "hwpq/binary_heap_pq.hpp"
+#include "hwpq/pipelined_heap_pq.hpp"
+#include "hwpq/shift_register_pq.hpp"
+#include "hwpq/systolic_pq.hpp"
+
+namespace ss::hwpq {
+
+std::unique_ptr<HwPriorityQueue> make_pq(PqKind kind, std::size_t capacity) {
+  switch (kind) {
+    case PqKind::kBinaryHeap:
+      return std::make_unique<BinaryHeapPq>(capacity);
+    case PqKind::kPipelinedHeap:
+      return std::make_unique<PipelinedHeapPq>(capacity);
+    case PqKind::kSystolic:
+      return std::make_unique<SystolicPq>(capacity);
+    case PqKind::kShiftRegister:
+      return std::make_unique<ShiftRegisterPq>(capacity);
+  }
+  return nullptr;  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace ss::hwpq

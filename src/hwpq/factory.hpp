@@ -1,0 +1,36 @@
+// factory.hpp — uniform construction of every hardware priority-queue
+// variant.
+//
+// The Section-3 ablation and the differential fuzz harness both want to
+// iterate "all related-work PQ structures" without naming each class: the
+// fuzzer drives every variant through the same tagged event stream and
+// requires their pop order to agree with the scheduler fabric (all five
+// structures realize the same total order when keys are unique).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "hwpq/pq_interface.hpp"
+
+namespace ss::hwpq {
+
+enum class PqKind : std::uint8_t {
+  kBinaryHeap,
+  kPipelinedHeap,
+  kSystolic,
+  kShiftRegister,
+};
+
+inline constexpr std::array<PqKind, 4> kAllPqKinds = {
+    PqKind::kBinaryHeap,
+    PqKind::kPipelinedHeap,
+    PqKind::kSystolic,
+    PqKind::kShiftRegister,
+};
+
+/// Construct a PQ of the given kind with at least `capacity` entries.
+[[nodiscard]] std::unique_ptr<HwPriorityQueue> make_pq(PqKind kind,
+                                                       std::size_t capacity);
+
+}  // namespace ss::hwpq

@@ -1,0 +1,74 @@
+// differential_executor.hpp — lock-step execution of every scheduler
+// implementation over one event stream.
+//
+// The repository's central correctness claim is that the cycle-level
+// hw::SchedulerChip and the independently written dwcs::ReferenceScheduler
+// agree decision-for-decision.  The executor turns that claim into a
+// machine-checkable predicate over arbitrary scenarios: it drives both
+// through the same admission/arrival/decide/reconfig events and diffs
+// idle flags, grant sequences (slot, emission vtime, deadline verdict),
+// circulated IDs, drop sets, per-stream counters, backlogs and virtual
+// time.  In fair-queuing scenarios it additionally drives all four
+// related-work hardware priority queues (hwpq::*) through the same tagged
+// stream — with unique keys every structure realizes the same total order,
+// so their pop sequence must match the fabric's grant sequence.  When the
+// scenario carries an aggregation plan, host-side streamlet picks are fed
+// from the grant stream and the round-robin/weighted-share invariants are
+// checked at the end.
+//
+// The executor is deterministic and side-effect free: the same scenario
+// always produces the same RunResult (including the FNV-1a digest of the
+// chip's decision stream), which is what the shrinker binary-searches over
+// and what replay files assert against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "testing/scenario.hpp"
+
+namespace ss::testing {
+
+struct RunResult {
+  bool diverged = false;
+  /// Index into Scenario::events of the event at which the divergence was
+  /// detected (== events.size() for end-of-run counter mismatches).
+  std::size_t event_index = 0;
+  std::uint64_t decision_cycle = 0;  ///< decisions completed at detection
+  std::string detail;                ///< human-readable first difference
+
+  // Coverage accounting.
+  std::uint64_t decisions = 0;  ///< differential decision cycles compared
+  std::uint64_t grants = 0;     ///< frames granted by the chip
+  std::uint64_t drops = 0;      ///< late heads dropped by the chip
+  std::uint64_t arrivals = 0;   ///< requests fed to both implementations
+  bool hwpq_checked = false;    ///< hwpq variants participated in the diff
+
+  /// FNV-1a fingerprint of the chip's decision stream and final counters
+  /// (up to the divergence point, when one occurs).
+  std::uint64_t digest = 0;
+};
+
+class DifferentialExecutor {
+ public:
+  struct Options {
+    /// Cross-check the hwpq variants in fair-tag scenarios (WR mode only;
+    /// disabled automatically once a reconfig event invalidates the queue
+    /// contents).
+    bool check_hwpq = true;
+    /// Validate aggregation round-robin/weighted-share invariants when the
+    /// scenario carries a plan.
+    bool check_aggregation = true;
+  };
+
+  DifferentialExecutor() = default;
+  explicit DifferentialExecutor(Options opt) : opt_(opt) {}
+
+  /// Run the scenario to completion or first divergence.
+  [[nodiscard]] RunResult run(const Scenario& sc) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace ss::testing

@@ -1,0 +1,85 @@
+#include "testing/shrinker.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ss::testing {
+namespace {
+
+Scenario with_events(const Scenario& base, std::vector<Event> events) {
+  Scenario sc = base;
+  sc.events = std::move(events);
+  return sc;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const DifferentialExecutor& ex) {
+  ShrinkResult res;
+  res.initial_events = failing.events.size();
+
+  RunResult base = ex.run(failing);
+  ++res.executor_runs;
+  if (!base.diverged) {
+    throw std::invalid_argument("shrink(): scenario does not diverge");
+  }
+
+  std::vector<Event> events = failing.events;
+  RunResult current = base;
+
+  // Everything after the detection point is irrelevant by definition (the
+  // executor stops at the first divergence and never looks past it).
+  if (current.event_index + 1 < events.size()) {
+    std::vector<Event> truncated(
+        events.begin(),
+        events.begin() +
+            static_cast<std::ptrdiff_t>(current.event_index + 1));
+    const RunResult r = ex.run(with_events(failing, truncated));
+    ++res.executor_runs;
+    if (r.diverged) {
+      events = std::move(truncated);
+      current = r;
+    }
+  }
+
+  // ddmin: remove chunks of decreasing size until 1-minimal.
+  std::size_t chunk = events.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (true) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < events.size()) {
+      const std::size_t len = std::min(chunk, events.size() - start);
+      std::vector<Event> candidate;
+      candidate.reserve(events.size() - len);
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          events.begin() + static_cast<std::ptrdiff_t>(start + len),
+          events.end());
+      const RunResult r = ex.run(with_events(failing, candidate));
+      ++res.executor_runs;
+      if (r.diverged) {
+        events = std::move(candidate);
+        current = r;
+        removed_any = true;
+        // Do not advance: the chunk now at `start` is new material.
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // 1-minimal fixpoint reached
+    } else {
+      chunk = (chunk + 1) / 2;
+    }
+  }
+
+  res.minimal = with_events(failing, std::move(events));
+  res.divergence = current;
+  res.final_events = res.minimal.events.size();
+  return res;
+}
+
+}  // namespace ss::testing

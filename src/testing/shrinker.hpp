@@ -1,0 +1,36 @@
+// shrinker.hpp — minimization of diverging event streams.
+//
+// A raw fuzz failure arrives wrapped in a thousand irrelevant events.  The
+// shrinker reduces it to a minimal reproducer by delta debugging over the
+// event vector: binary-search-style chunk removal (halves, quarters, ...,
+// single events), re-running the differential executor on each candidate
+// and keeping any subsequence that still diverges, iterating to a
+// fixpoint.  Scenario subsetting is always valid by construction (every
+// event is self-contained), so no repair pass is needed.
+//
+// The result is 1-minimal: removing any single remaining event makes the
+// divergence disappear.  Serialized via trace_io, it becomes the
+// one-command deterministic repro the CLI's replay mode consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "testing/differential_executor.hpp"
+#include "testing/scenario.hpp"
+
+namespace ss::testing {
+
+struct ShrinkResult {
+  Scenario minimal;
+  RunResult divergence;          ///< executor result on the minimal scenario
+  std::size_t initial_events = 0;
+  std::size_t final_events = 0;
+  std::uint64_t executor_runs = 0;  ///< candidate evaluations performed
+};
+
+/// Minimize `failing` (which must diverge under `ex`); throws
+/// std::invalid_argument if it does not diverge.
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing,
+                                  const DifferentialExecutor& ex);
+
+}  // namespace ss::testing

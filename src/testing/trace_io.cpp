@@ -1,0 +1,283 @@
+#include "testing/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ss::testing {
+namespace {
+
+constexpr const char* kMagic = "ssfuzz v1";
+
+const char* discipline_name(Discipline d) {
+  switch (d) {
+    case Discipline::kDwcs: return "dwcs";
+    case Discipline::kEdf: return "edf";
+    case Discipline::kStaticPrio: return "static";
+    case Discipline::kFairTag: return "fairtag";
+  }
+  return "?";
+}
+
+Discipline parse_discipline(const std::string& s, int line) {
+  if (s == "dwcs") return Discipline::kDwcs;
+  if (s == "edf") return Discipline::kEdf;
+  if (s == "static") return Discipline::kStaticPrio;
+  if (s == "fairtag") return Discipline::kFairTag;
+  throw std::runtime_error("trace line " + std::to_string(line) +
+                           ": unknown discipline '" + s + "'");
+}
+
+const char* schedule_name(hw::SortSchedule s) {
+  switch (s) {
+    case hw::SortSchedule::kPerfectShuffle: return "shuffle";
+    case hw::SortSchedule::kBitonic: return "bitonic";
+    case hw::SortSchedule::kOddEven: return "oddeven";
+  }
+  return "?";
+}
+
+hw::SortSchedule parse_schedule(const std::string& s, int line) {
+  if (s == "shuffle") return hw::SortSchedule::kPerfectShuffle;
+  if (s == "bitonic") return hw::SortSchedule::kBitonic;
+  if (s == "oddeven") return hw::SortSchedule::kOddEven;
+  throw std::runtime_error("trace line " + std::to_string(line) +
+                           ": unknown schedule '" + s + "'");
+}
+
+void write_setup(std::ostream& os, const StreamSetup& s) {
+  os << s.period << ' ' << unsigned{s.loss_num} << ' ' << unsigned{s.loss_den}
+     << ' ' << (s.droppable ? 1 : 0) << ' ' << s.initial_deadline;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line) + ": " + what);
+}
+
+StreamSetup read_setup(std::istringstream& is, int line) {
+  StreamSetup s;
+  unsigned period = 0, x = 0, y = 0, drop = 0;
+  std::uint64_t dl0 = 0;
+  if (!(is >> period >> x >> y >> drop >> dl0)) {
+    fail(line, "malformed stream setup");
+  }
+  if (period > 0xFFFFu || x > 0xFFu || y > 0xFFu || drop > 1u) {
+    fail(line, "stream setup field out of range");
+  }
+  s.period = static_cast<std::uint16_t>(period);
+  s.loss_num = static_cast<std::uint8_t>(x);
+  s.loss_den = static_cast<std::uint8_t>(y);
+  s.droppable = drop != 0;
+  s.initial_deadline = dl0;
+  return s;
+}
+
+}  // namespace
+
+std::string serialize(const Scenario& sc,
+                      std::optional<std::uint64_t> expected_digest) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << "fabric " << sc.fabric.slots << ' '
+     << discipline_name(sc.fabric.discipline) << ' '
+     << (sc.fabric.block_mode ? 1 : 0) << ' '
+     << (sc.fabric.min_first ? 1 : 0) << ' '
+     << schedule_name(sc.fabric.schedule) << '\n';
+  os << "global_tags " << (sc.global_tags ? 1 : 0) << '\n';
+  os << "fault_at_grant " << sc.inject_fault_at_grant << '\n';
+  os << "streams " << sc.streams.size() << '\n';
+  for (const StreamSetup& s : sc.streams) {
+    os << "s ";
+    write_setup(os, s);
+    os << '\n';
+  }
+  if (!sc.aggregation.empty()) {
+    os << "agg " << sc.aggregation.size() << '\n';
+    for (const auto& sets : sc.aggregation) {
+      os << "g " << sets.size();
+      for (const core::StreamletSet& st : sets) {
+        os << ' ' << st.streamlets << ':' << st.weight;
+      }
+      os << '\n';
+    }
+  }
+  os << "events " << sc.events.size() << '\n';
+  for (const Event& e : sc.events) {
+    switch (e.kind) {
+      case EventKind::kArrival:
+        os << "a " << e.stream << '\n';
+        break;
+      case EventKind::kTaggedArrival:
+        os << "t " << e.stream << ' ' << e.tag_increment << '\n';
+        break;
+      case EventKind::kDecide:
+        os << "d\n";
+        break;
+      case EventKind::kReconfig:
+        os << "r " << e.stream << ' ';
+        write_setup(os, e.setup);
+        os << '\n';
+        break;
+    }
+  }
+  if (expected_digest) {
+    os << "expect_digest " << *expected_digest << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+TraceFile parse(std::istream& in) {
+  TraceFile tf;
+  Scenario& sc = tf.scenario;
+  std::string line;
+  int ln = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++ln;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != kMagic) {
+    fail(ln, "missing '" + std::string(kMagic) + "' header");
+  }
+
+  bool saw_end = false;
+  std::size_t declared_streams = 0, declared_events = 0;
+  while (next_line()) {
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "fabric") {
+      std::string disc, sched;
+      unsigned block = 0, minf = 0;
+      if (!(is >> sc.fabric.slots >> disc >> block >> minf >> sched)) {
+        fail(ln, "malformed fabric line");
+      }
+      sc.fabric.discipline = parse_discipline(disc, ln);
+      sc.fabric.block_mode = block != 0;
+      sc.fabric.min_first = minf != 0;
+      sc.fabric.schedule = parse_schedule(sched, ln);
+      if (sc.fabric.slots < 2 || sc.fabric.slots > hw::kMaxSlots ||
+          (sc.fabric.slots & (sc.fabric.slots - 1)) != 0) {
+        fail(ln, "slot count must be a power of two in [2, 32]");
+      }
+    } else if (tag == "global_tags") {
+      unsigned v = 0;
+      if (!(is >> v)) fail(ln, "malformed global_tags line");
+      sc.global_tags = v != 0;
+    } else if (tag == "fault_at_grant") {
+      if (!(is >> sc.inject_fault_at_grant)) fail(ln, "malformed fault line");
+    } else if (tag == "streams") {
+      if (!(is >> declared_streams)) fail(ln, "malformed streams line");
+    } else if (tag == "s") {
+      sc.streams.push_back(read_setup(is, ln));
+    } else if (tag == "agg") {
+      std::size_t n = 0;
+      if (!(is >> n)) fail(ln, "malformed agg line");
+      sc.aggregation.reserve(n);
+    } else if (tag == "g") {
+      std::size_t nsets = 0;
+      if (!(is >> nsets)) fail(ln, "malformed agg group line");
+      std::vector<core::StreamletSet> sets;
+      for (std::size_t i = 0; i < nsets; ++i) {
+        std::string pair;
+        if (!(is >> pair)) fail(ln, "missing streamlets:weight pair");
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) fail(ln, "expected streamlets:weight");
+        core::StreamletSet st;
+        try {
+          st.streamlets =
+              static_cast<std::uint32_t>(std::stoul(pair.substr(0, colon)));
+          st.weight =
+              static_cast<std::uint32_t>(std::stoul(pair.substr(colon + 1)));
+        } catch (const std::exception&) {
+          fail(ln, "malformed streamlets:weight pair '" + pair + "'");
+        }
+        if (st.streamlets == 0 || st.weight == 0) {
+          fail(ln, "streamlets and weight must be positive");
+        }
+        sets.push_back(st);
+      }
+      sc.aggregation.push_back(std::move(sets));
+    } else if (tag == "events") {
+      if (!(is >> declared_events)) fail(ln, "malformed events line");
+      sc.events.reserve(declared_events);
+    } else if (tag == "a") {
+      Event e;
+      e.kind = EventKind::kArrival;
+      if (!(is >> e.stream)) fail(ln, "malformed arrival");
+      sc.events.push_back(e);
+    } else if (tag == "t") {
+      Event e;
+      e.kind = EventKind::kTaggedArrival;
+      if (!(is >> e.stream >> e.tag_increment)) {
+        fail(ln, "malformed tagged arrival");
+      }
+      sc.events.push_back(e);
+    } else if (tag == "d") {
+      sc.events.push_back(Event{});
+    } else if (tag == "r") {
+      Event e;
+      e.kind = EventKind::kReconfig;
+      if (!(is >> e.stream)) fail(ln, "malformed reconfig");
+      e.setup = read_setup(is, ln);
+      sc.events.push_back(e);
+    } else if (tag == "expect_digest") {
+      std::uint64_t d = 0;
+      if (!(is >> d)) fail(ln, "malformed expect_digest");
+      tf.expected_digest = d;
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(ln, "unknown record '" + tag + "'");
+    }
+  }
+
+  if (!saw_end) fail(ln, "missing 'end' record");
+  if (sc.streams.size() != declared_streams) {
+    fail(ln, "stream count mismatch with 'streams' declaration");
+  }
+  if (sc.events.size() != declared_events) {
+    fail(ln, "event count mismatch with 'events' declaration");
+  }
+  if (sc.streams.size() != sc.fabric.slots) {
+    fail(ln, "scenario must define exactly one stream per slot");
+  }
+  if (!sc.aggregation.empty() && sc.aggregation.size() > sc.fabric.slots) {
+    fail(ln, "aggregation plan covers more slots than the fabric has");
+  }
+  for (const Event& e : sc.events) {
+    if (e.kind != EventKind::kDecide && e.stream >= sc.fabric.slots) {
+      fail(ln, "event references stream beyond the slot count");
+    }
+  }
+  return tf;
+}
+
+TraceFile parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+void save_file(const std::string& path, const Scenario& sc,
+               std::optional<std::uint64_t> expected_digest) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << serialize(sc, expected_digest);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+TraceFile load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse(in);
+}
+
+}  // namespace ss::testing

@@ -1,0 +1,48 @@
+// trace_io.hpp — deterministic (de)serialization of fuzz scenarios.
+//
+// A replay file is the single source of truth for reproducing a failure:
+// it carries the full scenario (fabric point, stream setups, aggregation
+// plan, event stream, injected fault) plus, optionally, the decision-
+// stream digest the capturing run observed, so a replay can confirm it
+// reproduced the *same* behaviour and not merely *a* behaviour.
+//
+// The format is line-oriented text with a version header.  Serialization
+// is byte-deterministic: no timestamps, no pointers, no locale-dependent
+// formatting — the same scenario always produces the same bytes, which is
+// what makes "same seed => byte-identical trace" testable and keeps golden
+// trace files stable across refactors (tests/seed_stability_test.cpp pins
+// one).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "testing/scenario.hpp"
+
+namespace ss::testing {
+
+/// Parsed contents of a replay file.
+struct TraceFile {
+  Scenario scenario;
+  /// Decision-stream digest recorded when the trace was captured (absent
+  /// in hand-written scenarios).
+  std::optional<std::uint64_t> expected_digest;
+};
+
+/// Serialize to the versioned text format (byte-deterministic).
+[[nodiscard]] std::string serialize(
+    const Scenario& sc,
+    std::optional<std::uint64_t> expected_digest = std::nullopt);
+
+/// Parse a trace; throws std::runtime_error with a line-numbered message
+/// on malformed input.
+[[nodiscard]] TraceFile parse(std::istream& in);
+[[nodiscard]] TraceFile parse_string(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_file(const std::string& path, const Scenario& sc,
+               std::optional<std::uint64_t> expected_digest = std::nullopt);
+[[nodiscard]] TraceFile load_file(const std::string& path);
+
+}  // namespace ss::testing

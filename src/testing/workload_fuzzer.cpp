@@ -1,0 +1,140 @@
+#include "testing/workload_fuzzer.hpp"
+
+#include <algorithm>
+
+namespace ss::testing {
+namespace {
+
+/// Virtual time must stay well inside the 16-bit serial horizon (32768):
+/// a decide event advances vtime by at most `slots` packet-times in block
+/// mode and 1 in WR mode.
+constexpr std::uint64_t kVtimeBudget = 16000;
+
+constexpr unsigned kSlotChoices[] = {2, 4, 8, 16, 32};
+
+}  // namespace
+
+WorkloadFuzzer::WorkloadFuzzer(const Options& opt)
+    : opt_(opt), rng_(opt.seed) {}
+
+StreamSetup WorkloadFuzzer::random_setup(Discipline d) {
+  StreamSetup s;
+  s.period = static_cast<std::uint16_t>(1 + rng_.below(6));
+  const auto x = static_cast<std::uint8_t>(rng_.below(3));
+  s.loss_num = x;
+  s.loss_den = static_cast<std::uint8_t>(x + 1 + rng_.below(3));
+  s.droppable = rng_.chance(0.5);
+  s.initial_deadline = 1 + rng_.below(10);
+  if (d == Discipline::kStaticPrio) {
+    // The denominator field carries the priority level (1..6).
+    s.loss_den = static_cast<std::uint8_t>(1 + rng_.below(6));
+  }
+  return s;
+}
+
+Scenario WorkloadFuzzer::next() {
+  ++count_;
+  Scenario sc;
+
+  // --- fabric point -------------------------------------------------------
+  sc.fabric.slots = kSlotChoices[rng_.below(std::size(kSlotChoices))];
+  switch (rng_.below(4)) {
+    case 0: sc.fabric.discipline = Discipline::kDwcs; break;
+    case 1: sc.fabric.discipline = Discipline::kEdf; break;
+    case 2: sc.fabric.discipline = Discipline::kStaticPrio; break;
+    default: sc.fabric.discipline = Discipline::kFairTag; break;
+  }
+  sc.fabric.block_mode = rng_.chance(0.5);
+  sc.fabric.min_first = sc.fabric.block_mode && rng_.chance(0.5);
+  if (sc.fabric.block_mode) {
+    // Block order parity with the oracle needs a full sorting network.
+    sc.fabric.schedule = rng_.chance(0.8) ? hw::SortSchedule::kBitonic
+                                          : hw::SortSchedule::kOddEven;
+  } else {
+    const auto pick = rng_.below(4);
+    sc.fabric.schedule = pick < 2 ? hw::SortSchedule::kPerfectShuffle
+                        : pick == 2 ? hw::SortSchedule::kBitonic
+                                    : hw::SortSchedule::kOddEven;
+  }
+
+  // Fair-tag scenarios split between globally-unique tags (enables the
+  // five-way chip/oracle/hwpq diff) and per-stream tag clocks (exercises
+  // the equal-tag FCFS path in the chip-vs-oracle diff).
+  sc.global_tags = sc.fabric.discipline == Discipline::kFairTag &&
+                   rng_.chance(0.5);
+
+  // --- streams ------------------------------------------------------------
+  sc.streams.reserve(sc.fabric.slots);
+  for (unsigned i = 0; i < sc.fabric.slots; ++i) {
+    sc.streams.push_back(random_setup(sc.fabric.discipline));
+  }
+
+  // --- aggregation bindings ------------------------------------------------
+  if (rng_.chance(opt_.aggregation_probability)) {
+    sc.aggregation.resize(sc.fabric.slots);
+    for (unsigned s = 0; s < sc.fabric.slots; ++s) {
+      if (!rng_.chance(0.5)) continue;  // this slot stays unaggregated
+      const auto nsets = 1 + rng_.below(3);
+      for (std::uint64_t k = 0; k < nsets; ++k) {
+        core::StreamletSet set;
+        set.streamlets = static_cast<std::uint32_t>(1 + rng_.below(8));
+        set.weight = static_cast<std::uint32_t>(1 + rng_.below(4));
+        sc.aggregation[s].push_back(set);
+      }
+    }
+    // Normalize "nothing actually bound" back to "no aggregation".
+    const bool any = std::any_of(sc.aggregation.begin(), sc.aggregation.end(),
+                                 [](const auto& v) { return !v.empty(); });
+    if (!any) sc.aggregation.clear();
+  }
+
+  // --- event stream ---------------------------------------------------------
+  // The fabric's reconfig path clears queue state, which invalidates the
+  // hwpq mirror; keep fair-tag scenarios reconfig-free so they exercise
+  // the five-way (chip/oracle/4xPQ) diff instead.
+  const bool allow_reconfig = sc.fabric.discipline != Discipline::kFairTag &&
+                              rng_.chance(opt_.reconfig_probability);
+  const std::uint64_t vtime_per_decide =
+      sc.fabric.block_mode ? sc.fabric.slots : 1;
+  std::uint64_t decide_budget = kVtimeBudget / vtime_per_decide;
+  const double arrival_rate = 0.2 + rng_.uniform() * 0.6;  // per slot/decide
+
+  sc.events.reserve(opt_.events_per_scenario);
+  while (sc.events.size() < opt_.events_per_scenario) {
+    // A burst of arrivals across the slots...
+    for (unsigned i = 0;
+         i < sc.fabric.slots && sc.events.size() < opt_.events_per_scenario;
+         ++i) {
+      if (!rng_.chance(arrival_rate)) continue;
+      Event e;
+      e.stream = i;
+      if (sc.fabric.discipline == Discipline::kFairTag) {
+        e.kind = EventKind::kTaggedArrival;
+        e.tag_increment = static_cast<std::uint32_t>(1 + rng_.below(4));
+      } else {
+        e.kind = EventKind::kArrival;
+      }
+      sc.events.push_back(e);
+    }
+    // ...an occasional mid-run re-LOAD...
+    if (allow_reconfig && rng_.chance(0.01)) {
+      Event e;
+      e.kind = EventKind::kReconfig;
+      e.stream = static_cast<std::uint32_t>(rng_.below(sc.fabric.slots));
+      e.setup = random_setup(sc.fabric.discipline);
+      sc.events.push_back(e);
+    }
+    // ...then one or a few decision cycles (idle gaps included: arrivals
+    // may be absent, making the fabric run idle cycles).
+    const auto decides = 1 + rng_.below(3);
+    for (std::uint64_t d = 0; d < decides && decide_budget > 0; ++d) {
+      sc.events.push_back(Event{});  // kDecide
+      --decide_budget;
+    }
+    if (decide_budget == 0) break;  // 16-bit horizon guard
+  }
+
+  return sc;
+}
+
+}  // namespace ss::testing

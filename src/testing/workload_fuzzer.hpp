@@ -1,0 +1,61 @@
+// workload_fuzzer.hpp — seeded randomized scenario generation over the
+// full configuration lattice.
+//
+// Scheduler bugs hide in rare interleavings of admissions, drops, priority
+// updates and reconfigurations — exactly the corners hand-picked parameter
+// points miss.  The fuzzer samples the lattice the architecture exposes
+// (slot count x WR/block x max/min-first x sort schedule x discipline x
+// streamlet aggregation bindings) and fills each point with a randomized
+// event stream: bursty arrivals, idle gaps, mid-run re-LOADs, fair-queuing
+// tag advances.
+//
+// Determinism is absolute: the generator is a pure function of (seed,
+// options, draw index).  The same seed reproduces the same scenario
+// sequence byte-for-byte — `tests/seed_stability_test.cpp` pins one golden
+// scenario so replay files stay valid across refactors.
+//
+// Two generation invariants keep scenarios inside the regime where the
+// chip and the 64-bit oracle *must* agree (divergences are then always
+// bugs, never 16-bit-horizon artifacts — see docs/reproduction.md):
+//   * block-mode scenarios use a full sorting schedule (bitonic/odd-even),
+//     since the log2(N) shuffle is only a max-finder;
+//   * the decide-event budget bounds virtual time well below the 32768
+//     serial-comparison horizon of the 16-bit deadline fields.
+#pragma once
+
+#include <cstdint>
+
+#include "testing/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace ss::testing {
+
+class WorkloadFuzzer {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Approximate number of events per scenario (the horizon guard may
+    /// trim the decide count at large slot counts).
+    std::size_t events_per_scenario = 1000;
+    /// Probability that a scenario carries streamlet aggregation bindings.
+    double aggregation_probability = 0.25;
+    /// Probability that a scenario contains mid-run reconfig events.
+    double reconfig_probability = 0.25;
+  };
+
+  explicit WorkloadFuzzer(const Options& opt);
+
+  /// Generate the next scenario (deterministic in seed and call index).
+  [[nodiscard]] Scenario next();
+
+  [[nodiscard]] std::uint64_t scenarios_generated() const { return count_; }
+
+ private:
+  [[nodiscard]] StreamSetup random_setup(Discipline d);
+
+  Options opt_;
+  Rng rng_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ss::testing

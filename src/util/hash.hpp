@@ -1,0 +1,44 @@
+// hash.hpp — deterministic incremental hashing for trace fingerprints.
+//
+// The differential fuzz harness fingerprints every decision stream so that
+// "same seed => same behaviour" is a one-integer comparison and replay
+// files can carry the expected digest of the run they reproduce.  FNV-1a
+// over explicitly-widened integers is used instead of std::hash because
+// the digest must be identical across platforms, compilers and runs (no
+// per-process salting, no size_t width dependence).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ss {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr void mix_byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+  }
+
+  /// Mix a 64-bit value byte-by-byte, little-endian, so the digest does not
+  /// depend on host endianness or integer width promotions.
+  constexpr void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  constexpr void mix(std::string_view s) {
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace ss

@@ -1,0 +1,144 @@
+// fuzz_smoke_test.cpp — bounded differential-fuzz smoke for CI.
+//
+// The fuzz_ss CLI runs open-ended campaigns; this suite pins the harness
+// itself down under ctest: a fixed-seed sweep must push >= 10k differential
+// decisions through both block and WR fabrics with zero divergence, the
+// generator must be byte-deterministic, scenarios must survive a
+// serialize/parse round trip, an injected oracle fault must shrink to a
+// tiny reproducer that replays from its file, and fair-tag scenarios must
+// actually reach the five-way hwpq cross-check.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "testing/differential_executor.hpp"
+#include "testing/shrinker.hpp"
+#include "testing/trace_io.hpp"
+#include "testing/workload_fuzzer.hpp"
+
+namespace ss::testing {
+namespace {
+
+WorkloadFuzzer::Options opts(std::uint64_t seed, std::size_t events) {
+  WorkloadFuzzer::Options o;
+  o.seed = seed;
+  o.events_per_scenario = events;
+  return o;
+}
+
+TEST(FuzzSmoke, TenThousandDecisionsAcrossBlockAndWrModes) {
+  WorkloadFuzzer fuzz(opts(20030422, 400));  // IPPS 2003 vintage
+  const DifferentialExecutor ex;
+  std::uint64_t block_decisions = 0, wr_decisions = 0;
+  std::uint64_t arrivals = 0, grants = 0;
+  int scenarios = 0;
+  while (block_decisions + wr_decisions < 10000) {
+    const Scenario sc = fuzz.next();
+    const RunResult r = ex.run(sc);
+    ASSERT_FALSE(r.diverged)
+        << "scenario " << scenarios << " diverged at event " << r.event_index
+        << ": " << r.detail << '\n'
+        << serialize(sc);
+    (sc.fabric.block_mode ? block_decisions : wr_decisions) += r.decisions;
+    arrivals += r.arrivals;
+    grants += r.grants;
+    ++scenarios;
+  }
+  // The lattice walk must have covered both decision architectures, and
+  // the traffic must have been real (requests in, frames out).
+  EXPECT_GT(block_decisions, 0u);
+  EXPECT_GT(wr_decisions, 0u);
+  EXPECT_GT(arrivals, 0u);
+  EXPECT_GT(grants, 0u);
+}
+
+TEST(FuzzSmoke, SameSeedYieldsByteIdenticalScenariosAndDigests) {
+  WorkloadFuzzer a(opts(99, 300));
+  WorkloadFuzzer b(opts(99, 300));
+  const DifferentialExecutor ex;
+  for (int i = 0; i < 8; ++i) {
+    const Scenario sa = a.next();
+    const Scenario sb = b.next();
+    EXPECT_EQ(serialize(sa), serialize(sb)) << "scenario " << i;
+    EXPECT_EQ(ex.run(sa).digest, ex.run(sb).digest) << "scenario " << i;
+  }
+}
+
+TEST(FuzzSmoke, SerializationRoundTripsEveryScenario) {
+  WorkloadFuzzer fuzz(opts(5150, 200));
+  for (int i = 0; i < 25; ++i) {
+    const Scenario sc = fuzz.next();
+    const TraceFile tf = parse_string(serialize(sc));
+    EXPECT_EQ(tf.scenario, sc) << "scenario " << i;
+    EXPECT_FALSE(tf.expected_digest.has_value());
+    const TraceFile with = parse_string(serialize(sc, 0xABCDu));
+    EXPECT_EQ(with.scenario, sc);
+    ASSERT_TRUE(with.expected_digest.has_value());
+    EXPECT_EQ(*with.expected_digest, 0xABCDu);
+  }
+}
+
+TEST(FuzzSmoke, InjectedFaultShrinksToTinyReplayableRepro) {
+  WorkloadFuzzer fuzz(opts(7, 600));
+  const DifferentialExecutor ex;
+
+  // Walk the lattice until a scenario grants enough frames to host the
+  // injected fault (the 3rd grant), then corrupt the oracle's view of it.
+  Scenario sc;
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 50) << "no scenario with >= 5 grants in 50 draws";
+    sc = fuzz.next();
+    const RunResult clean = ex.run(sc);
+    ASSERT_FALSE(clean.diverged) << clean.detail;
+    if (clean.grants >= 5) break;
+  }
+  sc.inject_fault_at_grant = 3;
+  const RunResult bad = ex.run(sc);
+  ASSERT_TRUE(bad.diverged);
+
+  const ShrinkResult shrunk = shrink(sc, ex);
+  ASSERT_TRUE(shrunk.divergence.diverged);
+  EXPECT_LE(shrunk.final_events, 32u)
+      << "shrinker left " << shrunk.final_events << " of "
+      << shrunk.initial_events << " events";
+  EXPECT_LE(shrunk.final_events, shrunk.initial_events);
+
+  // The minimal reproducer must replay from its serialized file alone,
+  // down to the decision-stream digest recorded at shrink time.
+  const std::string path = ::testing::TempDir() + "fuzz_smoke_repro.sst";
+  save_file(path, shrunk.minimal, shrunk.divergence.digest);
+  const TraceFile tf = load_file(path);
+  EXPECT_EQ(tf.scenario, shrunk.minimal);
+  ASSERT_TRUE(tf.expected_digest.has_value());
+  const RunResult replay = ex.run(tf.scenario);
+  EXPECT_TRUE(replay.diverged);
+  EXPECT_EQ(replay.digest, *tf.expected_digest);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzSmoke, FairTagScenariosReachTheHwpqCrossCheck) {
+  WorkloadFuzzer fuzz(opts(31337, 300));
+  const DifferentialExecutor ex;
+  bool hwpq_seen = false;
+  for (int i = 0; i < 60 && !hwpq_seen; ++i) {
+    const Scenario sc = fuzz.next();
+    const RunResult r = ex.run(sc);
+    ASSERT_FALSE(r.diverged) << r.detail << '\n' << serialize(sc);
+    hwpq_seen = r.hwpq_checked && r.grants > 0;
+  }
+  EXPECT_TRUE(hwpq_seen)
+      << "no globally-tagged fair-queuing scenario exercised the four "
+         "hardware priority-queue variants in 60 draws";
+}
+
+TEST(FuzzSmoke, ShrinkRejectsNonDivergingScenarios) {
+  WorkloadFuzzer fuzz(opts(12, 100));
+  const Scenario sc = fuzz.next();
+  const DifferentialExecutor ex;
+  ASSERT_FALSE(ex.run(sc).diverged);
+  EXPECT_THROW((void)shrink(sc, ex), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ss::testing

@@ -4,7 +4,9 @@
 // can map claim -> executable check in one place.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "core/admission.hpp"
 #include "core/aggregation.hpp"
@@ -12,6 +14,9 @@
 #include "hw/area_model.hpp"
 #include "hw/scheduler_chip.hpp"
 #include "hw/timing_model.hpp"
+#include "testing/differential_executor.hpp"
+#include "testing/workload_fuzzer.hpp"
+#include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
 namespace ss {
@@ -200,6 +205,83 @@ TEST(PaperClaims, Sec51_BatchingBeatsUnbatched) {
   const hw::PciModel pci;
   EXPECT_LT(count(pci.per_packet_pio_exchange(32)),
             count(pci.per_packet_pio_exchange(1)));
+}
+
+// "We simply used a round-robin service policy on the Stream processor
+// between streamlets. ... We were even able to support multiple sets of
+// streamlets within a stream-slot."  (Section 5.1) — fuzzed over random
+// streamlet->slot bindings rather than one hand-picked layout.
+TEST(PaperClaims, Sec51_AggregationInvariantsHoldUnderFuzzedBindings) {
+  Rng rng(0xA66A66u);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::AggregationManager mgr;
+    const auto nsets = 1 + rng.below(4);
+    std::vector<core::StreamletSet> sets;
+    std::uint64_t weight_sum = 0;
+    for (std::uint64_t k = 0; k < nsets; ++k) {
+      core::StreamletSet s;
+      s.streamlets = static_cast<std::uint32_t>(1 + rng.below(12));
+      s.weight = static_cast<std::uint32_t>(1 + rng.below(5));
+      weight_sum += s.weight;
+      sets.push_back(s);
+    }
+    const std::uint32_t slot = mgr.bind_slot(sets);
+    const std::uint64_t grants = 200 + rng.below(800);
+    for (std::uint64_t g = 0; g < grants; ++g) mgr.on_grant(slot);
+
+    // Conservation: every FPGA grant lands on exactly one streamlet.
+    std::uint64_t delivered = 0;
+    for (const auto v : mgr.grants(slot)) delivered += v;
+    ASSERT_EQ(delivered, grants) << "trial " << trial;
+
+    std::uint32_t base = 0;
+    for (std::uint64_t k = 0; k < nsets; ++k) {
+      // Round-robin inside a set: the spread is at most one grant.
+      std::uint64_t lo = grants, hi = 0;
+      for (std::uint32_t q = 0; q < sets[k].streamlets; ++q) {
+        const auto v = mgr.grants(slot)[base + q];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      EXPECT_LE(hi - lo, 1u) << "trial " << trial << " set " << k;
+      base += sets[k].streamlets;
+
+      // Weighted share across sets: the credit scheme keeps every set
+      // within one full round of its proportional entitlement.
+      const double share = static_cast<double>(mgr.set_grants(slot, k));
+      const double entitled =
+          static_cast<double>(grants) * sets[k].weight / weight_sum;
+      EXPECT_NEAR(share, entitled, static_cast<double>(weight_sum))
+          << "trial " << trial << " set " << k;
+    }
+  }
+}
+
+// Aggregation is pure Stream-processor policy: binding streamlets to a
+// slot must leave the FPGA's decision stream bit-for-bit unchanged — the
+// per-slot DWCS guarantees are computed before the host fans a grant out
+// to a streamlet.  (Section 5.1's "without any per-stream QoS" tradeoff.)
+TEST(PaperClaims, Sec51_AggregationDoesNotPerturbTheDecisionStream) {
+  testing::WorkloadFuzzer::Options opt;
+  opt.seed = 0x5151;
+  opt.events_per_scenario = 250;
+  opt.aggregation_probability = 1.0;
+  testing::WorkloadFuzzer fuzz(opt);
+  const testing::DifferentialExecutor ex;
+  int aggregated_runs = 0;
+  for (int i = 0; i < 20; ++i) {
+    testing::Scenario sc = fuzz.next();
+    if (sc.aggregation.empty()) continue;
+    const testing::RunResult with = ex.run(sc);
+    ASSERT_FALSE(with.diverged) << with.detail;
+    sc.aggregation.clear();
+    const testing::RunResult without = ex.run(sc);
+    ASSERT_FALSE(without.diverged) << without.detail;
+    EXPECT_EQ(with.digest, without.digest) << "scenario " << i;
+    EXPECT_EQ(with.grants, without.grants) << "scenario " << i;
+    ++aggregated_runs;
+  }
+  EXPECT_GE(aggregated_runs, 5);
 }
 
 }  // namespace

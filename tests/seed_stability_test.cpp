@@ -1,0 +1,105 @@
+// seed_stability_test.cpp — golden pins for the determinism substrate.
+//
+// Every reproducibility promise in this repository — fuzz campaigns,
+// replay files, the golden traces, the paper-figure experiments — bottoms
+// out in three things staying put across compilers, platforms and
+// refactors: the xoshiro256** stream produced by util/rng.hpp, the FNV-1a
+// digests from util/hash.hpp, and the scenario text format of
+// testing/trace_io.hpp.  This suite freezes all three with literal golden
+// values.  If one of these tests fails, the change is not wrong per se —
+// but it silently invalidates every recorded seed and every committed
+// replay file, so it must be a deliberate, flag-day decision.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "testing/differential_executor.hpp"
+#include "testing/trace_io.hpp"
+#include "testing/workload_fuzzer.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace ss {
+namespace {
+
+TEST(SeedStability, XoshiroStreamForSeed0xD1CE) {
+  Rng rng(0xD1CEu);
+  const std::uint64_t golden[] = {
+      0xdfc24148b36385e0ULL, 0xde03c392217a0e41ULL, 0x31f4e8040cdc2635ULL,
+      0xcab1627fa9a9d45fULL, 0xbe8e3d4e13c22b4eULL, 0x31c0765c98413247ULL,
+  };
+  for (std::size_t i = 0; i < std::size(golden); ++i) {
+    EXPECT_EQ(rng(), golden[i]) << "draw " << i;
+  }
+}
+
+TEST(SeedStability, SplitmixSeedingStep) {
+  std::uint64_t state = 42;
+  EXPECT_EQ(splitmix64(state), 0xbdd732262feb6e95ULL);
+  EXPECT_NE(state, 42u);  // the state must advance
+}
+
+TEST(SeedStability, DefaultSeededRngIsItselfStable) {
+  Rng a;
+  Rng b(0x5eed5eed5eed5eedULL);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SeedStability, Fnv1a64ReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64{}.digest(), 0xcbf29ce484222325ULL);  // offset basis
+  Fnv1a64 a;
+  a.mix(std::string_view{"a"});
+  EXPECT_EQ(a.digest(), 0xaf63dc4c8601ec8cULL);
+  Fnv1a64 foobar;
+  foobar.mix(std::string_view{"foobar"});
+  EXPECT_EQ(foobar.digest(), 0x85944171f73967e8ULL);
+}
+
+TEST(SeedStability, Fnv1a64WordMixIsLittleEndianByteMix) {
+  // The u64 overload must digest identically on every host endianness —
+  // it is defined as mixing the value's eight little-endian bytes.
+  Fnv1a64 word;
+  word.mix(std::uint64_t{0x0123456789abcdefULL});
+  Fnv1a64 bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes.mix_byte(
+        static_cast<std::uint8_t>(0x0123456789abcdefULL >> (8 * i)));
+  }
+  EXPECT_EQ(word.digest(), bytes.digest());
+}
+
+// The golden fuzz trace: fuzzer seed 2003, 64-event scenarios.  Pins the
+// whole generator-to-digest chain — RNG stream, lattice walk, scenario
+// text format, executor decision stream — in one shot.
+TEST(SeedStability, GoldenFuzzTraceForSeed2003) {
+  testing::WorkloadFuzzer::Options opt;
+  opt.seed = 2003;
+  opt.events_per_scenario = 64;
+  testing::WorkloadFuzzer fuzz(opt);
+  const testing::Scenario sc = fuzz.next();
+
+  const std::string text = serialize(sc);
+  EXPECT_EQ(text.size(), 542u);
+  Fnv1a64 h;
+  h.mix(std::string_view{text});
+  EXPECT_EQ(h.digest(), 0x989c1c3e77f19fa7ULL);
+
+  // Spot-check the header so a format drift reads as text, not as a hash.
+  EXPECT_EQ(text.substr(0, 10), "ssfuzz v1\n");
+  EXPECT_NE(text.find("fabric 16 dwcs 1 0 bitonic\n"), std::string::npos);
+  EXPECT_NE(text.find("events 66\n"), std::string::npos);
+
+  const testing::DifferentialExecutor ex;
+  const testing::RunResult r = ex.run(sc);
+  EXPECT_FALSE(r.diverged) << r.detail;
+  EXPECT_EQ(r.decisions, 14u);
+  EXPECT_EQ(r.digest, 0xa43cdecbda89e489ULL);
+
+  // And the golden scenario must round-trip to the same digest.
+  EXPECT_EQ(ex.run(testing::parse_string(text).scenario).digest, r.digest);
+}
+
+}  // namespace
+}  // namespace ss
