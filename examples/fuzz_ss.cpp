@@ -13,9 +13,14 @@
 //   fuzz_ss --seed 7 --inject-fault 3                 # self-test: corrupt
 //                                                       the oracle's 3rd
 //                                                       grant, shrink it
+//   fuzz_ss --seed 7 --explore-batch                  # also sample the
+//                                                       block batch_depth axis
 //
 // Exit status: 0 = no divergence (or replay reproduced nothing), 1 = a
-// divergence was found (minimized reproducer written), 2 = usage/IO error.
+// divergence was found (minimized reproducer written), 2 = usage/IO
+// error, 3 = replay ran clean but its digest differs from the capture's
+// expect_digest (semantics drifted since the trace was recorded).  CI
+// scripts rely on 2-vs-3 to tell "bad file" from "stale file".
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -38,6 +43,7 @@ struct Args {
   std::size_t events = 1000;
   double seconds = 0;  // 0 = no time budget (scenario count governs)
   std::uint64_t inject_fault = 0;
+  bool explore_batch = false;
   std::string out;     // trace capture path (fuzz mode)
   std::string replay;  // replay path; empty = fuzz mode
 };
@@ -58,12 +64,15 @@ void print_point(const Scenario& sc) {
                                      : " wr")
             << (sc.aggregation.empty() ? "" : " +agg") << " events="
             << sc.events.size();
+  if (sc.fabric.batch_depth > 0) {
+    std::cout << " batch=" << sc.fabric.batch_depth;
+  }
 }
 
 int usage() {
   std::cerr <<
       "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
-      "               [--out FILE] [--inject-fault G]\n"
+      "               [--out FILE] [--inject-fault G] [--explore-batch]\n"
       "       fuzz_ss --replay FILE\n";
   return 2;
 }
@@ -82,8 +91,9 @@ int replay_mode(const std::string& path) {
   print_point(tf.scenario);
   std::cout << "\n  decisions=" << r.decisions << " grants=" << r.grants
             << " drops=" << r.drops << " digest=" << r.digest << '\n';
-  if (tf.expected_digest && *tf.expected_digest != r.digest) {
-    std::cout << "  WARNING: digest differs from capture ("
+  const bool stale = tf.expected_digest && *tf.expected_digest != r.digest;
+  if (stale) {
+    std::cout << "  STALE: digest differs from capture ("
               << *tf.expected_digest << ") — semantics changed since\n";
   }
   if (r.diverged) {
@@ -92,13 +102,14 @@ int replay_mode(const std::string& path) {
     return 1;
   }
   std::cout << "  no divergence\n";
-  return 0;
+  return stale ? 3 : 0;
 }
 
 int fuzz_mode(const Args& args) {
   WorkloadFuzzer::Options fo;
   fo.seed = args.seed;
   fo.events_per_scenario = args.events;
+  fo.explore_batch = args.explore_batch;
   WorkloadFuzzer fuzzer(fo);
   const DifferentialExecutor ex;
 
@@ -188,6 +199,8 @@ int main(int argc, char** argv) {
       args.seconds = std::strtod(argv[++i], nullptr);
     } else if (a == "--inject-fault") {
       if (!value(args.inject_fault)) return usage();
+    } else if (a == "--explore-batch") {
+      args.explore_batch = true;
     } else if (a == "--out") {
       if (i + 1 >= argc) return usage();
       args.out = argv[++i];

@@ -44,6 +44,28 @@ enum class DisciplineClass : std::uint8_t {
   return false;
 }
 
+/// How deep may the endsystem drain one sorted block before it must ask
+/// the fabric for a fresh sort?  This is the paper's reuse table restated
+/// as a transmission-pipeline knob (hw::ChipConfig::batch_depth):
+///   * deadline/priority disciplines — the whole block stays valid, so the
+///     drain may take all `block_size` entries in one pass;
+///   * fair-queuing tags — the whole block, but only alongside a
+///     BlockReuseChecker that invalidates on a non-monotonic tag;
+///   * fair-share bandwidth — 1 (winner-only): draining a whole ordered
+///     block on one link "can skew bandwidth allocations considerably".
+[[nodiscard]] constexpr unsigned recommended_batch_depth(DisciplineClass d,
+                                                         unsigned block_size) {
+  switch (d) {
+    case DisciplineClass::kDeadlineRealTime:
+    case DisciplineClass::kPriorityClass:
+    case DisciplineClass::kFairQueuingTags:
+      return block_size;
+    case DisciplineClass::kFairShareBandwidth:
+      return 1;
+  }
+  return 1;
+}
+
 /// Runtime monotonic-tag check for fair-queuing disciplines: tracks the
 /// maximum tag inside the current block; a new packet whose finish-tag is
 /// >= that maximum leaves the block valid, anything smaller invalidates it.

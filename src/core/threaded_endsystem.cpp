@@ -24,6 +24,16 @@ std::uint32_t ThreadedEndsystem::add_stream(
   return qm_.add_stream(cfg_.ring_capacity);
 }
 
+void ThreadedEndsystem::request_reload(std::uint32_t stream,
+                                       const dwcs::StreamRequirement& req) {
+  assert(stream < reqs_.size());
+  {
+    const std::lock_guard<std::mutex> lock(reload_mu_);
+    pending_reloads_.emplace_back(stream, req);
+  }
+  reload_pending_.store(true, std::memory_order_release);
+}
+
 ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   const auto n = static_cast<std::uint32_t>(reqs_.size());
   const auto periods = dwcs::fair_share_periods(reqs_);
@@ -77,7 +87,29 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   std::vector<std::uint64_t> consumed(n, 0);
   const std::uint64_t total = frames_per_stream * n;
   std::uint64_t transmitted = 0;
+  std::vector<queueing::BlockGrant> burst;
+  std::vector<queueing::TxRecord> burst_records;
   while (transmitted < total) {
+    // Commit any control-plane re-LOADs between decision cycles.  The
+    // chip forgets the slot's backlog, so the announcement watermark is
+    // rewound to the consumption count — every frame still in the ring is
+    // re-announced to the freshly loaded slot on the next discovery pass.
+    if (reload_pending_.load(std::memory_order_acquire)) {
+      std::vector<std::pair<std::uint32_t, dwcs::StreamRequirement>> batch;
+      {
+        const std::lock_guard<std::mutex> lock(reload_mu_);
+        batch.swap(pending_reloads_);
+        reload_pending_.store(false, std::memory_order_relaxed);
+      }
+      for (const auto& [stream, req] : batch) {
+        reqs_[stream] = req;
+        const auto new_periods = dwcs::fair_share_periods(reqs_);
+        chip_->load_slot(static_cast<hw::SlotId>(stream),
+                         dwcs::to_slot_config(req, new_periods[stream]));
+        announced[stream] = consumed[stream];
+        ++rep.reloads_applied;
+      }
+    }
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint64_t arrived = consumed[i] + qm_.depth(i);
       while (announced[i] < arrived) {
@@ -99,15 +131,21 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
       std::this_thread::yield();
       continue;
     }
+    // Drain the whole grant burst in one Transmission Engine pass: one
+    // bulk ring pop per scheduled stream, bookkeeping amortized over the
+    // block instead of paid per packet.
     const double ptime = packet_time_ns(cfg_.frame_bytes, cfg_.link_gbps);
+    burst.clear();
     for (const hw::Grant& g : out.grants) {
-      const auto emit_ns = static_cast<std::uint64_t>(
-          static_cast<double>(g.emit_vtime) * ptime);
-      if (te_.transmit(g.slot, emit_ns)) {
-        ++consumed[g.slot];
-        ++transmitted;
-        ++rep.per_stream_tx[g.slot];
-      }
+      burst.push_back({g.slot, static_cast<std::uint64_t>(
+                                   static_cast<double>(g.emit_vtime) *
+                                   ptime)});
+    }
+    burst_records.clear();
+    transmitted += te_.transmit_block(burst, &burst_records);
+    for (const queueing::TxRecord& rec : burst_records) {
+      ++consumed[rec.stream];
+      ++rep.per_stream_tx[rec.stream];
     }
   }
   producer.join();

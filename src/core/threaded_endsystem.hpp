@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "dwcs/modes.hpp"
@@ -40,6 +42,7 @@ struct ThreadedReport {
   std::uint64_t frames_produced = 0;
   std::uint64_t frames_transmitted = 0;
   std::uint64_t producer_full_stalls = 0;  ///< pushes that found a ring full
+  std::uint64_t reloads_applied = 0;       ///< mid-run re-LOADs committed
   double wall_seconds = 0.0;
   double pps = 0.0;
   std::vector<std::uint64_t> per_stream_tx;
@@ -57,6 +60,17 @@ class ThreadedEndsystem {
   /// scheduler+TE loop until everything produced has been transmitted.
   ThreadedReport run(std::uint64_t frames_per_stream);
 
+  /// Control plane: request a mid-run re-LOAD of `stream` with a new
+  /// requirement.  Safe to call from any thread while run() is executing;
+  /// the scheduler thread commits it between decision cycles (the chip is
+  /// single-owner, exactly like the card's LOAD path).  Frames already in
+  /// the stream's ring survive the reload — the scheduler re-announces
+  /// them to the freshly loaded slot, so conservation holds across
+  /// reconfigurations.  The batch drain therefore races arbitrary
+  /// re-LOADs without losing or duplicating frames.
+  void request_reload(std::uint32_t stream,
+                      const dwcs::StreamRequirement& req);
+
  private:
   ThreadedConfig cfg_;
   std::unique_ptr<hw::SchedulerChip> chip_;
@@ -64,6 +78,13 @@ class ThreadedEndsystem {
   queueing::LinkModel link_;
   queueing::TransmissionEngine te_;
   std::vector<dwcs::StreamRequirement> reqs_;
+
+  // Control-plane mailbox (cold path): the flag keeps the scheduler loop's
+  // common case to one relaxed atomic load, no lock.
+  std::mutex reload_mu_;
+  std::vector<std::pair<std::uint32_t, dwcs::StreamRequirement>>
+      pending_reloads_;
+  std::atomic<bool> reload_pending_{false};
 };
 
 }  // namespace ss::core

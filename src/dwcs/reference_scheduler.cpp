@@ -174,16 +174,14 @@ SwDecision ReferenceScheduler::run_decision_cycle() {
     for (std::uint32_t i : order) {
       if (streams_[i].backlog > 0) pending.push_back(i);
     }
-    if (opt_.min_first) {
-      out.circulated = pending.back();
-      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-        out.grants.push_back({*it, vtime_ + out.grants.size(), false});
-      }
-    } else {
-      out.circulated = pending.front();
-      for (std::uint32_t i : pending) {
-        out.grants.push_back({i, vtime_ + out.grants.size(), false});
-      }
+    if (opt_.min_first) std::reverse(pending.begin(), pending.end());
+    const std::size_t burst =
+        opt_.batch_depth == 0
+            ? pending.size()
+            : std::min<std::size_t>(opt_.batch_depth, pending.size());
+    out.circulated = pending.front();
+    for (std::size_t i = 0; i < burst; ++i) {
+      out.grants.push_back({pending[i], vtime_ + i, false});
     }
   }
 

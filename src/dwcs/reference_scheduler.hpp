@@ -79,6 +79,10 @@ class ReferenceScheduler {
     bool block_mode = false;
     bool min_first = false;
     bool edf_comparison = false;  ///< tag-only ordering (EDF mode)
+    /// Block-mode grant batching (mirror of hw::ChipConfig::batch_depth):
+    /// at most this many block entries are granted per decision cycle,
+    /// 0 = the whole block.  Ignored in WR mode.
+    unsigned batch_depth = 0;
   };
 
   ReferenceScheduler();  ///< default options

@@ -1,5 +1,6 @@
 #include "hw/scheduler_chip.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bitops.hpp"
@@ -95,25 +96,26 @@ DecisionOutcome SchedulerChip::execute_decision() {
     out.circulated = w;
     out.grants.push_back({w, vtime_, false});
   } else {
-    // BA / block decisions: grant every backlogged slot, one frame each,
-    // emitted in block order — from the head in max-first mode, from the
-    // tail in min-first mode.
+    // BA / block decisions: the backlogged slots in block order — from the
+    // head in max-first mode, from the tail in min-first mode.  Up to
+    // batch_depth of them are granted one frame each this cycle (0 = the
+    // whole block); the rest stay backlogged and re-enter the next sort.
     std::vector<SlotId> pending_lanes;
     for (const AttrWord& w : network_.lanes()) {
       if (w.pending) pending_lanes.push_back(w.id);
     }
     if (cfg_.min_first) {
-      out.circulated = pending_lanes.back();
-      for (auto it = pending_lanes.rbegin(); it != pending_lanes.rend();
-           ++it) {
-        out.grants.push_back(
-            {*it, vtime_ + out.grants.size(), false});
-      }
+      out.block.assign(pending_lanes.rbegin(), pending_lanes.rend());
     } else {
-      out.circulated = pending_lanes.front();
-      for (SlotId s : pending_lanes) {
-        out.grants.push_back({s, vtime_ + out.grants.size(), false});
-      }
+      out.block = pending_lanes;
+    }
+    const std::size_t burst =
+        cfg_.batch_depth == 0
+            ? out.block.size()
+            : std::min<std::size_t>(cfg_.batch_depth, out.block.size());
+    out.circulated = out.block.front();
+    for (std::size_t i = 0; i < burst; ++i) {
+      out.grants.push_back({out.block[i], vtime_ + i, false});
     }
   }
 

@@ -38,6 +38,14 @@ struct ChipConfig {
   ComparisonMode cmp_mode = ComparisonMode::kDwcsFull;
   bool block_mode = false;  ///< BA block decisions vs WR max-finding
   bool min_first = false;   ///< block emission/circulation from the tail
+  /// Block-mode grant batching: at most this many block entries are granted
+  /// per decision cycle (0 = the whole block, the classic BA behavior).
+  /// Because the comparators rank pending slots ahead of idle ones, the
+  /// first K pending lanes of the sorted block are exactly the K frames
+  /// that K sequential winner-only decisions would grant, so batch_depth=1
+  /// reproduces WR's one-winner-per-cycle service order on the block
+  /// datapath.  Ignored in WR mode.
+  unsigned batch_depth = 0;
   SortSchedule schedule = SortSchedule::kPerfectShuffle;
   /// Section-6 extension: compute-ahead Register Base blocks precompute
   /// both candidate next states under predication, so PRIORITY_UPDATE
@@ -58,6 +66,11 @@ struct DecisionOutcome {
   bool idle = false;               ///< no slot had a backlogged request
   std::optional<SlotId> circulated;///< ID sent through PRIORITY_UPDATE
   std::vector<Grant> grants;       ///< emission order (size 1 in WR mode)
+  /// Block mode: the whole ordered block of backlogged slots this cycle,
+  /// in emission order.  A strict superset of `grants` when batch_depth
+  /// truncates the grant burst — systems software reads it to size the
+  /// next drain pass without another PCI exchange.  Empty in WR mode.
+  std::vector<SlotId> block;
   std::vector<SlotId> drops;       ///< droppable slots whose late head was
                                    ///< discarded this cycle (systems
                                    ///< software must drop the host frame)

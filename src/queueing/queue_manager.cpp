@@ -33,6 +33,17 @@ std::optional<Frame> QueueManager::consume(std::uint32_t stream) {
   return f;
 }
 
+std::size_t QueueManager::consume_batch(std::uint32_t stream, std::size_t max,
+                                        std::vector<Frame>& out) {
+  assert(stream < rings_.size());
+  const std::size_t base = out.size();
+  out.resize(base + max);
+  const std::size_t n = rings_[stream]->try_pop_n(out.data() + base, max);
+  out.resize(base + n);
+  stats_[stream].dequeued += n;
+  return n;
+}
+
 std::optional<Frame> QueueManager::peek(std::uint32_t stream) const {
   assert(stream < rings_.size());
   Frame f;

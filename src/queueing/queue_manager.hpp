@@ -43,6 +43,12 @@ class QueueManager {
 
   /// Consumer API (Transmission Engine side).
   std::optional<Frame> consume(std::uint32_t stream);
+
+  /// Bulk consumer: pop up to `max` head frames of `stream` into `out`
+  /// (appended) in FIFO order, with one ring synchronization round trip
+  /// and one stats update for the whole run.  Returns the count popped.
+  std::size_t consume_batch(std::uint32_t stream, std::size_t max,
+                            std::vector<Frame>& out);
   [[nodiscard]] std::optional<Frame> peek(std::uint32_t stream) const;
   [[nodiscard]] std::size_t depth(std::uint32_t stream) const;
 

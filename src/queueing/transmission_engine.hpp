@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "queueing/link_model.hpp"
@@ -26,6 +27,13 @@ struct TxRecord {
   }
 };
 
+/// One entry of a decision cycle's grant burst, host-side: the scheduled
+/// Stream ID plus the host time its frame may leave.
+struct BlockGrant {
+  std::uint32_t stream;
+  std::uint64_t emit_ns;
+};
+
 class TransmissionEngine {
  public:
   TransmissionEngine(QueueManager& qm, LinkModel& link)
@@ -35,6 +43,16 @@ class TransmissionEngine {
   /// Returns the record, or nullopt if the queue was empty (a spurious
   /// schedule — counted, since it indicates the card ran ahead of the QM).
   std::optional<TxRecord> transmit(std::uint32_t stream, std::uint64_t now_ns);
+
+  /// Transmit a whole grant burst (one block decision's winners) in a
+  /// single pass: per-stream runs collapse into one bulk ring pop, the
+  /// per-stream counters are sized once, and the records store is reserved
+  /// for the burst — the per-packet bookkeeping of `transmit` amortized
+  /// over the block.  Grants whose ring is exhausted count as spurious,
+  /// exactly as in the one-at-a-time path.  Returns the number of frames
+  /// transmitted; per-frame records are appended to `out` when non-null.
+  std::size_t transmit_block(std::span<const BlockGrant> grants,
+                             std::vector<TxRecord>* out = nullptr);
 
   /// Keep full per-frame records (memory-heavy; benches that only need
   /// aggregates disable it and read the per-stream byte counters).
@@ -56,6 +74,7 @@ class TransmissionEngine {
   QueueManager& qm_;
   LinkModel& link_;
   bool record_ = true;
+  std::vector<Frame> scratch_;  ///< bulk-pop staging, reused across bursts
   std::vector<TxRecord> records_;
   std::vector<std::uint64_t> bytes_per_stream_;
   std::vector<std::uint64_t> frames_per_stream_;

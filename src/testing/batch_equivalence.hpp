@@ -1,0 +1,65 @@
+// batch_equivalence.hpp — property harness for block-batched draining.
+//
+// The block-batched transmission pipeline claims a semantic identity: a
+// decision cycle that grants the first K pending lanes of the sorted block
+// and drains them in one Transmission Engine pass is observationally
+// equivalent to K sequential winner-only grants.  This harness runs a
+// fuzzer Scenario through the real host pipeline — SchedulerChip +
+// QueueManager rings + TransmissionEngine::transmit_block — at a chosen
+// `batch_depth`, recording the per-stream sequence numbers of every frame
+// that left the link (recovered from the frames actually popped off the
+// rings, not from shadow bookkeeping), every frame dropped late, and every
+// frame still queued at the end.  `check_batch_equivalence` then compares
+// two such runs:
+//
+//   * per-stream FIFO: transmitted and dropped sequence numbers are each
+//     strictly increasing, disjoint, and jointly cover exactly the frames
+//     consumed from the ring (no loss, no duplication, no reordering);
+//   * permutation-free prefix match: for non-droppable streams, the
+//     shorter run's per-stream transmit order is a literal prefix of the
+//     longer run's — same packets, same order.  Droppable streams are
+//     exempt from the cross-depth clause (different batch depths walk
+//     different virtual-time trajectories, so *which* heads expire
+//     legitimately differs), but still FIFO-checked within each run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.hpp"
+
+namespace ss::testing {
+
+/// One pipeline run's observable output.
+struct PipelineRun {
+  unsigned batch_depth = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t spurious = 0;  ///< grants that found an empty ring
+  std::vector<std::uint64_t> produced;              ///< frames offered
+  std::vector<std::vector<std::uint64_t>> tx_seq;   ///< link order, per stream
+  std::vector<std::vector<std::uint64_t>> drop_seq; ///< late drops, per stream
+  std::vector<std::uint64_t> leftover;              ///< still in ring at end
+};
+
+/// Run `sc` through chip + QM + TE with `fabric.batch_depth` overridden to
+/// `batch_depth`.  The scenario must be block-mode with a full sorting
+/// schedule (what the fuzzer generates for block mode).
+[[nodiscard]] PipelineRun run_block_pipeline(const Scenario& sc,
+                                             unsigned batch_depth);
+
+/// Within-run integrity: FIFO order, no duplication, conservation
+/// (transmitted + dropped + leftover = produced, per stream).  Returns an
+/// empty string on success, else a human-readable violation.
+[[nodiscard]] std::string check_run_integrity(const Scenario& sc,
+                                              const PipelineRun& run);
+
+/// Cross-run equivalence: `a` and `b` are the same scenario at different
+/// batch depths.  Checks both runs' integrity plus the prefix-match clause
+/// for non-droppable streams.  Empty string on success.
+[[nodiscard]] std::string check_batch_equivalence(const Scenario& sc,
+                                                  const PipelineRun& a,
+                                                  const PipelineRun& b);
+
+}  // namespace ss::testing

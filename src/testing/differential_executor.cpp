@@ -58,6 +58,7 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   hc.block_mode = sc.fabric.block_mode;
   hc.min_first = sc.fabric.min_first;
   hc.schedule = sc.fabric.schedule;
+  hc.batch_depth = sc.fabric.batch_depth;
   switch (sc.fabric.discipline) {
     case Discipline::kDwcs:
       hc.cmp_mode = hw::ComparisonMode::kDwcsFull;
@@ -78,6 +79,7 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   dwcs::ReferenceScheduler::Options so;
   so.block_mode = sc.fabric.block_mode;
   so.min_first = sc.fabric.min_first;
+  so.batch_depth = sc.fabric.batch_depth;
   so.edf_comparison = sc.fabric.discipline == Discipline::kEdf ||
                       sc.fabric.discipline == Discipline::kFairTag;
   dwcs::ReferenceScheduler oracle(so);

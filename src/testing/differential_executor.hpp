@@ -8,7 +8,11 @@
 // through the same admission/arrival/decide/reconfig events and diffs
 // idle flags, grant sequences (slot, emission vtime, deadline verdict),
 // circulated IDs, drop sets, per-stream counters, backlogs and virtual
-// time.  In fair-queuing scenarios it additionally drives all four
+// time.  A batch-drained block decision (fabric.batch_depth = K) is
+// compared grant-by-grant with per-grant emission vtimes, i.e. exactly as
+// K sequential winner grants — the digest of a batched decision stream is
+// therefore directly comparable to the same stream granted one winner per
+// pass.  In fair-queuing scenarios it additionally drives all four
 // related-work hardware priority queues (hwpq::*) through the same tagged
 // stream — with unique keys every structure realizes the same total order,
 // so their pop sequence must match the fabric's grant sequence.  When the

@@ -40,6 +40,10 @@ struct FabricPoint {
   bool block_mode = false;  ///< BA block decisions vs WR max-finding
   bool min_first = false;   ///< block emission/circulation from the tail
   hw::SortSchedule schedule = hw::SortSchedule::kBitonic;
+  /// Block-mode grant batching: at most this many block entries granted
+  /// per decision cycle (0 = whole block).  Serialized as an optional
+  /// `batch K` record, so pre-batching trace files parse unchanged.
+  unsigned batch_depth = 0;
 
   friend bool operator==(const FabricPoint&, const FabricPoint&) = default;
 };

@@ -83,6 +83,9 @@ std::string serialize(const Scenario& sc,
      << (sc.fabric.block_mode ? 1 : 0) << ' '
      << (sc.fabric.min_first ? 1 : 0) << ' '
      << schedule_name(sc.fabric.schedule) << '\n';
+  if (sc.fabric.batch_depth != 0) {
+    os << "batch " << sc.fabric.batch_depth << '\n';
+  }
   os << "global_tags " << (sc.global_tags ? 1 : 0) << '\n';
   os << "fault_at_grant " << sc.inject_fault_at_grant << '\n';
   os << "streams " << sc.streams.size() << '\n';
@@ -166,6 +169,11 @@ TraceFile parse(std::istream& in) {
       if (sc.fabric.slots < 2 || sc.fabric.slots > hw::kMaxSlots ||
           (sc.fabric.slots & (sc.fabric.slots - 1)) != 0) {
         fail(ln, "slot count must be a power of two in [2, 32]");
+      }
+    } else if (tag == "batch") {
+      if (!(is >> sc.fabric.batch_depth)) fail(ln, "malformed batch line");
+      if (sc.fabric.batch_depth > hw::kMaxSlots) {
+        fail(ln, "batch depth exceeds the maximum slot count");
       }
     } else if (tag == "global_tags") {
       unsigned v = 0;

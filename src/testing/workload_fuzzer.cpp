@@ -50,6 +50,12 @@ Scenario WorkloadFuzzer::next() {
     // Block order parity with the oracle needs a full sorting network.
     sc.fabric.schedule = rng_.chance(0.8) ? hw::SortSchedule::kBitonic
                                           : hw::SortSchedule::kOddEven;
+    if (opt_.explore_batch) {
+      // 0 keeps the classic whole-block grant; 1 is the winner-only
+      // degenerate point (WR expressed on the block datapath).
+      constexpr unsigned kDepths[] = {0, 1, 2, 4};
+      sc.fabric.batch_depth = kDepths[rng_.below(std::size(kDepths))];
+    }
   } else {
     const auto pick = rng_.below(4);
     sc.fabric.schedule = pick < 2 ? hw::SortSchedule::kPerfectShuffle

@@ -41,6 +41,12 @@ class WorkloadFuzzer {
     double aggregation_probability = 0.25;
     /// Probability that a scenario contains mid-run reconfig events.
     double reconfig_probability = 0.25;
+    /// Also sample the block-mode batch_depth axis (0/1/2/4 grants per
+    /// decision cycle).  Off by default: enabling it consumes extra RNG
+    /// draws, which would shift every scenario after the first block-mode
+    /// one and invalidate the pinned golden seeds.  The fuzz_ss CLI and
+    /// the batch property campaign turn it on explicitly.
+    bool explore_batch = false;
   };
 
   explicit WorkloadFuzzer(const Options& opt);

@@ -101,5 +101,52 @@ TEST(SeedStability, GoldenFuzzTraceForSeed2003) {
   EXPECT_EQ(ex.run(testing::parse_string(text).scenario).digest, r.digest);
 }
 
+// The same golden scenario with the block-mode batch_depth knob dialed to
+// 1 (winner-only), 4, and 16 (= the slot count, whole block).  Pins the
+// batched decision stream AND the optional `batch K` trace record: a
+// refactor that changes how batching grants, advances vtime, or
+// serializes would surface here before it invalidates replay files.
+TEST(SeedStability, GoldenFuzzTraceForSeed2003BatchDepths) {
+  testing::WorkloadFuzzer::Options opt;
+  opt.seed = 2003;
+  opt.events_per_scenario = 64;
+  testing::WorkloadFuzzer fuzz(opt);
+  const testing::Scenario sc = fuzz.next();
+  ASSERT_TRUE(sc.fabric.block_mode);
+  ASSERT_EQ(sc.fabric.batch_depth, 0u);  // explore_batch defaults off
+
+  const testing::DifferentialExecutor ex;
+  struct Pin {
+    unsigned depth;
+    std::uint64_t decisions;
+    std::uint64_t grants;
+    std::uint64_t digest;
+  };
+  const Pin pins[] = {
+      {1, 14, 14, 0x6b624f30f4dcabefULL},
+      {4, 14, 39, 0x17e8cfacf502c053ULL},
+      // Depth 16 covers any whole block on a 16-slot fabric, so its stream
+      // is bit-identical to the unbatched (depth 0) golden digest above.
+      {16, 14, 52, 0xa43cdecbda89e489ULL},
+  };
+  for (const Pin& p : pins) {
+    testing::Scenario mutated = sc;
+    mutated.fabric.batch_depth = p.depth;
+    const testing::RunResult r = ex.run(mutated);
+    EXPECT_FALSE(r.diverged) << "depth " << p.depth << ": " << r.detail;
+    EXPECT_EQ(r.decisions, p.decisions) << "depth " << p.depth;
+    EXPECT_EQ(r.grants, p.grants) << "depth " << p.depth;
+    EXPECT_EQ(r.digest, p.digest) << "depth " << p.depth;
+
+    // The knob must survive the text format (as an optional record: depth
+    // 0 scenarios serialize without it, so pre-batching files stay valid).
+    const std::string text = serialize(mutated);
+    EXPECT_NE(text.find("batch " + std::to_string(p.depth) + "\n"),
+              std::string::npos);
+    EXPECT_EQ(ex.run(testing::parse_string(text).scenario).digest, r.digest)
+        << "depth " << p.depth;
+  }
+}
+
 }  // namespace
 }  // namespace ss

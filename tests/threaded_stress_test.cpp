@@ -11,6 +11,7 @@
 // as the absence of data races rather than as throughput.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -104,6 +105,50 @@ TEST(ThreadedStress, SixteenStreamsOnStarvedRingsConserveFrames) {
   EXPECT_EQ(rep.frames_transmitted, rep.frames_produced);
   EXPECT_GT(rep.producer_full_stalls, 0u)
       << "rings were never full — the stress never stressed";
+  std::uint64_t sum = 0;
+  for (const auto v : rep.per_stream_tx) sum += v;
+  EXPECT_EQ(sum, rep.frames_transmitted);
+  for (const auto v : rep.per_stream_tx) EXPECT_EQ(v, 2000u);
+}
+
+// A third thread hammers the control plane with mid-run re-LOADs while
+// the scheduler thread batch-drains whole block decisions: the reload
+// mailbox (mutex + release flag) and the rings' acquire/release indices
+// are the only synchronization, and TSan must find them sufficient.  The
+// chip forgets a slot's backlog on LOAD, so the scheduler re-announces
+// every frame still in the ring — with non-droppable streams,
+// conservation must stay exact no matter where a reload lands relative to
+// a half-drained grant burst.
+TEST(ThreadedStress, BatchDrainRacesMidRunReloads) {
+  core::ThreadedConfig cfg;
+  cfg.chip.slots = 8;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.chip.block_mode = true;
+  cfg.chip.batch_depth = 4;
+  cfg.chip.schedule = hw::SortSchedule::kBitonic;  // block mode: full sort
+  cfg.ring_capacity = 8;
+  core::ThreadedEndsystem es(cfg);
+  for (unsigned i = 0; i < 8; ++i) es.add_stream(fair_share(1.0 + (i % 3)));
+
+  std::atomic<bool> done{false};
+  std::thread reloader([&] {
+    std::uint64_t k = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      es.request_reload(static_cast<std::uint32_t>(k % 8),
+                        fair_share(1.0 + static_cast<double>(k % 5)));
+      ++k;
+      std::this_thread::yield();
+    }
+  });
+
+  const auto rep = es.run(2000);
+  done.store(true, std::memory_order_release);
+  reloader.join();
+
+  EXPECT_EQ(rep.frames_produced, 8u * 2000u);
+  EXPECT_EQ(rep.frames_transmitted, rep.frames_produced);
+  EXPECT_GT(rep.reloads_applied, 0u)
+      << "no reload landed mid-run — the race never raced";
   std::uint64_t sum = 0;
   for (const auto v : rep.per_stream_tx) sum += v;
   EXPECT_EQ(sum, rep.frames_transmitted);
