@@ -46,7 +46,40 @@ struct Args {
   bool explore_batch = false;
   std::string out;     // trace capture path (fuzz mode)
   std::string replay;  // replay path; empty = fuzz mode
+  std::string metrics_json;  // write the run's metrics snapshot here
+  std::string trace_out;     // write chip Chrome trace-event JSON here
 };
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "fuzz_ss: cannot open " << path << '\n';
+    return false;
+  }
+  f << body;
+  return static_cast<bool>(f);
+}
+
+DifferentialExecutor::Options exec_options(
+    const Args& args, ss::telemetry::MetricsRegistry* reg) {
+  DifferentialExecutor::Options opt;
+  opt.metrics = reg;
+  if (!args.trace_out.empty()) {
+    opt.export_chrome_trace = true;
+    opt.trace_depth = 4096;  // a Perfetto-sized window, not just the tail
+  }
+  return opt;
+}
+
+void print_divergence_context(const RunResult& r) {
+  if (!r.chip_trace_tail.empty()) {
+    std::cout << "  chip trace (last decision cycles before divergence):\n"
+              << r.chip_trace_tail;
+  }
+  if (!r.metrics_json.empty()) {
+    std::cout << "  metrics: " << r.metrics_json << '\n';
+  }
+}
 
 const char* discipline_str(Discipline d) {
   switch (d) {
@@ -73,19 +106,21 @@ int usage() {
   std::cerr <<
       "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
       "               [--out FILE] [--inject-fault G] [--explore-batch]\n"
-      "       fuzz_ss --replay FILE\n";
+      "               [--metrics-json FILE] [--trace-out FILE]\n"
+      "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n";
   return 2;
 }
 
-int replay_mode(const std::string& path) {
+int replay_mode(const Args& args) {
   TraceFile tf;
   try {
-    tf = load_file(path);
+    tf = load_file(args.replay);
   } catch (const std::exception& e) {
     std::cerr << "fuzz_ss: " << e.what() << '\n';
     return 2;
   }
-  const DifferentialExecutor ex;
+  ss::telemetry::MetricsRegistry reg;
+  const DifferentialExecutor ex(exec_options(args, &reg));
   const RunResult r = ex.run(tf.scenario);
   std::cout << "replay ";
   print_point(tf.scenario);
@@ -96,9 +131,18 @@ int replay_mode(const std::string& path) {
     std::cout << "  STALE: digest differs from capture ("
               << *tf.expected_digest << ") — semantics changed since\n";
   }
+  if (!args.metrics_json.empty() &&
+      !write_text_file(args.metrics_json, reg.to_json() + "\n")) {
+    return 2;
+  }
+  if (!args.trace_out.empty() &&
+      !write_text_file(args.trace_out, r.chip_trace_chrome_json)) {
+    return 2;
+  }
   if (r.diverged) {
     std::cout << "  DIVERGENCE at event " << r.event_index << " (decision "
               << r.decision_cycle << "): " << r.detail << '\n';
+    print_divergence_context(r);
     return 1;
   }
   std::cout << "  no divergence\n";
@@ -111,7 +155,8 @@ int fuzz_mode(const Args& args) {
   fo.events_per_scenario = args.events;
   fo.explore_batch = args.explore_batch;
   WorkloadFuzzer fuzzer(fo);
-  const DifferentialExecutor ex;
+  ss::telemetry::MetricsRegistry reg;
+  const DifferentialExecutor ex(exec_options(args, &reg));
 
   std::ofstream trace;
   if (!args.out.empty()) {
@@ -130,6 +175,18 @@ int fuzz_mode(const Args& args) {
   };
 
   std::uint64_t total_decisions = 0, total_grants = 0;
+  std::string last_chrome_trace;
+  auto write_telemetry = [&] {
+    if (!args.metrics_json.empty() &&
+        !write_text_file(args.metrics_json, reg.to_json() + "\n")) {
+      return false;
+    }
+    if (!args.trace_out.empty() &&
+        !write_text_file(args.trace_out, last_chrome_trace)) {
+      return false;
+    }
+    return true;
+  };
   for (std::uint64_t k = 0;; ++k) {
     if (args.seconds > 0) {
       if (elapsed() >= args.seconds) break;
@@ -142,6 +199,9 @@ int fuzz_mode(const Args& args) {
     const RunResult r = ex.run(sc);
     total_decisions += r.decisions;
     total_grants += r.grants;
+    if (!r.chip_trace_chrome_json.empty()) {
+      last_chrome_trace = r.chip_trace_chrome_json;
+    }
 
     std::cout << "scenario " << k << ": ";
     print_point(sc);
@@ -154,7 +214,9 @@ int fuzz_mode(const Args& args) {
 
     if (r.diverged) {
       std::cout << "DIVERGENCE at event " << r.event_index << " (decision "
-                << r.decision_cycle << "): " << r.detail << "\nshrinking...\n";
+                << r.decision_cycle << "): " << r.detail << '\n';
+      print_divergence_context(r);
+      std::cout << "shrinking...\n";
       const ShrinkResult s = shrink(sc, ex);
       const std::string repro = "fuzz_failure_seed" +
                                 std::to_string(args.seed) + "_scenario" +
@@ -165,10 +227,12 @@ int fuzz_mode(const Args& args) {
                 << " executor runs\n"
                 << "reproducer written to " << repro << "\n"
                 << "replay with: fuzz_ss --replay " << repro << '\n';
+      write_telemetry();
       return 1;
     }
   }
 
+  if (!write_telemetry()) return 2;
   std::cout << "ok: " << fuzzer.scenarios_generated() << " scenarios, "
             << total_decisions << " differential decisions, " << total_grants
             << " grants, " << elapsed() << " s, no divergence\n";
@@ -207,9 +271,15 @@ int main(int argc, char** argv) {
     } else if (a == "--replay") {
       if (i + 1 >= argc) return usage();
       args.replay = argv[++i];
+    } else if (a == "--metrics-json") {
+      if (i + 1 >= argc) return usage();
+      args.metrics_json = argv[++i];
+    } else if (a == "--trace-out") {
+      if (i + 1 >= argc) return usage();
+      args.trace_out = argv[++i];
     } else {
       return usage();
     }
   }
-  return args.replay.empty() ? fuzz_mode(args) : replay_mode(args.replay);
+  return args.replay.empty() ? fuzz_mode(args) : replay_mode(args);
 }

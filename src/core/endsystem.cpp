@@ -51,6 +51,21 @@ void Endsystem::finalize_admission() {
   monitor_ = std::make_unique<QosMonitor>(
       static_cast<std::uint32_t>(streams_.size()), cfg_.bw_window_ns);
   monitor_->set_keep_series(cfg_.keep_series);
+  monitor_->set_delay_histogram(cfg_.delay_histogram);
+  if (cfg_.metrics) {
+    chip_metrics_ = telemetry::ChipMetrics::create(*cfg_.metrics);
+    pci_metrics_ = telemetry::PciMetrics::create(*cfg_.metrics);
+    sram_metrics_ = telemetry::SramMetrics::create(*cfg_.metrics);
+    qm_metrics_ = telemetry::QueueMetrics::create(*cfg_.metrics);
+    tx_metrics_ = telemetry::TxMetrics::create(
+        *cfg_.metrics, static_cast<std::uint32_t>(streams_.size()));
+    es_metrics_ = telemetry::EndsystemMetrics::create(*cfg_.metrics);
+    chip_->attach_metrics(&chip_metrics_);
+    pci_.attach_metrics(&pci_metrics_);
+    bank_.attach_metrics(&sram_metrics_);
+    qm_.attach_metrics(&qm_metrics_);
+    te_.attach_metrics(&tx_metrics_);
+  }
   if (cfg_.use_streaming_unit) {
     streaming_ = std::make_unique<hw::StreamingUnit>(
         cfg_.streaming, pci_, bank_,
@@ -103,9 +118,16 @@ EndsystemReport Endsystem::run(
   // no per-cycle allocation once the vectors reach the block size.
   std::vector<queueing::BlockGrant> burst;
   std::vector<queueing::TxRecord> burst_records;
+  // Frame-lifecycle bookkeeping: per-stream FIFO position of the next
+  // frame to leave the ring (transmit or drop), matching arrival seq.
+  SS_TELEM(telemetry::FrameTrace* const ft = cfg_.frame_trace;
+           telemetry::EndsystemMetrics* const em =
+               cfg_.metrics ? &es_metrics_ : nullptr;
+           std::vector<std::uint64_t> consumed_seq(streams_.size(), 0));
 
   const auto t0 = std::chrono::steady_clock::now();
   while (transmitted < total) {
+    SS_TELEM(if (em) em->loop_iterations->add(1));
     const auto now_ns = static_cast<std::uint64_t>(
         static_cast<double>(chip_->vtime()) * packet_time_ns_);
 
@@ -117,6 +139,11 @@ EndsystemReport Endsystem::run(
              frames[i][cursor[i]].arrival_ns <= now_ns) {
         const queueing::Frame& f = frames[i][cursor[i]];
         if (!qm_.produce(i, f)) break;  // ring full: retry next cycle
+        SS_TELEM(if (em) em->arrivals_delivered->add(1);
+                 if (ft) {
+                   ft->arrival(i, cursor[i], f.arrival_ns);
+                   ft->enqueue(i, cursor[i], now_ns);
+                 });
         ++cursor[i];
         if (streaming_) continue;  // the unit moves the offsets below
         const auto off = static_cast<std::uint64_t>(
@@ -125,8 +152,15 @@ EndsystemReport Endsystem::run(
         if (++batch_fill[i] >= cfg_.pci_batch) {
           batch_fill[i] = 0;
           const std::size_t bytes = std::size_t{cfg_.pci_batch} * 2;
-          pci_ns += count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
-                                        : pci_.pio_write(bytes));
+          const std::uint64_t xfer_ns =
+              count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
+                                  : pci_.pio_write(bytes));
+          pci_ns += xfer_ns;
+          SS_TELEM(if (ft) {
+            ft->pci(cfg_.dma_bulk ? telemetry::PciDir::kDma
+                                  : telemetry::PciDir::kWrite,
+                    now_ns, xfer_ns, static_cast<std::uint32_t>(bytes));
+          });
         }
       }
       if (streaming_) {
@@ -150,6 +184,11 @@ EndsystemReport Endsystem::run(
       if (qm_.consume(s)) {
         ++rep.dropped_late;
         ++transmitted;
+        SS_TELEM(if (em) {
+          em->dropped_late->add(1);
+          em->frames_completed->add(1);
+        }
+        if (ft) ft->drop(s, consumed_seq[s]++, now_ns));
       }
     }
 
@@ -168,7 +207,12 @@ EndsystemReport Endsystem::run(
     // Scheduled Stream IDs come back over PCI: one PIO read covers the
     // whole grant vector (IDs are 5 bits; a bus word carries four), so the
     // transfer cost of a K-deep batch is amortized K ways.
-    pci_ns += count(pci_.pio_read(out.grants.size()));
+    const std::uint64_t read_ns = count(pci_.pio_read(out.grants.size()));
+    pci_ns += read_ns;
+    SS_TELEM(if (ft) {
+      ft->pci(telemetry::PciDir::kRead, now_ns, read_ns,
+              static_cast<std::uint32_t>(out.grants.size()));
+    });
 
     // Drain the whole grant burst in one Transmission Engine pass.
     burst.clear();
@@ -180,6 +224,22 @@ EndsystemReport Endsystem::run(
     }
     burst_records.clear();
     transmitted += te_.transmit_block(burst, &burst_records);
+    SS_TELEM(if (em) em->frames_completed->add(burst_records.size());
+             if (ft) {
+               const std::uint64_t dcycle = chip_->decision_cycles();
+               for (std::size_t bi = 0; bi < burst_records.size(); ++bi) {
+                 const queueing::TxRecord& rec = burst_records[bi];
+                 const std::uint64_t seq = consumed_seq[rec.stream]++;
+                 ft->grant(rec.stream, seq, now_ns, dcycle,
+                           static_cast<std::uint32_t>(bi));
+                 const auto ser_ns = static_cast<std::uint64_t>(
+                     static_cast<double>(rec.bytes) * 8.0 / cfg_.link_gbps);
+                 const std::uint64_t start =
+                     rec.departure_ns > ser_ns ? rec.departure_ns - ser_ns
+                                               : rec.departure_ns;
+                 ft->transmit(rec.stream, seq, start, ser_ns, rec.bytes);
+               }
+             });
     for (const queueing::TxRecord& rec : burst_records) {
       monitor_->record(rec);
     }

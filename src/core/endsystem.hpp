@@ -34,6 +34,9 @@
 #include "queueing/queue_manager.hpp"
 #include "queueing/traffic_gen.hpp"
 #include "queueing/transmission_engine.hpp"
+#include "telemetry/frame_trace.hpp"
+#include "telemetry/instruments.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ss::core {
 
@@ -54,6 +57,18 @@ struct EndsystemConfig {
   std::uint64_t bw_window_ns = 10'000'000;  ///< Figure-8 window (10 ms)
   bool keep_series = true;
   std::size_t ring_capacity = 1 << 17;
+  /// Streaming per-frame delay histogram in the QoS monitor (estimated
+  /// percentiles at O(1) memory; independent of keep_series).
+  bool delay_histogram = false;
+  /// Pipeline-wide metrics (nullptr = off, the default: the hot path then
+  /// pays one null test per layer event).  Every layer — chip, PCI, SRAM,
+  /// QM, TE, the host loop itself — registers its instruments here at
+  /// finalize_admission() time; the registry may be snapshot from another
+  /// thread while the run is in flight.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Frame-lifecycle trace sink (nullptr = off): arrival -> enqueue ->
+  /// grant -> PCI -> transmit/drop events for Perfetto.
+  telemetry::FrameTrace* frame_trace = nullptr;
 };
 
 struct EndsystemReport {
@@ -128,6 +143,15 @@ class Endsystem {
   };
   std::vector<StreamCtx> streams_;
   bool admitted_ = false;
+
+  // Pre-resolved metric handles (attached to each layer when
+  // cfg_.metrics is set; the structs must outlive the attached layers).
+  telemetry::ChipMetrics chip_metrics_;
+  telemetry::PciMetrics pci_metrics_;
+  telemetry::SramMetrics sram_metrics_;
+  telemetry::QueueMetrics qm_metrics_;
+  telemetry::TxMetrics tx_metrics_;
+  telemetry::EndsystemMetrics es_metrics_;
 };
 
 }  // namespace ss::core

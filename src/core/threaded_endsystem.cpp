@@ -29,7 +29,8 @@ void ThreadedEndsystem::request_reload(std::uint32_t stream,
   assert(stream < reqs_.size());
   {
     const std::lock_guard<std::mutex> lock(reload_mu_);
-    pending_reloads_.emplace_back(stream, req);
+    pending_reloads_.push_back(
+        {stream, req, std::chrono::steady_clock::now()});
   }
   reload_pending_.store(true, std::memory_order_release);
 }
@@ -41,6 +42,17 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
     chip_->load_slot(static_cast<hw::SlotId>(i),
                      dwcs::to_slot_config(reqs_[i], periods[i]));
   }
+  SS_TELEM(telemetry::EndsystemMetrics* em = nullptr;
+           if (cfg_.metrics) {
+             chip_metrics_ = telemetry::ChipMetrics::create(*cfg_.metrics);
+             qm_metrics_ = telemetry::QueueMetrics::create(*cfg_.metrics);
+             tx_metrics_ = telemetry::TxMetrics::create(*cfg_.metrics, n);
+             es_metrics_ = telemetry::EndsystemMetrics::create(*cfg_.metrics);
+             chip_->attach_metrics(&chip_metrics_);
+             qm_.attach_metrics(&qm_metrics_);
+             te_.attach_metrics(&tx_metrics_);
+             em = &es_metrics_;
+           });
 
   ThreadedReport rep{};
   rep.per_stream_tx.assign(n, 0);
@@ -90,28 +102,39 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   std::vector<queueing::BlockGrant> burst;
   std::vector<queueing::TxRecord> burst_records;
   while (transmitted < total) {
+    SS_TELEM(if (em) em->loop_iterations->add(1));
     // Commit any control-plane re-LOADs between decision cycles.  The
     // chip forgets the slot's backlog, so the announcement watermark is
     // rewound to the consumption count — every frame still in the ring is
     // re-announced to the freshly loaded slot on the next discovery pass.
     if (reload_pending_.load(std::memory_order_acquire)) {
-      std::vector<std::pair<std::uint32_t, dwcs::StreamRequirement>> batch;
+      std::vector<PendingReload> batch;
       {
         const std::lock_guard<std::mutex> lock(reload_mu_);
         batch.swap(pending_reloads_);
         reload_pending_.store(false, std::memory_order_relaxed);
       }
-      for (const auto& [stream, req] : batch) {
-        reqs_[stream] = req;
+      for (const PendingReload& pr : batch) {
+        reqs_[pr.stream] = pr.req;
         const auto new_periods = dwcs::fair_share_periods(reqs_);
-        chip_->load_slot(static_cast<hw::SlotId>(stream),
-                         dwcs::to_slot_config(req, new_periods[stream]));
-        announced[stream] = consumed[stream];
+        chip_->load_slot(static_cast<hw::SlotId>(pr.stream),
+                         dwcs::to_slot_config(pr.req, new_periods[pr.stream]));
+        announced[pr.stream] = consumed[pr.stream];
         ++rep.reloads_applied;
+        SS_TELEM(if (em) {
+          em->reloads->add(1);
+          const auto waited = std::chrono::steady_clock::now() - pr.posted;
+          em->reload_latency_ns->observe(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count()));
+        });
       }
     }
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint64_t arrived = consumed[i] + qm_.depth(i);
+      SS_TELEM(if (em && announced[i] < arrived) {
+        em->arrivals_delivered->add(arrived - announced[i]);
+      });
       while (announced[i] < arrived) {
         chip_->push_request(static_cast<hw::SlotId>(i));
         ++announced[i];
@@ -122,6 +145,10 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
       if (qm_.consume(s)) {
         ++consumed[s];
         ++transmitted;  // dropped-late frames are complete for accounting
+        SS_TELEM(if (em) {
+          em->dropped_late->add(1);
+          em->frames_completed->add(1);
+        });
       }
     }
     if (out.idle) {
@@ -143,6 +170,7 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
     }
     burst_records.clear();
     transmitted += te_.transmit_block(burst, &burst_records);
+    SS_TELEM(if (em) em->frames_completed->add(burst_records.size()));
     for (const queueing::TxRecord& rec : burst_records) {
       ++consumed[rec.stream];
       ++rep.per_stream_tx[rec.stream];

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <utility>
 #include <vector>
 
 #include "dwcs/modes.hpp"
@@ -28,6 +28,8 @@
 #include "queueing/queue_manager.hpp"
 #include "queueing/traffic_gen.hpp"
 #include "queueing/transmission_engine.hpp"
+#include "telemetry/instruments.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ss::core {
 
@@ -36,6 +38,11 @@ struct ThreadedConfig {
   double link_gbps = 1.0;
   std::uint32_t frame_bytes = 1500;
   std::size_t ring_capacity = 4096;
+  /// Pipeline-wide metrics (nullptr = off).  The producer thread feeds the
+  /// QM counters while the scheduler thread feeds chip/TE/loop counters —
+  /// a monitor thread may snapshot the registry concurrently; the counter
+  /// cells are per-thread so the threads never contend on a cache line.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct ThreadedReport {
@@ -80,11 +87,23 @@ class ThreadedEndsystem {
   std::vector<dwcs::StreamRequirement> reqs_;
 
   // Control-plane mailbox (cold path): the flag keeps the scheduler loop's
-  // common case to one relaxed atomic load, no lock.
+  // common case to one relaxed atomic load, no lock.  Each request is
+  // stamped at post time so the commit can observe the request-to-commit
+  // latency (es.reload_latency_ns).
+  struct PendingReload {
+    std::uint32_t stream;
+    dwcs::StreamRequirement req;
+    std::chrono::steady_clock::time_point posted;
+  };
   std::mutex reload_mu_;
-  std::vector<std::pair<std::uint32_t, dwcs::StreamRequirement>>
-      pending_reloads_;
+  std::vector<PendingReload> pending_reloads_;
   std::atomic<bool> reload_pending_{false};
+
+  // Pre-resolved metric handles (attached when cfg_.metrics is set).
+  telemetry::ChipMetrics chip_metrics_;
+  telemetry::QueueMetrics qm_metrics_;
+  telemetry::TxMetrics tx_metrics_;
+  telemetry::EndsystemMetrics es_metrics_;
 };
 
 }  // namespace ss::core

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "telemetry/instruments.hpp"
 #include "util/sim_time.hpp"
 
 namespace ss::hw {
@@ -52,8 +53,14 @@ class PciModel {
 
   [[nodiscard]] const PciConfig& config() const { return cfg_; }
 
+  /// Attach live metrics (nullptr detaches).  Transfer counts, bytes and
+  /// modeled bus-busy time are recorded on every modeled transfer; the
+  /// cost when detached is one null test per call.
+  void attach_metrics(telemetry::PciMetrics* m) { metrics_ = m; }
+
  private:
   PciConfig cfg_;
+  telemetry::PciMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ss::hw

@@ -75,6 +75,7 @@ DecisionOutcome SchedulerChip::execute_decision() {
   }
   if (!any_pending) {
     out.idle = true;
+    SS_TELEM(if (metrics_) metrics_->idle_decisions->add(1));
     if (tracer_) {
       trace.idle = true;
       tracer_->record(std::move(trace));
@@ -85,7 +86,14 @@ DecisionOutcome SchedulerChip::execute_decision() {
 
   // SCHEDULE: log2(N) (or schedule-specific) network passes.
   network_.load(attrs);
+  SS_TELEM(const std::uint64_t swaps_before = network_.total_swaps();
+           const std::uint64_t cmps_before = network_.total_comparisons());
   network_.run_all();
+  SS_TELEM(if (metrics_) {
+    metrics_->net_passes->add(network_.passes_executed());
+    metrics_->net_swaps->add(network_.total_swaps() - swaps_before);
+    metrics_->net_comparisons->add(network_.total_comparisons() - cmps_before);
+  });
   last_block_.assign(network_.lanes().begin(), network_.lanes().end());
 
   // Grant selection.
@@ -147,6 +155,15 @@ DecisionOutcome SchedulerChip::execute_decision() {
 
   vtime_ += out.grants.size();
 
+  SS_TELEM(if (metrics_) {
+    metrics_->grants->add(out.grants.size());
+    metrics_->drops->add(out.drops.size());
+    if (out.circulated) metrics_->circulations->add(1);
+    // WR grants exactly one frame; BA's block is the pending-lane count.
+    metrics_->block_size->observe(static_cast<double>(
+        cfg_.block_mode ? out.block.size() : out.grants.size()));
+  });
+
   if (tracer_) {
     trace.block = last_block_;
     trace.circulated = out.circulated;
@@ -166,8 +183,17 @@ DecisionOutcome SchedulerChip::run_decision_cycle() {
   DecisionOutcome out;
   bool executed = false;
   const std::uint64_t start_cycles = control_.hw_cycles();
+  SS_TELEM(std::uint64_t load_c = 0, sched_c = 0, upd_c = 0, outp_c = 0);
   for (;;) {
     const ControlUnit::Action a = control_.tick();
+    SS_TELEM(switch (a) {
+      case ControlUnit::Action::kLoadCycle: ++load_c; break;
+      case ControlUnit::Action::kSchedulePass: ++sched_c; break;
+      case ControlUnit::Action::kUpdateApply:
+      case ControlUnit::Action::kUpdateSettle: ++upd_c; break;
+      case ControlUnit::Action::kOutputCycle: ++outp_c; break;
+      case ControlUnit::Action::kDecisionDone: break;
+    });
     if (a == ControlUnit::Action::kUpdateApply && !executed) {
       out = execute_decision();
       executed = true;
@@ -177,6 +203,14 @@ DecisionOutcome SchedulerChip::run_decision_cycle() {
   assert(executed);  // the FSM emits exactly one kUpdateApply per decision
   if (out.idle) vtime_ += 1;  // an idle decision cycle still burns a packet-time
   out.hw_cycles = control_.hw_cycles() - start_cycles;
+  SS_TELEM(if (metrics_) {
+    metrics_->decisions->add(1);
+    metrics_->hw_cycles->add(out.hw_cycles);
+    metrics_->load_cycles->add(load_c);
+    metrics_->schedule_cycles->add(sched_c);
+    metrics_->update_cycles->add(upd_c);
+    metrics_->output_cycles->add(outp_c);
+  });
   return out;
 }
 

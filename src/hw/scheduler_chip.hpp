@@ -30,6 +30,7 @@
 #include "hw/register_block.hpp"
 #include "hw/shuffle.hpp"
 #include "hw/trace.hpp"
+#include "telemetry/instruments.hpp"
 
 namespace ss::hw {
 
@@ -129,6 +130,11 @@ class SchedulerChip {
   /// and drop vectors — the simulator's waveform view.
   void attach_tracer(Tracer* t) { tracer_ = t; }
 
+  /// Attach live metrics (nullptr detaches).  Decision/grant/drop counts,
+  /// FSM phase-cycle breakdown and shuffle-network activity are recorded
+  /// per decision cycle; detached cost is one null test per cycle.
+  void attach_metrics(telemetry::ChipMetrics* m) { metrics_ = m; }
+
   /// Switching-activity proxy: compare-exchange swaps executed by the
   /// network so far (BA vs WR dynamic-power comparison).
   [[nodiscard]] std::uint64_t network_swaps() const {
@@ -151,6 +157,7 @@ class SchedulerChip {
   // Fair-queuing per-slot tag queues (head tag drives the deadline field).
   std::vector<std::vector<Deadline>> tag_fifos_;
   Tracer* tracer_ = nullptr;
+  telemetry::ChipMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ss::hw

@@ -9,6 +9,10 @@ Nanos SramBank::acquire(BankOwner who) {
   if (owner_ == who) return Nanos{0};
   owner_ = who;
   ++switches_;
+  SS_TELEM(if (metrics_) {
+    metrics_->ownership_switches->add(1);
+    metrics_->stall_ns->add(count(switch_cost_));
+  });
   return switch_cost_;
 }
 

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/instruments.hpp"
 #include "util/sim_time.hpp"
 
 namespace ss::hw {
@@ -42,12 +43,18 @@ class SramBank {
   void write(BankOwner who, std::size_t addr, std::uint32_t value);
   [[nodiscard]] std::uint32_t read(BankOwner who, std::size_t addr) const;
 
+  /// Attach live metrics (nullptr detaches): ownership switches and the
+  /// arbitration stall time they cost — "generally the bottleneck for
+  /// high-performance PCI transfers" (Section 5.2), now observable.
+  void attach_metrics(telemetry::SramMetrics* m) { metrics_ = m; }
+
  private:
   void check(BankOwner who, std::size_t addr) const;
   std::vector<std::uint32_t> mem_;
   BankOwner owner_ = BankOwner::kHost;
   Nanos switch_cost_;
   std::uint64_t switches_ = 0;
+  telemetry::SramMetrics* metrics_ = nullptr;
 };
 
 /// The RC1000's banked SRAM: independent banks so the Stream processor can

@@ -63,4 +63,54 @@ std::string Tracer::render_all() const {
   return out;
 }
 
+std::string Tracer::render_tail(std::size_t n) const {
+  std::string out;
+  const std::size_t start =
+      (n == 0 || n >= records_.size()) ? 0 : records_.size() - n;
+  for (std::size_t i = start; i < records_.size(); ++i) {
+    out += render(records_[i]);
+  }
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out =
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"name\":\"process_name\",\"args\":{\"name\":\"ss chip\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"name\":\"thread_name\",\"args\":{\"name\":\"decisions\"}}";
+  char buf[192];
+  // Decision cycles are placed end-to-end on a synthetic hw-cycle
+  // timeline (1 cycle = 1 ns) so relative durations read correctly.
+  std::uint64_t ts = 0;
+  for (const TraceRecord& r : records_) {
+    std::string ids;
+    for (const SlotId s : r.grants) {
+      std::snprintf(buf, sizeof buf, "S%u ", s);
+      ids += buf;
+    }
+    if (!ids.empty()) ids.pop_back();
+    const std::uint64_t dur = r.hw_cycles ? r.hw_cycles : 1;
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"name\":\"%s\",\"args\":{"
+                  "\"decision_cycle\":%llu,\"vtime\":%llu,",
+                  static_cast<double>(ts) / 1000.0,
+                  static_cast<double>(dur) / 1000.0,
+                  r.idle ? "idle" : "decision",
+                  static_cast<unsigned long long>(r.decision_cycle),
+                  static_cast<unsigned long long>(r.vtime_start));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "\"grants\":\"%s\",\"drops\":%zu,\"circulated\":%d}}",
+                  ids.c_str(), r.drops.size(),
+                  r.circulated ? static_cast<int>(*r.circulated) : -1);
+    out += buf;
+    ts += dur;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 }  // namespace ss::hw

@@ -16,6 +16,7 @@
 
 #include "queueing/frame.hpp"
 #include "queueing/spsc_ring.hpp"
+#include "telemetry/instruments.hpp"
 
 namespace ss::queueing {
 
@@ -64,6 +65,11 @@ class QueueManager {
   }
   [[nodiscard]] std::uint64_t quantum_ns() const { return quantum_ns_; }
 
+  /// Attach live metrics (nullptr detaches): enqueue/dequeue counts,
+  /// full-ring producer pushes, and the occupancy high-water mark across
+  /// every ring.
+  void attach_metrics(telemetry::QueueMetrics* m) { metrics_ = m; }
+
  private:
   std::uint64_t quantum_ns_;
   std::vector<std::unique_ptr<SpscRing<Frame>>> rings_;
@@ -71,6 +77,7 @@ class QueueManager {
   // Arrival times awaiting transfer to the card, kept host-side because
   // the ring is consumed only on transmission.
   std::vector<std::vector<std::uint64_t>> pending_arrivals_;
+  telemetry::QueueMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ss::queueing

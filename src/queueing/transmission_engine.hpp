@@ -14,6 +14,7 @@
 
 #include "queueing/link_model.hpp"
 #include "queueing/queue_manager.hpp"
+#include "telemetry/instruments.hpp"
 
 namespace ss::queueing {
 
@@ -58,6 +59,10 @@ class TransmissionEngine {
   /// aggregates disable it and read the per-stream byte counters).
   void set_record_frames(bool v) { record_ = v; }
 
+  /// Attach live metrics (nullptr detaches): transmit volume, grant-burst
+  /// size distribution, spurious schedules, per-stream frame counts.
+  void attach_metrics(telemetry::TxMetrics* m) { metrics_ = m; }
+
   [[nodiscard]] const std::vector<TxRecord>& records() const {
     return records_;
   }
@@ -79,6 +84,7 @@ class TransmissionEngine {
   std::vector<std::uint64_t> bytes_per_stream_;
   std::vector<std::uint64_t> frames_per_stream_;
   std::uint64_t spurious_ = 0;
+  telemetry::TxMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ss::queueing

@@ -1,0 +1,161 @@
+// instruments.hpp — per-layer metric bundles.
+//
+// Each pipeline layer (chip, PCI, SRAM, queue manager, transmission
+// engine, endsystem loop) attaches one of these plain structs of
+// pre-resolved metric handles.  create() registers the layer's canonical
+// names (DESIGN.md §9 naming scheme) against a MetricsRegistry once, at
+// attach time; the hot path then touches only the lock-free handles.
+// create() is idempotent per registry — re-attaching resolves to the same
+// underlying metrics, so several runs can accumulate into one registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ss::telemetry {
+
+/// hw::SchedulerChip — decisions, grants/drops, FSM phase cycles, shuffle
+/// network activity.
+struct ChipMetrics {
+  Counter* decisions = nullptr;       ///< chip.decision_cycles
+  Counter* idle_decisions = nullptr;  ///< chip.idle_decision_cycles
+  Counter* grants = nullptr;          ///< chip.grants
+  Counter* drops = nullptr;           ///< chip.drops
+  Counter* circulations = nullptr;    ///< chip.circulations
+  Counter* hw_cycles = nullptr;       ///< chip.hw_cycles
+  Counter* load_cycles = nullptr;     ///< chip.phase.load_cycles
+  Counter* schedule_cycles = nullptr; ///< chip.phase.schedule_cycles
+  Counter* update_cycles = nullptr;   ///< chip.phase.update_cycles
+  Counter* output_cycles = nullptr;   ///< chip.phase.output_cycles
+  Counter* net_passes = nullptr;      ///< chip.network.passes
+  Counter* net_swaps = nullptr;       ///< chip.network.swaps
+  Counter* net_comparisons = nullptr; ///< chip.network.comparisons
+  Histogram* block_size = nullptr;    ///< chip.block_size (pending lanes)
+
+  static ChipMetrics create(MetricsRegistry& reg) {
+    ChipMetrics m;
+    m.decisions = &reg.counter("chip.decision_cycles");
+    m.idle_decisions = &reg.counter("chip.idle_decision_cycles");
+    m.grants = &reg.counter("chip.grants");
+    m.drops = &reg.counter("chip.drops");
+    m.circulations = &reg.counter("chip.circulations");
+    m.hw_cycles = &reg.counter("chip.hw_cycles");
+    m.load_cycles = &reg.counter("chip.phase.load_cycles");
+    m.schedule_cycles = &reg.counter("chip.phase.schedule_cycles");
+    m.update_cycles = &reg.counter("chip.phase.update_cycles");
+    m.output_cycles = &reg.counter("chip.phase.output_cycles");
+    m.net_passes = &reg.counter("chip.network.passes");
+    m.net_swaps = &reg.counter("chip.network.swaps");
+    m.net_comparisons = &reg.counter("chip.network.comparisons");
+    m.block_size = &reg.histogram("chip.block_size", 0.0, 33.0, 33);
+    return m;
+  }
+};
+
+/// hw::PciModel — transfer counts, bytes moved, modeled bus occupancy.
+struct PciMetrics {
+  Counter* pio_writes = nullptr;    ///< pci.pio_writes
+  Counter* pio_reads = nullptr;     ///< pci.pio_reads
+  Counter* dma_transfers = nullptr; ///< pci.dma_transfers
+  Counter* bytes = nullptr;         ///< pci.bytes
+  Counter* busy_ns = nullptr;       ///< pci.busy_ns
+
+  static PciMetrics create(MetricsRegistry& reg) {
+    PciMetrics m;
+    m.pio_writes = &reg.counter("pci.pio_writes");
+    m.pio_reads = &reg.counter("pci.pio_reads");
+    m.dma_transfers = &reg.counter("pci.dma_transfers");
+    m.bytes = &reg.counter("pci.bytes");
+    m.busy_ns = &reg.counter("pci.busy_ns");
+    return m;
+  }
+};
+
+/// hw::SramBank — the Section-5.2 bottleneck: ownership switches and the
+/// arbitration time they cost.
+struct SramMetrics {
+  Counter* ownership_switches = nullptr;  ///< sram.ownership_switches
+  Counter* stall_ns = nullptr;            ///< sram.ownership_stall_ns
+
+  static SramMetrics create(MetricsRegistry& reg) {
+    SramMetrics m;
+    m.ownership_switches = &reg.counter("sram.ownership_switches");
+    m.stall_ns = &reg.counter("sram.ownership_stall_ns");
+    return m;
+  }
+};
+
+/// queueing::QueueManager — per-ring pressure: enqueues, full-ring pushes,
+/// occupancy high-water mark across all rings.
+struct QueueMetrics {
+  Counter* enqueued = nullptr;        ///< qm.enqueued
+  Counter* dequeued = nullptr;        ///< qm.dequeued
+  Counter* ring_full = nullptr;       ///< qm.ring_full_pushes
+  Gauge* occupancy_hwm = nullptr;     ///< qm.occupancy_high_water
+
+  static QueueMetrics create(MetricsRegistry& reg) {
+    QueueMetrics m;
+    m.enqueued = &reg.counter("qm.enqueued");
+    m.dequeued = &reg.counter("qm.dequeued");
+    m.ring_full = &reg.counter("qm.ring_full_pushes");
+    m.occupancy_hwm = &reg.gauge("qm.occupancy_high_water");
+    return m;
+  }
+};
+
+/// queueing::TransmissionEngine — transmit volume, grant-burst sizes,
+/// spurious schedules, per-stream counts.
+struct TxMetrics {
+  Counter* tx_frames = nullptr;   ///< te.tx_frames
+  Counter* tx_bytes = nullptr;    ///< te.tx_bytes
+  Counter* spurious = nullptr;    ///< te.spurious_schedules
+  Histogram* batch_size = nullptr;///< te.batch_size
+  std::vector<Counter*> per_stream_tx;  ///< stream.<i>.tx_frames
+
+  static TxMetrics create(MetricsRegistry& reg, std::uint32_t streams) {
+    TxMetrics m;
+    m.tx_frames = &reg.counter("te.tx_frames");
+    m.tx_bytes = &reg.counter("te.tx_bytes");
+    m.spurious = &reg.counter("te.spurious_schedules");
+    m.batch_size = &reg.histogram("te.batch_size", 0.0, 33.0, 33);
+    m.per_stream_tx.reserve(streams);
+    for (std::uint32_t i = 0; i < streams; ++i) {
+      m.per_stream_tx.push_back(
+          &reg.counter("stream." + std::to_string(i) + ".tx_frames"));
+    }
+    return m;
+  }
+
+  void count_stream_tx(std::uint32_t stream) {
+    if (stream < per_stream_tx.size()) per_stream_tx[stream]->add(1);
+  }
+};
+
+/// core::Endsystem / core::ThreadedEndsystem — the host loop itself.
+struct EndsystemMetrics {
+  Counter* loop_iterations = nullptr;   ///< es.loop_iterations
+  Counter* arrivals_delivered = nullptr;///< es.arrivals_delivered
+  Counter* frames_completed = nullptr;  ///< es.frames_completed
+  Counter* dropped_late = nullptr;      ///< es.dropped_late
+  Counter* reloads = nullptr;           ///< es.reloads_applied
+  Histogram* reload_latency_ns = nullptr;  ///< es.reload_latency_ns
+
+  static EndsystemMetrics create(MetricsRegistry& reg) {
+    EndsystemMetrics m;
+    m.loop_iterations = &reg.counter("es.loop_iterations");
+    m.arrivals_delivered = &reg.counter("es.arrivals_delivered");
+    m.frames_completed = &reg.counter("es.frames_completed");
+    m.dropped_late = &reg.counter("es.dropped_late");
+    m.reloads = &reg.counter("es.reloads_applied");
+    // Mailbox commit latencies span sub-us (same-iteration pickup) to ms
+    // (scheduler busy in a long drain) — log bins cover the range.
+    m.reload_latency_ns =
+        &reg.histogram("es.reload_latency_ns", 100.0, 1e9, 256, true);
+    return m;
+  }
+};
+
+}  // namespace ss::telemetry

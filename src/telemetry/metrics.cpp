@@ -1,0 +1,290 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ss::telemetry {
+
+namespace {
+
+// Lock-free double accumulation: the sum lives as raw bits and additions
+// go through a CAS loop (contention is rare — observe() is called from at
+// most a couple of threads and the loop retries only on collision).
+void add_double_bits(std::atomic<std::uint64_t>& bits, double d) noexcept {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double cur = std::bit_cast<double>(old);
+    if (bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(cur + d),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+// Prometheus metric names cannot contain '.', our canonical separator.
+std::string prom_name(const std::string& name) {
+  std::string out = "ss_";
+  for (const char c : name) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c
+                                                                     : '_');
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, bool log_scale)
+    : lo_(lo), hi_(hi), log_(log_scale), counts_(bins == 0 ? 1 : bins) {
+  assert(hi > lo && bins > 0);
+  if (log_) {
+    assert(lo > 0.0);
+    log_lo_ = std::log(lo_);
+    inv_width_ = static_cast<double>(counts_.size()) /
+                 (std::log(hi_) - log_lo_);
+  } else {
+    inv_width_ = static_cast<double>(counts_.size()) / (hi_ - lo_);
+  }
+}
+
+std::size_t Histogram::index_of(double x) const noexcept {
+  double pos;
+  if (log_) {
+    if (x <= lo_) return 0;
+    pos = (std::log(x) - log_lo_) * inv_width_;
+  } else {
+    if (x <= lo_) return 0;
+    pos = (x - lo_) * inv_width_;
+  }
+  const auto b = static_cast<std::size_t>(pos);
+  return b >= counts_.size() ? counts_.size() - 1 : b;
+}
+
+void Histogram::observe(double x) noexcept {
+  counts_[index_of(x)].v.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_double_bits(sum_bits_, x);
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::bin_lo(std::size_t b) const noexcept {
+  const double t = static_cast<double>(b) / inv_width_;
+  return log_ ? std::exp(log_lo_ + t) : lo_ + t;
+}
+
+double Histogram::quantile(double p) const {
+  // Copy the bins once so the walk sees one coherent set even while
+  // observe() keeps running.
+  std::vector<std::uint64_t> c(counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    c[b] = counts_[b].v.load(std::memory_order_relaxed);
+    total += c[b];
+  }
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < c.size(); ++b) {
+    if (c[b] == 0) continue;
+    const auto before = static_cast<double>(cum);
+    cum += c[b];
+    if (static_cast<double>(cum) >= rank) {
+      const double frac =
+          std::clamp((rank - before) / static_cast<double>(c[b]), 0.0, 1.0);
+      if (log_) {
+        const double llo = std::log(bin_lo(b));
+        const double lhi = std::log(bin_hi(b));
+        return std::exp(llo + frac * (lhi - llo));
+      }
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+  }
+  return bin_hi(c.size() - 1);
+}
+
+void Histogram::reset() noexcept {
+  for (AtomicCell& cell : counts_) {
+    cell.v.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins,
+                                      bool log_scale) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, bins, log_scale);
+  return *slot;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = c->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.gauge = g->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.p50 = h->quantile(50.0);
+    s.p90 = h->quantile(90.0);
+    s.p99 = h->quantile(99.0);
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"schema\":\"ss-metrics-v1\",\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    json_escape_into(out, s.name);
+    std::snprintf(buf, sizeof buf, "\":%llu",
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const Sample& s : samples) {
+    if (s.kind != MetricKind::kGauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    json_escape_into(out, s.name);
+    std::snprintf(buf, sizeof buf, "\":%lld",
+                  static_cast<long long>(s.gauge));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const Sample& s : samples) {
+    if (s.kind != MetricKind::kHistogram) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    json_escape_into(out, s.name);
+    std::snprintf(buf, sizeof buf, "\":{\"count\":%llu,\"sum\":",
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+    append_double(out, s.sum);
+    out += ",\"p50\":";
+    append_double(out, s.p50);
+    out += ",\"p90\":";
+    append_double(out, s.p90);
+    out += ",\"p99\":";
+    append_double(out, s.p99);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  char buf[96];
+  for (const Sample& s : samples) {
+    const std::string n = prom_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + n + " counter\n" + n;
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(s.count));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + n + " gauge\n" + n;
+        std::snprintf(buf, sizeof buf, " %lld\n",
+                      static_cast<long long>(s.gauge));
+        out += buf;
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + n + " summary\n";
+        out += n + "{quantile=\"0.5\"} ";
+        append_double(out, s.p50);
+        out += "\n" + n + "{quantile=\"0.9\"} ";
+        append_double(out, s.p90);
+        out += "\n" + n + "{quantile=\"0.99\"} ";
+        append_double(out, s.p99);
+        out += "\n" + n + "_sum ";
+        append_double(out, s.sum);
+        out += "\n" + n + "_count ";
+        std::snprintf(buf, sizeof buf, "%llu\n",
+                      static_cast<unsigned long long>(s.count));
+        out += buf;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::telemetry

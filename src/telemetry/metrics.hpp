@@ -1,0 +1,219 @@
+// metrics.hpp — lock-free pipeline metrics registry.
+//
+// The paper's evaluation lives on seeing inside the host/FPGA pipeline
+// while it runs: decision cycles, PCI round-trips, ring occupancy,
+// per-stream grants.  This registry is the live-counter layer under every
+// realization: named counters, gauges and histograms whose hot-path
+// operations are single relaxed atomic RMWs on per-thread cache-line
+// cells, so a TSan-stressed data path (producer + scheduler threads) can
+// be sampled by a monitor thread calling snapshot() at any moment without
+// locks, stalls or races.
+//
+// Consistency contract: snapshot() is per-metric atomic and monotonic
+// (a counter never appears to decrease across snapshots), not globally
+// atomic across metrics — the usual Prometheus-style contract.  Exports
+// are single-line JSON (machine diffing, jq) and Prometheus text
+// exposition (scrapers, humans).
+//
+// Compile-time kill switch: building with -DSS_TELEMETRY=OFF defines
+// SS_TELEMETRY_ENABLED=0 and every SS_TELEM(...) instrumentation site in
+// the tree compiles to nothing.  At runtime, instrumentation is attach-
+// based and disabled by default: a component with no metrics struct
+// attached pays one null-pointer test per site, nothing else.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if !defined(SS_TELEMETRY_ENABLED)
+#define SS_TELEMETRY_ENABLED 1
+#endif
+
+#if SS_TELEMETRY_ENABLED
+#define SS_TELEM(...) __VA_ARGS__
+#else
+#define SS_TELEM(...)
+#endif
+
+namespace ss::telemetry {
+
+inline constexpr std::size_t kMetricCacheLine = 64;
+
+/// Monotonic counter.  Increments land on one of kCells cache-line-padded
+/// atomic cells chosen by a per-thread slot, so concurrent incrementers
+/// (producer thread, scheduler thread) never contend on one line; value()
+/// sums the cells.  All ordering is relaxed — the registry publishes no
+/// cross-metric invariants, only per-metric totals.
+class Counter {
+ public:
+  static constexpr std::size_t kCells = 8;  // power of two
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[thread_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kMetricCacheLine) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  // Inline (header-defined) so the hot path is a TLS read + fetch_add with
+  // no call: slots are dealt round-robin at first use per thread, shared
+  // across every Counter instance.
+  static std::size_t thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) & (kCells - 1);
+    return slot;
+  }
+  std::array<Cell, kCells> cells_{};
+};
+
+/// Point-in-time signed value (queue depth, high-water mark).  set/add are
+/// single relaxed RMWs; update_max is a CAS loop (rarely retried — the
+/// high-water mark only moves up).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bin histogram with atomic bin counts: observe() is one relaxed
+/// fetch_add on a bin plus count/sum bookkeeping, safe from any thread.
+/// Linear or logarithmic bin spacing; quantile() interpolates inside the
+/// bin that crosses the rank (log-space interpolation for log bins), so
+/// the estimate error is bounded by one bin's width.
+class Histogram {
+ public:
+  /// Linear bins over [lo, hi); out-of-range samples clamp to the edge
+  /// bins so no observation is lost.
+  Histogram(double lo, double hi, std::size_t bins, bool log_scale = false);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t b) const noexcept {
+    return counts_[b].v.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double bin_lo(std::size_t b) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t b) const noexcept {
+    return bin_lo(b + 1);
+  }
+
+  /// Streaming quantile estimate, p in [0, 100].  0 when empty.
+  [[nodiscard]] double quantile(double p) const;
+
+  void reset() noexcept;
+
+ private:
+  struct AtomicCell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::size_t index_of(double x) const noexcept;
+
+  double lo_, hi_;
+  bool log_;
+  double log_lo_ = 0.0, inv_width_;
+  std::vector<AtomicCell> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< double stored as bits (CAS add)
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric's value at snapshot time.
+struct Sample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  ///< counter value / histogram observation count
+  std::int64_t gauge = 0;
+  double sum = 0.0;         ///< histogram sum
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+struct Snapshot {
+  std::vector<Sample> samples;  ///< sorted by name
+
+  /// {"schema":"ss-metrics-v1","counters":{...},"gauges":{...},
+  ///  "histograms":{"name":{"count":..,"sum":..,"p50":..,...}}} — one line.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition: `# TYPE` lines plus one sample per line
+  /// (histograms as _count/_sum/quantile-labeled gauge lines).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Named-metric registry.  Registration (counter()/gauge()/histogram())
+/// takes a mutex and returns a stable reference — do it at attach time,
+/// never per event.  The returned handles are lock-free; snapshot() takes
+/// the same mutex only to iterate the name table, so it can run on a
+/// monitor thread while every handle is being hammered.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-requesting an existing histogram name returns the existing
+  /// instance (the bin layout of the first registration wins).
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins, bool log_scale = false);
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+  [[nodiscard]] std::string to_prometheus() const {
+    return snapshot().to_prometheus();
+  }
+
+  /// Zero every metric (counters, gauges, histogram bins).  Snapshots
+  /// taken concurrently see each metric either before or after its reset.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ss::telemetry

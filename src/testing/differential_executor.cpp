@@ -76,6 +76,16 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   }
   hw::SchedulerChip chip(hc);
 
+  // Diagnosis context: the waveform window divergence reports render, and
+  // (when the driver passed a registry) the chip's metric stream.
+  hw::Tracer tracer(opt_.trace_depth == 0 ? 1 : opt_.trace_depth);
+  chip.attach_tracer(&tracer);
+  telemetry::ChipMetrics chip_metrics;
+  if (opt_.metrics) {
+    chip_metrics = telemetry::ChipMetrics::create(*opt_.metrics);
+    chip.attach_metrics(&chip_metrics);
+  }
+
   dwcs::ReferenceScheduler::Options so;
   so.block_mode = sc.fabric.block_mode;
   so.min_first = sc.fabric.min_first;
@@ -401,6 +411,13 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
 
   res.hwpq_checked = hwpq_active && !pqs.empty();
   res.digest = hash.digest();
+  if (res.diverged) {
+    res.chip_trace_tail = tracer.render_all();
+    if (opt_.metrics) res.metrics_json = opt_.metrics->to_json();
+  }
+  if (opt_.export_chrome_trace) {
+    res.chip_trace_chrome_json = tracer.to_chrome_json();
+  }
   return res;
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.hpp"
 #include "testing/scenario.hpp"
 
 namespace ss::testing {
@@ -51,6 +52,16 @@ struct RunResult {
   /// FNV-1a fingerprint of the chip's decision stream and final counters
   /// (up to the divergence point, when one occurs).
   std::uint64_t digest = 0;
+
+  /// Diagnosis context, populated only when the run diverged: the chip
+  /// tracer's last rendered decision cycles (the "waveform" leading up to
+  /// the failure) and a single-line JSON snapshot of the run's metrics.
+  std::string chip_trace_tail;
+  std::string metrics_json;
+
+  /// Chrome trace-event JSON of the retained decision-cycle window (only
+  /// when Options::export_chrome_trace; empty otherwise).
+  std::string chip_trace_chrome_json;
 };
 
 class DifferentialExecutor {
@@ -63,6 +74,17 @@ class DifferentialExecutor {
     /// Validate aggregation round-robin/weighted-share invariants when the
     /// scenario carries a plan.
     bool check_aggregation = true;
+    /// Retain the chip tracer's most recent decision cycles so divergence
+    /// reports carry the waveform leading up to the failure.
+    std::size_t trace_depth = 8;
+    /// Also render the retained window as Chrome trace-event JSON into
+    /// RunResult::chip_trace_chrome_json (drivers raise trace_depth when
+    /// exporting for Perfetto).
+    bool export_chrome_trace = false;
+    /// Accumulate chip metrics for the run into this registry when set
+    /// (fuzz/replay drivers pass one to get a metrics snapshot attached to
+    /// divergence reports and --metrics-json output).
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   DifferentialExecutor() = default;

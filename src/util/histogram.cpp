@@ -2,16 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace ss {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : Histogram(lo, hi, bins, false) {}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, bool log_scale)
     : lo_(lo),
       hi_(hi),
       bin_width_((hi - lo) / static_cast<double>(bins)),
+      log_(log_scale),
       counts_(bins, 0) {
   assert(hi > lo && bins > 0);
+  if (log_) {
+    assert(lo > 0.0);
+    log_lo_ = std::log(lo);
+    log_bin_width_ = (std::log(hi) - log_lo_) / static_cast<double>(bins);
+  }
+}
+
+Histogram Histogram::logspace(double lo, double hi, std::size_t bins) {
+  return Histogram(lo, hi, bins, true);
 }
 
 void Histogram::add(double x) {
@@ -24,16 +38,50 @@ void Histogram::add(double x) {
     ++over_;
     return;
   }
-  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  std::size_t bin;
+  if (log_) {
+    bin = static_cast<std::size_t>((std::log(x) - log_lo_) / log_bin_width_);
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  }
   bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
   ++counts_[bin];
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
+  if (log_) {
+    return std::exp(log_lo_ + static_cast<double>(bin) * log_bin_width_);
+  }
   return lo_ + static_cast<double>(bin) * bin_width_;
 }
 
 double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  // Underflow mass sits below every bin: it resolves to lo_ (the closest
+  // representable value), keeping the estimate conservative.
+  std::uint64_t cum = under_;
+  if (static_cast<double>(cum) >= rank) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto before = static_cast<double>(cum);
+    cum += counts_[b];
+    if (static_cast<double>(cum) >= rank) {
+      const double frac = std::clamp(
+          (rank - before) / static_cast<double>(counts_[b]), 0.0, 1.0);
+      if (log_) {
+        const double llo = std::log(bin_lo(b));
+        const double lhi = std::log(bin_hi(b));
+        return std::exp(llo + frac * (lhi - llo));
+      }
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+  }
+  return hi_;  // remaining mass is overflow
+}
 
 std::string Histogram::render(std::size_t width) const {
   std::uint64_t peak = 1;

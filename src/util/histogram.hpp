@@ -7,11 +7,19 @@
 
 namespace ss {
 
-/// Linear-bin histogram over [lo, hi); samples outside the range land in
-/// saturating under/overflow bins so no data is silently lost.
+/// Fixed-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins so no data is silently lost.  Bins are
+/// linearly spaced by default; logspace() gives geometrically spaced bins
+/// (constant *relative* resolution), the right shape for latency
+/// distributions spanning several decades.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
+
+  /// Log-spaced bins over [lo, hi), lo > 0.  With B bins each spans a
+  /// factor of (hi/lo)^(1/B) — e.g. 1024 bins over [0.01, 1e7] keep every
+  /// bin under 2.1% wide, so percentile() estimates carry that bound.
+  static Histogram logspace(double lo, double hi, std::size_t bins);
 
   void add(double x);
 
@@ -25,11 +33,23 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
+  /// Streaming quantile estimate, p in [0, 100]: O(bins), no stored
+  /// samples.  The rank is located in the cumulative bin counts and the
+  /// value interpolated inside the crossing bin (log-space interpolation
+  /// for log-spaced bins), so the error is bounded by one bin width.
+  /// Underflow samples resolve to lo, overflow samples to hi.  Returns 0
+  /// for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
   /// Multi-line ASCII rendering (one row per non-empty bin) for bench logs.
   [[nodiscard]] std::string render(std::size_t width = 50) const;
 
  private:
+  Histogram(double lo, double hi, std::size_t bins, bool log_scale);
+
   double lo_, hi_, bin_width_;
+  bool log_ = false;
+  double log_lo_ = 0.0, log_bin_width_ = 0.0;
   std::vector<std::uint64_t> counts_;
   std::uint64_t under_ = 0, over_ = 0, total_ = 0;
 };
