@@ -15,6 +15,9 @@
 //                                                       grant, shrink it
 //   fuzz_ss --seed 7 --explore-batch                  # also sample the
 //                                                       block batch_depth axis
+//   fuzz_ss --seed 7 --fault-seed 42                  # every scenario runs
+//                                                       under a seeded
+//                                                       hardware fault plane
 //
 // Exit status: 0 = no divergence (or replay reproduced nothing), 1 = a
 // divergence was found (minimized reproducer written), 2 = usage/IO
@@ -43,6 +46,7 @@ struct Args {
   std::size_t events = 1000;
   double seconds = 0;  // 0 = no time budget (scenario count governs)
   std::uint64_t inject_fault = 0;
+  std::uint64_t fault_seed = 0;  // non-zero: every scenario gets a fault plane
   bool explore_batch = false;
   std::string out;     // trace capture path (fuzz mode)
   std::string replay;  // replay path; empty = fuzz mode
@@ -105,8 +109,9 @@ void print_point(const Scenario& sc) {
 int usage() {
   std::cerr <<
       "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
-      "               [--out FILE] [--inject-fault G] [--explore-batch]\n"
-      "               [--metrics-json FILE] [--trace-out FILE]\n"
+      "               [--out FILE] [--inject-fault G] [--fault-seed S]\n"
+      "               [--explore-batch] [--metrics-json FILE]\n"
+      "               [--trace-out FILE]\n"
       "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n";
   return 2;
 }
@@ -154,6 +159,13 @@ int fuzz_mode(const Args& args) {
   fo.seed = args.seed;
   fo.events_per_scenario = args.events;
   fo.explore_batch = args.explore_batch;
+  if (args.fault_seed != 0) {
+    // Fault campaign: every scenario carries a seeded hardware fault
+    // plane.  The schedule must still match the fault-free oracle, so a
+    // plain "no divergence" exit proves the recovery path is transparent.
+    fo.fault_probability = 1.0;
+    fo.fault_seed = args.fault_seed;
+  }
   WorkloadFuzzer fuzzer(fo);
   ss::telemetry::MetricsRegistry reg;
   const DifferentialExecutor ex(exec_options(args, &reg));
@@ -175,6 +187,7 @@ int fuzz_mode(const Args& args) {
   };
 
   std::uint64_t total_decisions = 0, total_grants = 0;
+  std::uint64_t total_faults = 0, total_recoveries = 0, total_failovers = 0;
   std::string last_chrome_trace;
   auto write_telemetry = [&] {
     if (!args.metrics_json.empty() &&
@@ -199,6 +212,9 @@ int fuzz_mode(const Args& args) {
     const RunResult r = ex.run(sc);
     total_decisions += r.decisions;
     total_grants += r.grants;
+    total_faults += r.faults_injected;
+    total_recoveries += r.robust.recoveries;
+    total_failovers += r.failed_over ? 1 : 0;
     if (!r.chip_trace_chrome_json.empty()) {
       last_chrome_trace = r.chip_trace_chrome_json;
     }
@@ -206,7 +222,12 @@ int fuzz_mode(const Args& args) {
     std::cout << "scenario " << k << ": ";
     print_point(sc);
     std::cout << " decisions=" << r.decisions << " digest=" << r.digest
-              << (r.hwpq_checked ? " hwpq" : "") << '\n';
+              << (r.hwpq_checked ? " hwpq" : "");
+    if (sc.faults.enabled()) {
+      std::cout << " faults=" << r.faults_injected
+                << (r.failed_over ? " FAILOVER" : "");
+    }
+    std::cout << '\n';
     if (trace.is_open()) {
       trace << serialize(sc, r.diverged ? std::optional<std::uint64_t>{}
                                         : std::optional{r.digest});
@@ -236,6 +257,11 @@ int fuzz_mode(const Args& args) {
   std::cout << "ok: " << fuzzer.scenarios_generated() << " scenarios, "
             << total_decisions << " differential decisions, " << total_grants
             << " grants, " << elapsed() << " s, no divergence\n";
+  if (args.fault_seed != 0) {
+    std::cout << "fault plane: " << total_faults << " faults injected, "
+              << total_recoveries << " recoveries, " << total_failovers
+              << " failovers — schedule stayed oracle-equivalent\n";
+  }
   return 0;
 }
 
@@ -263,6 +289,8 @@ int main(int argc, char** argv) {
       args.seconds = std::strtod(argv[++i], nullptr);
     } else if (a == "--inject-fault") {
       if (!value(args.inject_fault)) return usage();
+    } else if (a == "--fault-seed") {
+      if (!value(args.fault_seed)) return usage();
     } else if (a == "--explore-batch") {
       args.explore_batch = true;
     } else if (a == "--out") {

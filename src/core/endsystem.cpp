@@ -17,7 +17,16 @@ Endsystem::Endsystem(const EndsystemConfig& cfg)
       bank_(1 << 16, Nanos{2000}),
       qm_(static_cast<std::uint64_t>(packet_time_ns_)),
       link_(cfg.link_gbps),
-      te_(qm_, link_) {}
+      te_(qm_, link_) {
+  if (cfg_.faults.enabled()) {
+    fault_plan_ = std::make_unique<robust::FaultPlan>(cfg_.faults);
+    robust::GuardedScheduler::Options go;
+    go.recovery = cfg_.recovery;
+    guard_ = std::make_unique<robust::GuardedScheduler>(
+        *chip_, fault_plan_.get(), go);
+    pci_.attach_faults(fault_plan_.get());
+  }
+}
 
 std::uint32_t Endsystem::add_stream(const dwcs::StreamRequirement& req,
                                     std::unique_ptr<queueing::TrafficGen> gen,
@@ -46,7 +55,15 @@ void Endsystem::finalize_admission() {
     if (reqs[i].kind == dwcs::RequirementKind::kFairShare) {
       sc.initial_deadline = hw::Deadline{periods[i]};
     }
-    chip_->load_slot(static_cast<hw::SlotId>(i), sc);
+    if (guard_) {
+      dwcs::StreamSpec spec = dwcs::to_stream_spec(reqs[i], periods[i]);
+      if (reqs[i].kind == dwcs::RequirementKind::kFairShare) {
+        spec.initial_deadline = periods[i];
+      }
+      guard_->load_slot(static_cast<hw::SlotId>(i), sc, spec);
+    } else {
+      chip_->load_slot(static_cast<hw::SlotId>(i), sc);
+    }
   }
   monitor_ = std::make_unique<QosMonitor>(
       static_cast<std::uint32_t>(streams_.size()), cfg_.bw_window_ns);
@@ -65,6 +82,10 @@ void Endsystem::finalize_admission() {
     bank_.attach_metrics(&sram_metrics_);
     qm_.attach_metrics(&qm_metrics_);
     te_.attach_metrics(&tx_metrics_);
+    if (guard_) {
+      robust_metrics_ = telemetry::RobustMetrics::create(*cfg_.metrics);
+      guard_->attach_metrics(&robust_metrics_);
+    }
   }
   if (cfg_.use_streaming_unit) {
     streaming_ = std::make_unique<hw::StreamingUnit>(
@@ -113,7 +134,31 @@ EndsystemReport Endsystem::run(
   std::vector<unsigned> batch_fill(streams_.size(), 0);
   std::uint64_t transmitted = 0;
   std::uint64_t pci_ns = 0;
-  const std::uint64_t decisions0 = chip_->decision_cycles();
+  const std::uint64_t decisions0 =
+      guard_ ? guard_->decision_cycles() : chip_->decision_cycles();
+
+  // Fallible PCI accounting: with the fault plane enabled every transfer
+  // is driven through the recovery policy (failed attempts still burn bus
+  // time, retries add backoff); exhaustion abandons the hardware path.
+  // Post-failover the software path crosses no bus, so transfers cost 0.
+  robust::RecoveryStats pci_rstats{};
+  const auto pci_xfer_ns = [&](std::size_t bytes, bool read) {
+    if (!guard_) {
+      if (read) return count(pci_.pio_read(bytes));
+      return count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
+                                 : pci_.pio_write(bytes));
+    }
+    if (guard_->failed_over()) return std::uint64_t{0};
+    const robust::RetryResult r = robust::with_retry(
+        cfg_.recovery, pci_rstats, nullptr,
+        cfg_.metrics ? &robust_metrics_ : nullptr, [&] {
+          if (read) return pci_.try_pio_read(bytes);
+          return cfg_.dma_bulk ? pci_.try_dma_transfer(bytes)
+                               : pci_.try_pio_write(bytes);
+        });
+    if (!r.ok) guard_->force_failover();
+    return count(r.elapsed);
+  };
   // Block-drain staging, reused every decision cycle so the hot loop does
   // no per-cycle allocation once the vectors reach the block size.
   std::vector<queueing::BlockGrant> burst;
@@ -129,7 +174,8 @@ EndsystemReport Endsystem::run(
   while (transmitted < total) {
     SS_TELEM(if (em) em->loop_iterations->add(1));
     const auto now_ns = static_cast<std::uint64_t>(
-        static_cast<double>(chip_->vtime()) * packet_time_ns_);
+        static_cast<double>(guard_ ? guard_->vtime() : chip_->vtime()) *
+        packet_time_ns_);
 
     // Deliver due arrivals: frame into the QM ring, arrival offset to the
     // card — either through the Streaming unit's watermark machinery or
@@ -148,13 +194,15 @@ EndsystemReport Endsystem::run(
         if (streaming_) continue;  // the unit moves the offsets below
         const auto off = static_cast<std::uint64_t>(
             static_cast<double>(f.arrival_ns) / packet_time_ns_);
-        chip_->push_request(static_cast<hw::SlotId>(i), hw::Arrival{off});
+        if (guard_) {
+          guard_->push_request(static_cast<hw::SlotId>(i), off);
+        } else {
+          chip_->push_request(static_cast<hw::SlotId>(i), hw::Arrival{off});
+        }
         if (++batch_fill[i] >= cfg_.pci_batch) {
           batch_fill[i] = 0;
           const std::size_t bytes = std::size_t{cfg_.pci_batch} * 2;
-          const std::uint64_t xfer_ns =
-              count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
-                                  : pci_.pio_write(bytes));
+          const std::uint64_t xfer_ns = pci_xfer_ns(bytes, false);
           pci_ns += xfer_ns;
           SS_TELEM(if (ft) {
             ft->pci(cfg_.dma_bulk ? telemetry::PciDir::kDma
@@ -169,13 +217,18 @@ EndsystemReport Endsystem::run(
         if (streaming_->needs_refill(i)) streaming_->refill(i, qm_);
         std::uint16_t off16;
         while (streaming_->pop_arrival(i, off16)) {
-          chip_->push_request(static_cast<hw::SlotId>(i),
-                              hw::Arrival{off16});
+          if (guard_) {
+            guard_->push_request(static_cast<hw::SlotId>(i), off16);
+          } else {
+            chip_->push_request(static_cast<hw::SlotId>(i),
+                                hw::Arrival{off16});
+          }
         }
       }
     }
 
-    const hw::DecisionOutcome out = chip_->run_decision_cycle();
+    const hw::DecisionOutcome out =
+        guard_ ? guard_->run_decision_cycle() : chip_->run_decision_cycle();
 
     // Droppable slots that discarded a late head on the card: the systems
     // software discards the matching host frame (it never reaches the
@@ -207,7 +260,7 @@ EndsystemReport Endsystem::run(
     // Scheduled Stream IDs come back over PCI: one PIO read covers the
     // whole grant vector (IDs are 5 bits; a bus word carries four), so the
     // transfer cost of a K-deep batch is amortized K ways.
-    const std::uint64_t read_ns = count(pci_.pio_read(out.grants.size()));
+    const std::uint64_t read_ns = pci_xfer_ns(out.grants.size(), true);
     pci_ns += read_ns;
     SS_TELEM(if (ft) {
       ft->pci(telemetry::PciDir::kRead, now_ns, read_ns,
@@ -254,8 +307,7 @@ EndsystemReport Endsystem::run(
     for (std::uint32_t i = 0; i < streams_.size(); ++i) {
       if (batch_fill[i] > 0) {
         const std::size_t bytes = std::size_t{batch_fill[i]} * 2;
-        pci_ns += count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
-                                      : pci_.pio_write(bytes));
+        pci_ns += pci_xfer_ns(bytes, false);
       }
     }
   }
@@ -265,8 +317,20 @@ EndsystemReport Endsystem::run(
   rep.link_ns = link_.busy_until_ns();
   rep.host_seconds = std::chrono::duration<double>(t1 - t0).count();
   rep.pci_ns = pci_ns;
-  rep.decision_cycles = chip_->decision_cycles() - decisions0;
+  rep.decision_cycles =
+      (guard_ ? guard_->decision_cycles() : chip_->decision_cycles()) -
+      decisions0;
   rep.spurious_schedules = te_.spurious_schedules();
+  if (guard_) {
+    rep.robust = guard_->stats();
+    rep.robust.faults += pci_rstats.faults;
+    rep.robust.retries += pci_rstats.retries;
+    rep.robust.recoveries += pci_rstats.recoveries;
+    rep.robust.exhausted += pci_rstats.exhausted;
+    rep.robust.backoff_ns += pci_rstats.backoff_ns;
+    rep.faults_injected = fault_plan_->total_injected();
+    rep.failed_over = guard_->failed_over();
+  }
   if (rep.host_seconds > 0) {
     rep.pps_excl_pci = static_cast<double>(transmitted) / rep.host_seconds;
     rep.pps_incl_pci =

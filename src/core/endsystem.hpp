@@ -34,6 +34,9 @@
 #include "queueing/queue_manager.hpp"
 #include "queueing/traffic_gen.hpp"
 #include "queueing/transmission_engine.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/guarded_scheduler.hpp"
+#include "robust/recovery.hpp"
 #include "telemetry/frame_trace.hpp"
 #include "telemetry/instruments.hpp"
 #include "telemetry/metrics.hpp"
@@ -69,6 +72,13 @@ struct EndsystemConfig {
   /// Frame-lifecycle trace sink (nullptr = off): arrival -> enqueue ->
   /// grant -> PCI -> transmit/drop events for Perfetto.
   telemetry::FrameTrace* frame_trace = nullptr;
+  /// Fault plane (seed == 0 = disabled, the default: the run is then
+  /// bit-identical to a build without the fault plane).  When enabled,
+  /// every PCI transfer and chip decision cycle becomes fallible and is
+  /// driven through the recovery policy below; exhaustion fails the run
+  /// over to the software reference scheduler mid-flight.
+  robust::FaultProfile faults{};
+  robust::RecoveryConfig recovery{};
 };
 
 struct EndsystemReport {
@@ -81,6 +91,10 @@ struct EndsystemReport {
   double pps_excl_pci = 0.0;
   double pps_incl_pci = 0.0;
   std::uint64_t spurious_schedules = 0;
+  // Fault-plane outcome (all zero when the plane is disabled).
+  robust::RecoveryStats robust{};
+  std::uint64_t faults_injected = 0;
+  bool failed_over = false;
 };
 
 class Endsystem {
@@ -119,6 +133,11 @@ class Endsystem {
   [[nodiscard]] const hw::SchedulerChip& chip() const { return *chip_; }
   [[nodiscard]] double packet_time_ns() const { return packet_time_ns_; }
 
+  /// Fault-plane state (nullptr unless cfg.faults.enabled()).
+  [[nodiscard]] const robust::GuardedScheduler* guard() const {
+    return guard_.get();
+  }
+
   /// Streaming-unit statistics (nullptr unless use_streaming_unit).
   [[nodiscard]] const hw::StreamingStats* streaming_stats() const {
     return streaming_ ? &streaming_->stats() : nullptr;
@@ -128,6 +147,8 @@ class Endsystem {
   EndsystemConfig cfg_;
   double packet_time_ns_;
   std::unique_ptr<hw::SchedulerChip> chip_;
+  std::unique_ptr<robust::FaultPlan> fault_plan_;
+  std::unique_ptr<robust::GuardedScheduler> guard_;
   hw::PciModel pci_;
   hw::SramBank bank_;
   std::unique_ptr<hw::StreamingUnit> streaming_;
@@ -152,6 +173,7 @@ class Endsystem {
   telemetry::QueueMetrics qm_metrics_;
   telemetry::TxMetrics tx_metrics_;
   telemetry::EndsystemMetrics es_metrics_;
+  telemetry::RobustMetrics robust_metrics_;
 };
 
 }  // namespace ss::core

@@ -15,6 +15,13 @@ ThreadedEndsystem::ThreadedEndsystem(const ThreadedConfig& cfg)
       link_(cfg.link_gbps),
       te_(qm_, link_) {
   te_.set_record_frames(false);
+  if (cfg_.faults.enabled()) {
+    fault_plan_ = std::make_unique<robust::FaultPlan>(cfg_.faults);
+    robust::GuardedScheduler::Options go;
+    go.recovery = cfg_.recovery;
+    guard_ = std::make_unique<robust::GuardedScheduler>(
+        *chip_, fault_plan_.get(), go);
+  }
 }
 
 std::uint32_t ThreadedEndsystem::add_stream(
@@ -39,8 +46,18 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   const auto n = static_cast<std::uint32_t>(reqs_.size());
   const auto periods = dwcs::fair_share_periods(reqs_);
   for (std::uint32_t i = 0; i < n; ++i) {
-    chip_->load_slot(static_cast<hw::SlotId>(i),
-                     dwcs::to_slot_config(reqs_[i], periods[i]));
+    if (guard_) {
+      guard_->load_slot(static_cast<hw::SlotId>(i),
+                        dwcs::to_slot_config(reqs_[i], periods[i]),
+                        dwcs::to_stream_spec(reqs_[i], periods[i]));
+    } else {
+      chip_->load_slot(static_cast<hw::SlotId>(i),
+                       dwcs::to_slot_config(reqs_[i], periods[i]));
+    }
+  }
+  if (guard_ && cfg_.metrics) {
+    robust_metrics_ = telemetry::RobustMetrics::create(*cfg_.metrics);
+    guard_->attach_metrics(&robust_metrics_);
   }
   SS_TELEM(telemetry::EndsystemMetrics* em = nullptr;
            if (cfg_.metrics) {
@@ -117,8 +134,15 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
       for (const PendingReload& pr : batch) {
         reqs_[pr.stream] = pr.req;
         const auto new_periods = dwcs::fair_share_periods(reqs_);
-        chip_->load_slot(static_cast<hw::SlotId>(pr.stream),
-                         dwcs::to_slot_config(pr.req, new_periods[pr.stream]));
+        const hw::SlotConfig sc =
+            dwcs::to_slot_config(pr.req, new_periods[pr.stream]);
+        if (guard_) {
+          guard_->load_slot(static_cast<hw::SlotId>(pr.stream), sc,
+                            dwcs::to_stream_spec(pr.req,
+                                                 new_periods[pr.stream]));
+        } else {
+          chip_->load_slot(static_cast<hw::SlotId>(pr.stream), sc);
+        }
         announced[pr.stream] = consumed[pr.stream];
         ++rep.reloads_applied;
         SS_TELEM(if (em) {
@@ -136,11 +160,18 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
         em->arrivals_delivered->add(arrived - announced[i]);
       });
       while (announced[i] < arrived) {
-        chip_->push_request(static_cast<hw::SlotId>(i));
+        if (guard_) {
+          // Mirror of the chip's default-arrival push: stamp the current
+          // virtual time on both paths.
+          guard_->push_request(static_cast<hw::SlotId>(i), guard_->vtime());
+        } else {
+          chip_->push_request(static_cast<hw::SlotId>(i));
+        }
         ++announced[i];
       }
     }
-    const hw::DecisionOutcome out = chip_->run_decision_cycle();
+    const hw::DecisionOutcome out =
+        guard_ ? guard_->run_decision_cycle() : chip_->run_decision_cycle();
     for (const hw::SlotId s : out.drops) {
       if (qm_.consume(s)) {
         ++consumed[s];
@@ -186,6 +217,11 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   rep.pps = rep.wall_seconds > 0
                 ? static_cast<double>(transmitted) / rep.wall_seconds
                 : 0.0;
+  if (guard_) {
+    rep.robust = guard_->stats();
+    rep.faults_injected = fault_plan_->total_injected();
+    rep.failed_over = guard_->failed_over();
+  }
   return rep;
 }
 

@@ -28,6 +28,9 @@
 #include "queueing/queue_manager.hpp"
 #include "queueing/traffic_gen.hpp"
 #include "queueing/transmission_engine.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/guarded_scheduler.hpp"
+#include "robust/recovery.hpp"
 #include "telemetry/instruments.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -43,6 +46,12 @@ struct ThreadedConfig {
   /// a monitor thread may snapshot the registry concurrently; the counter
   /// cells are per-thread so the threads never contend on a cache line.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Fault plane (seed == 0 = disabled).  Faults are injected and
+  /// recovered entirely on the scheduler thread; the producer thread
+  /// never touches the fallible hardware, so the failover is invisible to
+  /// it — the rings keep draining.
+  robust::FaultProfile faults{};
+  robust::RecoveryConfig recovery{};
 };
 
 struct ThreadedReport {
@@ -53,6 +62,10 @@ struct ThreadedReport {
   double wall_seconds = 0.0;
   double pps = 0.0;
   std::vector<std::uint64_t> per_stream_tx;
+  // Fault-plane outcome (all zero when the plane is disabled).
+  robust::RecoveryStats robust{};
+  std::uint64_t faults_injected = 0;
+  bool failed_over = false;
 };
 
 class ThreadedEndsystem {
@@ -81,6 +94,8 @@ class ThreadedEndsystem {
  private:
   ThreadedConfig cfg_;
   std::unique_ptr<hw::SchedulerChip> chip_;
+  std::unique_ptr<robust::FaultPlan> fault_plan_;
+  std::unique_ptr<robust::GuardedScheduler> guard_;
   queueing::QueueManager qm_;
   queueing::LinkModel link_;
   queueing::TransmissionEngine te_;
@@ -104,6 +119,7 @@ class ThreadedEndsystem {
   telemetry::QueueMetrics qm_metrics_;
   telemetry::TxMetrics tx_metrics_;
   telemetry::EndsystemMetrics es_metrics_;
+  telemetry::RobustMetrics robust_metrics_;
 };
 
 }  // namespace ss::core

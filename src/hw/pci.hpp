@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "hw/fault_hooks.hpp"
 #include "telemetry/instruments.hpp"
 #include "util/sim_time.hpp"
 
@@ -58,9 +59,21 @@ class PciModel {
   /// cost when detached is one null test per call.
   void attach_metrics(telemetry::PciMetrics* m) { metrics_ = m; }
 
+  /// Attach a fault injector (nullptr detaches).  Only the try_* variants
+  /// consult it; the infallible methods above keep their exact behavior.
+  void attach_faults(FaultInjector* f) { faults_ = f; }
+
+  /// Fallible variants: each attempt may fail with a modeled bus timeout
+  /// (the injector's penalty stands in for the master-abort / retry-limit
+  /// window).  On failure no data moves; the caller owns retry policy.
+  [[nodiscard]] FallibleNanos try_pio_write(std::size_t bytes) const;
+  [[nodiscard]] FallibleNanos try_pio_read(std::size_t bytes) const;
+  [[nodiscard]] FallibleNanos try_dma_transfer(std::size_t bytes) const;
+
  private:
   PciConfig cfg_;
   telemetry::PciMetrics* metrics_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace ss::hw

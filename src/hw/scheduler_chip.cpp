@@ -175,6 +175,15 @@ DecisionOutcome SchedulerChip::execute_decision() {
   return out;
 }
 
+bool SchedulerChip::try_run_decision_cycle(DecisionOutcome& out) {
+  if (faults_) {
+    const FaultDecision d = faults_->on_transaction(FaultSite::kChipDecision);
+    if (d.fault) return false;  // stalled before any datapath activity
+  }
+  out = run_decision_cycle();
+  return true;
+}
+
 DecisionOutcome SchedulerChip::run_decision_cycle() {
   // Tick the Control & Steering FSM through one full decision; the
   // datapath work happens at the UPDATE-apply boundary.  (The network

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "hw/control_unit.hpp"
+#include "hw/fault_hooks.hpp"
 #include "hw/fields.hpp"
 #include "hw/register_block.hpp"
 #include "hw/shuffle.hpp"
@@ -99,6 +100,12 @@ class SchedulerChip {
   /// Run one complete decision cycle (ticks the FSM until the boundary).
   DecisionOutcome run_decision_cycle();
 
+  /// Fallible variant: an injected decision-cycle stall fails the attempt
+  /// *before* any state mutation — vtime, counters and lane contents are
+  /// untouched, so the caller may simply retry.  Returns false on a stall
+  /// (out is left unmodified), true with the outcome otherwise.
+  [[nodiscard]] bool try_run_decision_cycle(DecisionOutcome& out);
+
   /// Run `n` decision cycles, discarding the outcomes (counters persist).
   void run_decision_cycles(std::uint64_t n);
 
@@ -135,6 +142,10 @@ class SchedulerChip {
   /// per decision cycle; detached cost is one null test per cycle.
   void attach_metrics(telemetry::ChipMetrics* m) { metrics_ = m; }
 
+  /// Attach a fault injector (nullptr detaches).  Only
+  /// try_run_decision_cycle consults it.
+  void attach_faults(FaultInjector* f) { faults_ = f; }
+
   /// Switching-activity proxy: compare-exchange swaps executed by the
   /// network so far (BA vs WR dynamic-power comparison).
   [[nodiscard]] std::uint64_t network_swaps() const {
@@ -158,6 +169,7 @@ class SchedulerChip {
   std::vector<std::vector<Deadline>> tag_fifos_;
   Tracer* tracer_ = nullptr;
   telemetry::ChipMetrics* metrics_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace ss::hw

@@ -16,6 +16,33 @@ Nanos SramBank::acquire(BankOwner who) {
   return switch_cost_;
 }
 
+FallibleNanos SramBank::try_acquire(BankOwner who) {
+  if (faults_) {
+    const FaultDecision d = faults_->on_transaction(FaultSite::kSramAcquire);
+    if (d.fault) {
+      // Arbitration stall: ownership does NOT switch; the requester just
+      // burned the stall window and must re-arbitrate.
+      SS_TELEM(if (metrics_) metrics_->stall_ns->add(count(d.penalty)));
+      return {false, d.penalty};
+    }
+  }
+  return {true, acquire(who)};
+}
+
+SramBank::CheckedRead SramBank::read_checked(BankOwner who,
+                                             std::size_t addr) const {
+  const std::uint32_t stored = read(who, addr);
+  if (faults_) {
+    const FaultDecision d = faults_->on_transaction(FaultSite::kSramData);
+    if (d.fault) {
+      // Transient SEU on the data path: one bit flips in flight, parity
+      // catches it.  The array itself is untouched, so a retry succeeds.
+      return {false, stored ^ (std::uint32_t{1} << (d.bit % 32u))};
+    }
+  }
+  return {true, stored};
+}
+
 void SramBank::check(BankOwner who, std::size_t addr) const {
   if (who != owner_) {
     throw std::logic_error("SramBank: access by non-owner (firmware gates "

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hw/fault_hooks.hpp"
 #include "telemetry/instruments.hpp"
 #include "util/sim_time.hpp"
 
@@ -48,6 +49,26 @@ class SramBank {
   /// high-performance PCI transfers" (Section 5.2), now observable.
   void attach_metrics(telemetry::SramMetrics* m) { metrics_ = m; }
 
+  /// Attach a fault injector (nullptr detaches).  Only try_acquire and
+  /// read_checked consult it; the infallible paths are unchanged.
+  void attach_faults(FaultInjector* f) { faults_ = f; }
+
+  /// Fallible arbitration: the firmware arbiter may stall without
+  /// switching ownership (the requester pays the penalty and must retry).
+  /// On success `ns` is the ordinary switch cost (zero if already owner).
+  [[nodiscard]] FallibleNanos try_acquire(BankOwner who);
+
+  /// Parity-checked read: an injected single-event upset flips one bit of
+  /// the value *in flight*; the per-word parity bit catches it, so the
+  /// caller sees ok=false and retries.  The stored array is never
+  /// corrupted — the transient-SEU model, not stuck-at faults.
+  struct CheckedRead {
+    bool ok = true;
+    std::uint32_t value = 0;
+  };
+  [[nodiscard]] CheckedRead read_checked(BankOwner who,
+                                         std::size_t addr) const;
+
  private:
   void check(BankOwner who, std::size_t addr) const;
   std::vector<std::uint32_t> mem_;
@@ -55,6 +76,7 @@ class SramBank {
   Nanos switch_cost_;
   std::uint64_t switches_ = 0;
   telemetry::SramMetrics* metrics_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 /// The RC1000's banked SRAM: independent banks so the Stream processor can

@@ -1,6 +1,7 @@
 #include "queueing/red_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ss::queueing {
 
@@ -19,8 +20,25 @@ double RedQueue::drop_probability() const {
 }
 
 bool RedQueue::enqueue(const Frame& f) {
+  if (q_.empty() && cfg_.idle_packet_time_ns > 0 &&
+      f.arrival_ns > last_arrival_ns_ && last_arrival_ns_ > 0) {
+    // The queue sat empty since the previous arrival: age the average as
+    // if m empty-queue samples had been filtered in.  Without this a
+    // long-drained burst keeps early-dropping the head of the next one.
+    const double m =
+        static_cast<double>(f.arrival_ns - last_arrival_ns_) /
+        static_cast<double>(cfg_.idle_packet_time_ns);
+    avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+  }
+  if (f.arrival_ns > last_arrival_ns_) last_arrival_ns_ = f.arrival_ns;
   avg_ = (1.0 - cfg_.ewma_weight) * avg_ +
          cfg_.ewma_weight * static_cast<double>(q_.size());
+  if (avg_ < cfg_.min_threshold) {
+    // Uncongested: a new congestion epoch starts from count zero, else
+    // the stale count drives the p_b/(1 - count*p_b) correction to 1 and
+    // the first packet past min_threshold is dropped deterministically.
+    since_last_drop_ = 0;
+  }
   if (q_.size() >= cfg_.capacity) {
     ++tail_drops_;
     since_last_drop_ = 0;

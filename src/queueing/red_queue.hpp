@@ -24,6 +24,11 @@ struct RedConfig {
   double max_p = 0.1;          ///< drop probability at max_threshold
   double ewma_weight = 0.02;   ///< w_q of the average-depth filter
   std::size_t capacity = 64;   ///< hard tail-drop limit
+  /// Mean packet service time used to age the average across idle gaps
+  /// (Floyd/Jacobson's m = idle/s correction): an arrival to an empty
+  /// queue decays avg as if m empty-queue samples had been filtered in.
+  /// 0 disables aging; frames with arrival_ns = 0 are likewise inert.
+  std::uint64_t idle_packet_time_ns = 12'000;
 };
 
 class RedQueue {
@@ -47,6 +52,7 @@ class RedQueue {
   RedConfig cfg_;
   std::deque<Frame> q_;
   double avg_ = 0.0;
+  std::uint64_t last_arrival_ns_ = 0;  ///< idle-gap reference point
   int since_last_drop_ = 0;  ///< the "count" of the classic algorithm
   Rng rng_;
   std::uint64_t early_drops_ = 0;

@@ -88,11 +88,16 @@ class SpscRing {
   }
 
   /// Approximate size — exact when called from either endpoint's thread
-  /// between its own operations.
+  /// between its own operations.  The read index is loaded FIRST: r <= w
+  /// holds at every instant and w only grows, so this order can never
+  /// observe r ahead of w.  The reverse order let an observer racing both
+  /// endpoints pair a stale w with a fresh r and report a near-full ring
+  /// (the (w - r) & mask_ underflow) for an almost-empty one.
   [[nodiscard]] std::size_t size() const {
-    const std::size_t w = write_.load(std::memory_order_acquire);
     const std::size_t r = read_.load(std::memory_order_acquire);
-    return (w - r) & mask_;
+    const std::size_t w = write_.load(std::memory_order_acquire);
+    const std::size_t n = (w - r) & mask_;
+    return n <= capacity() ? n : capacity();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const { return buf_.size() - 1; }

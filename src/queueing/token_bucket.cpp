@@ -1,6 +1,5 @@
 #include "queueing/token_bucket.hpp"
 
-#include <cassert>
 #include <cmath>
 
 namespace ss::queueing {
@@ -30,6 +29,19 @@ bool TokenBucket::try_consume(std::uint32_t bytes, std::uint64_t now_ns) {
   if (tokens_ + 1e-9 < static_cast<double>(bytes)) return false;
   tokens_ -= static_cast<double>(bytes);
   return true;
+}
+
+double TokenBucket::consume_saturating(std::uint32_t bytes,
+                                       std::uint64_t now_ns) {
+  refill(now_ns);
+  const double need = static_cast<double>(bytes);
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    return 0.0;
+  }
+  const double shortfall = need - tokens_;
+  tokens_ = 0.0;
+  return shortfall;
 }
 
 std::uint64_t TokenBucket::conformance_time_ns(std::uint32_t bytes,
@@ -67,9 +79,16 @@ bool PolicedProducer::produce(Frame f) {
     ++shaped_;
     shaped_delay_ns_ += conform - f.arrival_ns;
   }
-  const bool ok = bucket_.try_consume(f.bytes, conform);
-  assert(ok);
-  (void)ok;
+  // A frame larger than the burst ceiling can NEVER conform — the refill
+  // clamps at burst — so the try_consume the old code asserted on here
+  // failed deterministically for any bytes > burst (abort under asserts;
+  // with NDEBUG, a silently skipped debit that let the stream run over
+  // its declared rate).  Saturate instead and account the discrepancy.
+  const double shortfall = bucket_.consume_saturating(f.bytes, conform);
+  if (shortfall > 0.0) {
+    ++conformance_shortfalls_;
+    shortfall_bytes_ += shortfall;
+  }
   f.arrival_ns = conform;
   last_emit_ns_ = conform;
   return qm_.produce(stream_, f);

@@ -27,6 +27,13 @@ class TokenBucket {
   /// are consumed.
   bool try_consume(std::uint32_t bytes, std::uint64_t now_ns);
 
+  /// Consume up to `bytes`, clamping at an empty bucket; returns the
+  /// shortfall in bytes (0 when fully paid).  For callers that computed
+  /// the consumption time themselves (the shaper): the time computation
+  /// and the debit round independently in floating point, so "should
+  /// conform by construction" can still come up fractionally short.
+  double consume_saturating(std::uint32_t bytes, std::uint64_t now_ns);
+
   /// Earliest time a frame of `bytes` would conform (now if it already
   /// does).  Does not consume.
   [[nodiscard]] std::uint64_t conformance_time_ns(std::uint32_t bytes,
@@ -65,6 +72,16 @@ class PolicedProducer {
   [[nodiscard]] std::uint64_t shaped_delay_ns() const {
     return shaped_delay_ns_;
   }
+  /// Shaped frames whose debit came up short at their computed
+  /// conformance time (floating-point rounding between the two paths),
+  /// and the total shortfall.  Nonzero counts are expected to be rare and
+  /// the per-frame shortfall sub-byte; anything larger indicates a real
+  /// conformance bug.
+  [[nodiscard]] std::uint64_t conformance_shortfalls() const {
+    return conformance_shortfalls_;
+  }
+  [[nodiscard]] double shortfall_bytes() const { return shortfall_bytes_; }
+  [[nodiscard]] const TokenBucket& bucket() const { return bucket_; }
 
  private:
   QueueManager& qm_;
@@ -74,6 +91,8 @@ class PolicedProducer {
   std::uint64_t drops_ = 0;
   std::uint64_t shaped_ = 0;
   std::uint64_t shaped_delay_ns_ = 0;
+  std::uint64_t conformance_shortfalls_ = 0;
+  double shortfall_bytes_ = 0.0;
   std::uint64_t last_emit_ns_ = 0;  ///< keeps shaped arrivals monotone
 };
 

@@ -1,0 +1,178 @@
+#include "robust/guarded_scheduler.hpp"
+
+namespace ss::robust {
+
+namespace {
+
+dwcs::ReferenceScheduler::Options shadow_options(const hw::ChipConfig& cc) {
+  dwcs::ReferenceScheduler::Options o;
+  o.block_mode = cc.block_mode;
+  o.min_first = cc.min_first;
+  o.edf_comparison = cc.cmp_mode == hw::ComparisonMode::kTagOnly;
+  o.batch_depth = cc.batch_depth;
+  return o;
+}
+
+}  // namespace
+
+GuardedScheduler::GuardedScheduler(hw::SchedulerChip& chip, FaultPlan* plan)
+    : GuardedScheduler(chip, plan, Options{}) {}
+
+GuardedScheduler::GuardedScheduler(hw::SchedulerChip& chip, FaultPlan* plan,
+                                   Options opt)
+    : chip_(chip),
+      plan_(plan),
+      opt_(opt),
+      shadow_(shadow_options(chip.config())),
+      sram_(opt.sram_words, Nanos{opt.sram_switch_ns}),
+      health_(opt.health) {
+  for (unsigned i = 0; i < chip_.config().slots; ++i) {
+    shadow_.add_stream({});
+  }
+  if (plan_) {
+    chip_.attach_faults(plan_);
+    sram_.attach_faults(plan_);
+  }
+}
+
+void GuardedScheduler::attach_metrics(telemetry::RobustMetrics* m) {
+  metrics_ = m;
+  health_.attach_metrics(m);
+  if (plan_) plan_->attach_metrics(m);
+}
+
+void GuardedScheduler::load_slot(hw::SlotId slot,
+                                 const hw::SlotConfig& hw_cfg,
+                                 const dwcs::StreamSpec& sw_spec) {
+  if (!failed_over_) chip_.load_slot(slot, hw_cfg);
+  shadow_.reload_stream(slot, sw_spec);
+}
+
+void GuardedScheduler::push_request(hw::SlotId slot, std::uint64_t arrival) {
+  if (!failed_over_) chip_.push_request(slot, hw::Arrival{arrival});
+  shadow_.push_request(slot, arrival);
+}
+
+void GuardedScheduler::push_tagged_request(hw::SlotId slot, std::uint64_t tag,
+                                           std::uint64_t arrival) {
+  if (!failed_over_) {
+    chip_.push_tagged_request(slot, hw::Deadline{tag}, hw::Arrival{arrival});
+  }
+  shadow_.push_tagged_request(slot, tag, arrival);
+}
+
+void GuardedScheduler::force_failover() {
+  if (failed_over_) return;
+  failed_over_ = true;
+  ++stats_.failovers;
+  health_.on_failover();
+  SS_TELEM(if (metrics_) metrics_->failovers->add(1));
+}
+
+hw::DecisionOutcome GuardedScheduler::shadow_decide() {
+  const dwcs::SwDecision sd = shadow_.run_decision_cycle();
+  hw::DecisionOutcome out;
+  out.idle = sd.idle;
+  if (sd.circulated) {
+    out.circulated = static_cast<hw::SlotId>(*sd.circulated);
+  }
+  out.grants.reserve(sd.grants.size());
+  for (const auto& g : sd.grants) {
+    out.grants.push_back({static_cast<hw::SlotId>(g.stream), g.emit_vtime,
+                          g.met_deadline});
+  }
+  if (chip_.config().block_mode) {
+    out.block.reserve(sd.grants.size());
+    for (const auto& g : sd.grants) {
+      out.block.push_back(static_cast<hw::SlotId>(g.stream));
+    }
+  }
+  out.drops.reserve(sd.drops.size());
+  for (const auto d : sd.drops) {
+    out.drops.push_back(static_cast<hw::SlotId>(d));
+  }
+  out.hw_cycles = 0;  // software path: no FPGA cycles burned
+  return out;
+}
+
+hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
+  if (failed_over_) return shadow_decide();
+
+  // 1. Hand the SRAM bank to the FPGA so it can read this cycle's
+  //    arrival records.
+  if (opt_.model_transport) {
+    const RetryResult hand =
+        with_retry(opt_.recovery, stats_, &health_, metrics_,
+                   [&] { return sram_.try_acquire(hw::BankOwner::kFpga); });
+    overhead_ += hand.elapsed;
+    if (!hand.ok) {
+      force_failover();
+      return shadow_decide();
+    }
+  }
+
+  // 2. The decision cycle itself.  A stalled attempt mutates no chip
+  //    state, so retrying is safe; exhaustion here means the shadow can
+  //    serve this very cycle (it has not stepped yet).
+  hw::DecisionOutcome out;
+  const RetryResult dec =
+      with_retry(opt_.recovery, stats_, &health_, metrics_, [&] {
+        return hw::FallibleNanos{chip_.try_run_decision_cycle(out), Nanos{0}};
+      });
+  overhead_ += dec.elapsed;
+  if (!dec.ok) {
+    force_failover();
+    return shadow_decide();
+  }
+
+  // 3. Lockstep mirror: the shadow executes the same cycle so a later
+  //    failover hands over without losing a single queued request.
+  (void)shadow_.run_decision_cycle();
+
+  // 4. Host takes the bank back and parity-reads the grant words.  The
+  //    decision already happened on both paths, so exhaustion here only
+  //    affects *future* cycles: return the chip's outcome, fail over for
+  //    the next one.
+  if (opt_.model_transport) {
+    const RetryResult back =
+        with_retry(opt_.recovery, stats_, &health_, metrics_,
+                   [&] { return sram_.try_acquire(hw::BankOwner::kHost); });
+    overhead_ += back.elapsed;
+    if (!back.ok) {
+      force_failover();
+      return out;
+    }
+    for (std::size_t g = 0; g < out.grants.size(); ++g) {
+      const RetryResult rd =
+          with_retry(opt_.recovery, stats_, &health_, metrics_, [&] {
+            const hw::SramBank::CheckedRead cr = sram_.read_checked(
+                hw::BankOwner::kHost, g % sram_.size_words());
+            return hw::FallibleNanos{cr.ok, Nanos{0}};
+          });
+      overhead_ += rd.elapsed;
+      if (!rd.ok) {
+        force_failover();
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t GuardedScheduler::vtime() const {
+  return failed_over_ ? shadow_.vtime() : chip_.vtime();
+}
+
+dwcs::StreamCounters GuardedScheduler::counters(std::uint32_t slot) const {
+  if (failed_over_) return shadow_.stream(slot).counters;
+  const auto& c = chip_.slot(static_cast<hw::SlotId>(slot)).counters();
+  return {c.missed_deadlines, c.violations, c.serviced, c.late_transmissions,
+          c.winner_cycles};
+}
+
+std::uint32_t GuardedScheduler::backlog(std::uint32_t slot) const {
+  return failed_over_ ? shadow_.stream(slot).backlog
+                      : chip_.slot(static_cast<hw::SlotId>(slot)).backlog();
+}
+
+}  // namespace ss::robust

@@ -158,4 +158,33 @@ struct EndsystemMetrics {
   }
 };
 
+/// robust::FaultPlan / robust::GuardedScheduler — injected faults by site,
+/// recovery activity (retries, backoff time, exhaustions) and the health
+/// FSM state (0 = HEALTHY, 1 = DEGRADED, 2 = FAILED_OVER).
+struct RobustMetrics {
+  Counter* pci_faults = nullptr;      ///< robust.faults.pci
+  Counter* sram_faults = nullptr;     ///< robust.faults.sram
+  Counter* chip_faults = nullptr;     ///< robust.faults.chip
+  Counter* retries = nullptr;         ///< robust.retries
+  Counter* recoveries = nullptr;      ///< robust.recoveries
+  Counter* retry_exhausted = nullptr; ///< robust.retry_exhausted
+  Counter* failovers = nullptr;       ///< robust.failovers
+  Counter* backoff_ns = nullptr;      ///< robust.backoff_ns
+  Gauge* health = nullptr;            ///< robust.health
+
+  static RobustMetrics create(MetricsRegistry& reg) {
+    RobustMetrics m;
+    m.pci_faults = &reg.counter("robust.faults.pci");
+    m.sram_faults = &reg.counter("robust.faults.sram");
+    m.chip_faults = &reg.counter("robust.faults.chip");
+    m.retries = &reg.counter("robust.retries");
+    m.recoveries = &reg.counter("robust.recoveries");
+    m.retry_exhausted = &reg.counter("robust.retry_exhausted");
+    m.failovers = &reg.counter("robust.failovers");
+    m.backoff_ns = &reg.counter("robust.backoff_ns");
+    m.health = &reg.gauge("robust.health");
+    return m;
+  }
+};
+
 }  // namespace ss::telemetry

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hwpq/factory.hpp"
+#include "robust/guarded_scheduler.hpp"
 #include "util/hash.hpp"
 
 namespace ss::testing {
@@ -76,6 +77,21 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   }
   hw::SchedulerChip chip(hc);
 
+  // Fault plane: the chip is wrapped in a GuardedScheduler that retries
+  // injected faults and fails over to its own software shadow on
+  // exhaustion.  The oracle below never faults, so the diff checks the
+  // recovery contract end to end: the guarded grant stream must stay
+  // oracle-equivalent across every fault and across the failover seam.
+  std::unique_ptr<robust::FaultPlan> fault_plan;
+  std::unique_ptr<robust::GuardedScheduler> guard;
+  if (sc.faults.enabled()) {
+    fault_plan = std::make_unique<robust::FaultPlan>(sc.faults);
+    robust::GuardedScheduler::Options go;
+    go.model_transport = true;  // exercise the SRAM fault sites too
+    guard = std::make_unique<robust::GuardedScheduler>(chip, fault_plan.get(),
+                                                       go);
+  }
+
   // Diagnosis context: the waveform window divergence reports render, and
   // (when the driver passed a registry) the chip's metric stream.
   hw::Tracer tracer(opt_.trace_depth == 0 ? 1 : opt_.trace_depth);
@@ -84,6 +100,11 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   if (opt_.metrics) {
     chip_metrics = telemetry::ChipMetrics::create(*opt_.metrics);
     chip.attach_metrics(&chip_metrics);
+  }
+  telemetry::RobustMetrics robust_metrics;
+  if (opt_.metrics && guard) {
+    robust_metrics = telemetry::RobustMetrics::create(*opt_.metrics);
+    guard->attach_metrics(&robust_metrics);
   }
 
   dwcs::ReferenceScheduler::Options so;
@@ -96,10 +117,21 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
 
   const unsigned n = sc.fabric.slots;
   for (unsigned i = 0; i < n; ++i) {
-    chip.load_slot(static_cast<hw::SlotId>(i),
-                   to_slot_config(sc.fabric.discipline, sc.streams[i]));
-    oracle.add_stream(to_stream_spec(sc.fabric.discipline, sc.streams[i]));
+    const hw::SlotConfig slot_cfg =
+        to_slot_config(sc.fabric.discipline, sc.streams[i]);
+    const dwcs::StreamSpec spec =
+        to_stream_spec(sc.fabric.discipline, sc.streams[i]);
+    if (guard) {
+      guard->load_slot(static_cast<hw::SlotId>(i), slot_cfg, spec);
+    } else {
+      chip.load_slot(static_cast<hw::SlotId>(i), slot_cfg);
+    }
+    oracle.add_stream(spec);
   }
+
+  const auto fabric_vtime = [&] {
+    return guard ? guard->vtime() : chip.vtime();
+  };
 
   // The four related-work PQ structures join the diff in fair-tag WR
   // scenarios, where the fabric's grant order is a pure pop-min sequence.
@@ -149,7 +181,7 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
       case EventKind::kArrival:
       case EventKind::kTaggedArrival: {
         const std::uint32_t s = e.stream;
-        const std::uint64_t arr = chip.vtime();
+        const std::uint64_t arr = fabric_vtime();
         if (sc.fabric.discipline == Discipline::kFairTag) {
           // Service tags must advance monotonically per stream; a plain
           // arrival in a fair-tag scenario degrades to increment 1 so any
@@ -166,14 +198,22 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
             tag_clock[s] += inc;
             tag = tag_clock[s];
           }
-          chip.push_tagged_request(static_cast<hw::SlotId>(s),
-                                   hw::Deadline{tag}, hw::Arrival{arr});
+          if (guard) {
+            guard->push_tagged_request(static_cast<hw::SlotId>(s), tag, arr);
+          } else {
+            chip.push_tagged_request(static_cast<hw::SlotId>(s),
+                                     hw::Deadline{tag}, hw::Arrival{arr});
+          }
           oracle.push_tagged_request(s, tag, arr);
           for (auto& pq : pqs) {
             pq->push({pq_key(tag, s), s});
           }
         } else {
-          chip.push_request(static_cast<hw::SlotId>(s), hw::Arrival{arr});
+          if (guard) {
+            guard->push_request(static_cast<hw::SlotId>(s), arr);
+          } else {
+            chip.push_request(static_cast<hw::SlotId>(s), hw::Arrival{arr});
+          }
           oracle.push_request(s, arr);
         }
         ++res.arrivals;
@@ -181,8 +221,14 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
       }
 
       case EventKind::kReconfig: {
-        chip.load_slot(static_cast<hw::SlotId>(e.stream),
-                       to_slot_config(sc.fabric.discipline, e.setup));
+        if (guard) {
+          guard->load_slot(static_cast<hw::SlotId>(e.stream),
+                           to_slot_config(sc.fabric.discipline, e.setup),
+                           to_stream_spec(sc.fabric.discipline, e.setup));
+        } else {
+          chip.load_slot(static_cast<hw::SlotId>(e.stream),
+                         to_slot_config(sc.fabric.discipline, e.setup));
+        }
         oracle.reload_stream(
             e.stream, to_stream_spec(sc.fabric.discipline, e.setup));
         // The PQs have no "discard this stream's entries" operation (the
@@ -193,17 +239,31 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
       }
 
       case EventKind::kDecide: {
-        const hw::DecisionOutcome h = chip.run_decision_cycle();
+        const hw::DecisionOutcome h =
+            guard ? guard->run_decision_cycle() : chip.run_decision_cycle();
         dwcs::SwDecision s = oracle.run_decision_cycle();
         ++res.decisions;
         res.grants += h.grants.size();
         res.drops += h.drops.size();
 
-        // Injected oracle corruption (shrinker/replay self-validation).
+        // The inject_fault_at_grant knob, two eras: with the fault plane
+        // disabled it corrupts the oracle's K-th grant (shrinker/replay
+        // self-validation, the PR-1 contract); with the plane enabled it
+        // forces failover at the K-th grant — the schedule must NOT change,
+        // which the remaining diffs verify.
         if (sc.inject_fault_at_grant != 0) {
-          for (dwcs::SwGrant& g : s.grants) {
-            if (++grant_ordinal == sc.inject_fault_at_grant) {
-              g.met_deadline = !g.met_deadline;
+          if (sc.faults.enabled()) {
+            for (const dwcs::SwGrant& g : s.grants) {
+              (void)g;
+              if (++grant_ordinal == sc.inject_fault_at_grant && guard) {
+                guard->force_failover();
+              }
+            }
+          } else {
+            for (dwcs::SwGrant& g : s.grants) {
+              if (++grant_ordinal == sc.inject_fault_at_grant) {
+                g.met_deadline = !g.met_deadline;
+              }
             }
           }
         }
@@ -272,8 +332,8 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
           hash.mix_byte(kTagDrop);
           hash.mix(d);
         }
-        if (chip.vtime() != oracle.vtime()) {
-          diverge(ei, "vtime: chip=" + std::to_string(chip.vtime()) +
+        if (fabric_vtime() != oracle.vtime()) {
+          diverge(ei, "vtime: chip=" + std::to_string(fabric_vtime()) +
                           " oracle=" + std::to_string(oracle.vtime()));
           break;
         }
@@ -326,31 +386,35 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   // --- end-of-run state comparison ---------------------------------------
   if (!res.diverged) {
     for (unsigned i = 0; i < n; ++i) {
-      const hw::SlotCounters& hcnt =
+      const hw::SlotCounters& raw =
           chip.slot(static_cast<hw::SlotId>(i)).counters();
+      const dwcs::StreamCounters hmap =
+          guard ? guard->counters(i)
+                : dwcs::StreamCounters{raw.missed_deadlines, raw.violations,
+                                       raw.serviced, raw.late_transmissions,
+                                       raw.winner_cycles};
+      const std::uint32_t hbacklog =
+          guard ? guard->backlog(i)
+                : chip.slot(static_cast<hw::SlotId>(i)).backlog();
       const dwcs::StreamCounters& scnt = oracle.stream(i).counters;
-      const dwcs::StreamCounters hmap{hcnt.missed_deadlines, hcnt.violations,
-                                      hcnt.serviced, hcnt.late_transmissions,
-                                      hcnt.winner_cycles};
       if (!(hmap == scnt)) {
         diverge(sc.events.size(),
                 "final counters differ for stream " + std::to_string(i));
         break;
       }
-      if (chip.slot(static_cast<hw::SlotId>(i)).backlog() !=
-          oracle.stream(i).backlog) {
+      if (hbacklog != oracle.stream(i).backlog) {
         diverge(sc.events.size(),
                 "final backlog differs for stream " + std::to_string(i));
         break;
       }
       hash.mix_byte(kTagCounters);
       hash.mix(i);
-      hash.mix(hcnt.missed_deadlines);
-      hash.mix(hcnt.violations);
-      hash.mix(hcnt.serviced);
-      hash.mix(hcnt.late_transmissions);
-      hash.mix(hcnt.winner_cycles);
-      hash.mix(chip.slot(static_cast<hw::SlotId>(i)).backlog());
+      hash.mix(hmap.missed_deadlines);
+      hash.mix(hmap.violations);
+      hash.mix(hmap.serviced);
+      hash.mix(hmap.late_transmissions);
+      hash.mix(hmap.winner_cycles);
+      hash.mix(hbacklog);
     }
   }
 
@@ -411,6 +475,11 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
 
   res.hwpq_checked = hwpq_active && !pqs.empty();
   res.digest = hash.digest();
+  if (guard) {
+    res.faults_injected = fault_plan->total_injected();
+    res.robust = guard->stats();
+    res.failed_over = guard->failed_over();
+  }
   if (res.diverged) {
     res.chip_trace_tail = tracer.render_all();
     if (opt_.metrics) res.metrics_json = opt_.metrics->to_json();

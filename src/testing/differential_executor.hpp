@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 
+#include "robust/recovery.hpp"
 #include "telemetry/metrics.hpp"
 #include "testing/scenario.hpp"
 
@@ -48,6 +49,13 @@ struct RunResult {
   std::uint64_t drops = 0;      ///< late heads dropped by the chip
   std::uint64_t arrivals = 0;   ///< requests fed to both implementations
   bool hwpq_checked = false;    ///< hwpq variants participated in the diff
+
+  // Fault-plane outcome (all zero/false when the scenario's fault plane is
+  // disabled).  Faults must not change the schedule: a faulted run's
+  // digest equals the fault-free digest of the same scenario.
+  std::uint64_t faults_injected = 0;  ///< transactions failed by the plan
+  robust::RecoveryStats robust{};     ///< retries/recoveries/exhaustions
+  bool failed_over = false;           ///< run finished on the software path
 
   /// FNV-1a fingerprint of the chip's decision stream and final counters
   /// (up to the divergence point, when one occurs).

@@ -21,6 +21,7 @@
 #include "dwcs/reference_scheduler.hpp"
 #include "hw/register_block.hpp"
 #include "hw/scheduler_chip.hpp"
+#include "robust/fault_plan.hpp"
 
 namespace ss::testing {
 
@@ -98,12 +99,22 @@ struct Scenario {
   /// and ties exercise the FCFS path in the chip-vs-oracle diff instead.
   bool global_tags = false;
 
-  /// Fault injection for validating the shrink/replay pipeline: when
-  /// non-zero, the executor deliberately corrupts the oracle's view of the
-  /// K-th granted frame (1-based), manufacturing a divergence at a known
-  /// point.  Serialized with the scenario so a minimized reproducer still
+  /// Fault injection for validating the shrink/replay pipeline.  With the
+  /// fault plane disabled (faults.seed == 0), a non-zero value makes the
+  /// executor deliberately corrupt the oracle's view of the K-th granted
+  /// frame (1-based), manufacturing a divergence at a known point.  With
+  /// the fault plane enabled it instead forces failover to the software
+  /// path at the K-th grant — the recovery-era reading of the same knob.
+  /// Serialized with the scenario so a minimized reproducer still
   /// reproduces.
   std::uint64_t inject_fault_at_grant = 0;
+
+  /// Hardware fault plane for this run (seed == 0 = disabled).  The
+  /// contract under faults: the guarded chip either recovers within the
+  /// retry bound or fails over, and the grant sequence stays
+  /// oracle-equivalent either way — so the differential digest of a
+  /// faulted run equals the fault-free digest.
+  robust::FaultProfile faults{};
 
   friend bool operator==(const Scenario&, const Scenario&) = default;
 };

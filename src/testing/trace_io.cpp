@@ -88,6 +88,16 @@ std::string serialize(const Scenario& sc,
   }
   os << "global_tags " << (sc.global_tags ? 1 : 0) << '\n';
   os << "fault_at_grant " << sc.inject_fault_at_grant << '\n';
+  // Optional record so pre-fault-plane trace files parse unchanged; all
+  // fields are integers, so the round trip is exact.
+  if (sc.faults.enabled()) {
+    os << "faults " << sc.faults.seed << ' ' << sc.faults.pci_fault_per64k
+       << ' ' << sc.faults.sram_fault_per64k << ' '
+       << sc.faults.chip_fault_per64k << ' ' << sc.faults.max_burst << ' '
+       << sc.faults.pci_timeout_ns << ' ' << sc.faults.sram_stall_ns << ' '
+       << sc.faults.chip_stall_ns << ' ' << sc.faults.chip_fail_after
+       << '\n';
+  }
   os << "streams " << sc.streams.size() << '\n';
   for (const StreamSetup& s : sc.streams) {
     os << "s ";
@@ -181,6 +191,15 @@ TraceFile parse(std::istream& in) {
       sc.global_tags = v != 0;
     } else if (tag == "fault_at_grant") {
       if (!(is >> sc.inject_fault_at_grant)) fail(ln, "malformed fault line");
+    } else if (tag == "faults") {
+      robust::FaultProfile& f = sc.faults;
+      if (!(is >> f.seed >> f.pci_fault_per64k >> f.sram_fault_per64k >>
+            f.chip_fault_per64k >> f.max_burst >> f.pci_timeout_ns >>
+            f.sram_stall_ns >> f.chip_stall_ns >> f.chip_fail_after)) {
+        fail(ln, "malformed faults line");
+      }
+      if (f.seed == 0) fail(ln, "faults record requires a non-zero seed");
+      if (f.max_burst == 0) fail(ln, "faults max_burst must be positive");
     } else if (tag == "streams") {
       if (!(is >> declared_streams)) fail(ln, "malformed streams line");
     } else if (tag == "s") {

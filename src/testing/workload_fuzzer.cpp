@@ -94,6 +94,28 @@ Scenario WorkloadFuzzer::next() {
     if (!any) sc.aggregation.clear();
   }
 
+  // --- fault plane ----------------------------------------------------------
+  // Strictly gated so the default configuration draws nothing extra (the
+  // golden-seed invariant explore_batch documents).  Generated profiles
+  // keep max_burst within the default retry bound, so every episode is
+  // recoverable unless the chip is drawn to die outright.
+  if (opt_.fault_probability > 0) {
+    if (rng_.chance(opt_.fault_probability)) {
+      robust::FaultProfile& f = sc.faults;
+      f.seed = opt_.fault_seed ^ (count_ * 0x9e3779b97f4a7c15ull);
+      if (f.seed == 0) f.seed = 1;  // 0 means "disabled"
+      f.pci_fault_per64k = static_cast<std::uint32_t>(rng_.below(2048));
+      f.sram_fault_per64k = static_cast<std::uint32_t>(rng_.below(2048));
+      f.chip_fault_per64k = static_cast<std::uint32_t>(rng_.below(2048));
+      f.max_burst = static_cast<std::uint32_t>(1 + rng_.below(4));
+      if (rng_.chance(0.3)) {
+        // Occasionally the chip dies partway through, exercising the
+        // failover seam instead of the retry loop.
+        f.chip_fail_after = 1 + rng_.below(256);
+      }
+    }
+  }
+
   // --- event stream ---------------------------------------------------------
   // The fabric's reconfig path clears queue state, which invalidates the
   // hwpq mirror; keep fair-tag scenarios reconfig-free so they exercise

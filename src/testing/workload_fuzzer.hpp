@@ -47,6 +47,15 @@ class WorkloadFuzzer {
     /// one and invalidate the pinned golden seeds.  The fuzz_ss CLI and
     /// the batch property campaign turn it on explicitly.
     bool explore_batch = false;
+    /// Probability that a scenario carries a hardware fault plane
+    /// (Scenario::faults).  Off by default for the same golden-seed
+    /// reason as explore_batch: the extra draws would shift every later
+    /// scenario.  The fault campaign turns it on explicitly.
+    double fault_probability = 0.0;
+    /// Base seed mixed into each generated FaultProfile so fault streams
+    /// are decoupled from workload shape (only read when
+    /// fault_probability > 0).
+    std::uint64_t fault_seed = 0x5eedfa17u;
   };
 
   explicit WorkloadFuzzer(const Options& opt);

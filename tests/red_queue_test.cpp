@@ -96,6 +96,68 @@ TEST(RedQueue, AverageTracksEwma) {
   EXPECT_NEAR(q.avg_depth(), 1.25, 1e-12);
 }
 
+// Regression: the EWMA must age across idle gaps (Floyd/Jacobson's m =
+// idle/s correction).  Before the fix the average carried the last
+// congestion epoch's value across arbitrarily long idle periods, so the
+// head of the next burst was early-dropped by traffic that drained long
+// ago.
+TEST(RedQueue, IdleGapAgesTheAverageDown) {
+  RedConfig cfg;
+  cfg.min_threshold = 30;  // fill below the ramp: no drops muddy the test
+  cfg.max_threshold = 60;
+  cfg.capacity = 64;
+  cfg.ewma_weight = 0.02;
+  cfg.idle_packet_time_ns = 12'000;
+  RedQueue q(cfg);
+  Frame f;
+  f.arrival_ns = 1000;
+  for (int i = 0; i < 48; ++i) ASSERT_TRUE(q.enqueue(f));  // congest
+  ASSERT_GT(q.avg_depth(), 10.0);
+  Frame out;
+  while (q.dequeue(out)) {
+  }
+  // 10 ms idle ≈ 833 packet-times: (1 - w)^833 ~ 5e-8 — the old burst's
+  // average must be gone when the next one arrives.
+  f.arrival_ns = 1000 + 10'000'000;
+  ASSERT_TRUE(q.enqueue(f));
+  EXPECT_LT(q.avg_depth(), 1.0);
+  EXPECT_EQ(q.early_drops(), 0u);
+}
+
+// Regression: frames accepted while the average sits below min_threshold
+// must not advance the early-drop count.  Before the fix a long
+// uncongested stretch inflated `count`, driving the p_b/(1 - count*p_b)
+// correction to a certain drop the moment the average crossed the
+// threshold — the queue punished the first packet of every congestion
+// epoch deterministically instead of dropping probabilistically.
+TEST(RedQueue, UncongestedStretchDoesNotPoisonTheDropCount) {
+  RedConfig cfg;
+  cfg.min_threshold = 4;
+  cfg.max_threshold = 5;  // narrow ramp: pb reaches ~0.1 fast
+  cfg.max_p = 0.1;
+  cfg.capacity = 64;
+  cfg.ewma_weight = 0.5;  // fast filter
+  RedQueue q(cfg, /*seed=*/12345);
+  Frame out;
+  // Phase 1: 2000 accepted frames with the queue nearly empty.  avg stays
+  // far below min_threshold; pre-fix this drove count to 2000.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(q.enqueue(Frame{}));
+    ASSERT_TRUE(q.dequeue(out));
+  }
+  ASSERT_LT(q.avg_depth(), cfg.min_threshold);
+  ASSERT_EQ(q.early_drops(), 0u);
+  // Phase 2: a burst pushes the average just across the threshold (six
+  // frames with w=0.5 land the average at ~4.03, inside the ramp but
+  // before the certain-drop region).  With the count reset the ramp
+  // probability is ~0.003 and this seed accepts the whole burst; with the
+  // poisoned count the correction denominator goes negative and the first
+  // frame past the threshold drops with p = 1.
+  for (int i = 0; i < 6; ++i) q.enqueue(Frame{});
+  ASSERT_GT(q.avg_depth(), cfg.min_threshold);
+  EXPECT_EQ(q.early_drops(), 0u);
+}
+
 TEST(RedQueue, AggressivenessSetsTheEquilibriumDepth) {
   // Under a fixed 2-in-1-out overload the DROP COUNT is load-determined
   // (the queue sheds exactly the excess), but the equilibrium average

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -75,6 +76,77 @@ TEST(SpscRingStress, PeekNeverRunsAheadOfPublication) {
     ++expected;
   }
   producer.join();
+}
+
+// Regression for the size() snapshot: a third thread samples size() while
+// both endpoints run.  Loading the write index before the read index let
+// the sampler pair a stale w with a fresh r, underflow (w - r) & mask_,
+// and report a near-full ring while it was almost empty.  The invariant:
+// the counters are bumped AFTER the index stores with release order, so a
+// snapshot can never exceed (pushes observed after) + 1 - (pops observed
+// before) — the +1 covers the single push whose index store landed but
+// whose counter bump has not.
+//
+// The producer throttles itself to two frames outstanding so the ring
+// lives at the empty boundary — the regime where a pop overtaking a stale
+// write snapshot underflows.  On a single-core host the stale pairing
+// only happens when the observer is preempted between size()'s two
+// loads, so the run is time-bounded rather than item-bounded: ~5 s of
+// sampling crosses enough scheduler quanta to fire the pre-fix bug with
+// high probability while the fixed ordering stays at zero violations.
+TEST(SpscRingStress, SizeSnapshotNeverOvercountsUnderConcurrentObservation) {
+  queueing::SpscRing<std::uint64_t> ring(8);  // 7 usable slots
+  std::atomic<std::uint64_t> pushed{0}, popped{0};
+  std::atomic<bool> stop{false};
+
+  std::thread producer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (pushed.load(std::memory_order_relaxed) -
+              popped.load(std::memory_order_acquire) >= 2) {
+        continue;  // keep the ring nearly empty
+      }
+      if (ring.try_push(v)) {
+        ++v;
+        pushed.fetch_add(1, std::memory_order_release);
+      }
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t out = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (ring.try_pop(out)) popped.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  std::uint64_t samples = 0, violations = 0;
+  std::size_t bad_sz = 0;
+  std::uint64_t bad_pushes = 0, bad_pops = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::seconds(5)) {
+    for (int k = 0; k < 4096; ++k) {
+      const std::uint64_t pops_before = popped.load(std::memory_order_acquire);
+      const std::size_t sz = ring.size();
+      const std::uint64_t pushes_after = pushed.load(std::memory_order_acquire);
+      if (sz > ring.capacity() || sz > pushes_after + 1 - pops_before) {
+        if (violations == 0) {
+          bad_sz = sz;
+          bad_pushes = pushes_after;
+          bad_pops = pops_before;
+        }
+        ++violations;
+      }
+      ++samples;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(violations, 0u)
+      << "size() snapshot overcounted: " << bad_sz << " vs " << bad_pushes
+      << " pushes / " << bad_pops << " pops (" << violations << " of "
+      << samples << " samples)";
+  EXPECT_GT(samples, 1000u) << "observer barely sampled - no stress";
 }
 
 dwcs::StreamRequirement fair_share(double w) {
@@ -149,6 +221,35 @@ TEST(ThreadedStress, BatchDrainRacesMidRunReloads) {
   EXPECT_EQ(rep.frames_transmitted, rep.frames_produced);
   EXPECT_GT(rep.reloads_applied, 0u)
       << "no reload landed mid-run — the race never raced";
+  std::uint64_t sum = 0;
+  for (const auto v : rep.per_stream_tx) sum += v;
+  EXPECT_EQ(sum, rep.frames_transmitted);
+  for (const auto v : rep.per_stream_tx) EXPECT_EQ(v, 2000u);
+}
+
+// The fault plane under the two-thread load: transient decision-cycle
+// stalls recover on the scheduler thread, then the chip dies mid-run and
+// the guard fails over to the software shadow — and conservation must
+// stay exact across the seam (no queued frame is dropped or duplicated by
+// the handoff).
+TEST(ThreadedStress, MidRunFailoverConservesEveryFrame) {
+  core::ThreadedConfig cfg;
+  cfg.chip.slots = 8;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
+  cfg.ring_capacity = 8;
+  cfg.faults.seed = 99;
+  cfg.faults.chip_fault_per64k = 2000;  // ~3% transient stalls...
+  cfg.faults.max_burst = 2;
+  cfg.faults.chip_fail_after = 5000;  // ...then the chip dies outright
+  core::ThreadedEndsystem es(cfg);
+  for (unsigned i = 0; i < 8; ++i) es.add_stream(fair_share(1.0 + (i % 3)));
+
+  const auto rep = es.run(2000);
+  EXPECT_EQ(rep.frames_produced, 8u * 2000u);
+  EXPECT_EQ(rep.frames_transmitted, rep.frames_produced);
+  EXPECT_GT(rep.faults_injected, 0u);
+  EXPECT_GT(rep.robust.recoveries, 0u);
+  EXPECT_TRUE(rep.failed_over) << "chip death never reached the guard";
   std::uint64_t sum = 0;
   for (const auto v : rep.per_stream_tx) sum += v;
   EXPECT_EQ(sum, rep.frames_transmitted);

@@ -103,6 +103,59 @@ TEST(PolicedProducer, ShapedArrivalsStayMonotone) {
   EXPECT_NEAR(static_cast<double>(last), 19.9e9, 0.2e9);
 }
 
+// Regression: a frame deeper than the bucket can never conform — the
+// refill caps at the burst ceiling, so the debit at the computed
+// conformance time is guaranteed to come up short.  The shaper used to
+// `assert` that debit succeeded: an abort in debug builds, and with
+// NDEBUG a silently skipped debit that let the stream run over its
+// declared rate.  It must saturate the bucket and count the discrepancy
+// instead.
+TEST(PolicedProducer, OversizedFrameSaturatesInsteadOfAborting) {
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 10);
+  PolicedProducer pol(qm, s, TokenBucket(1000.0, 1000),
+                      PolicerAction::kDelay);
+  Frame f;
+  f.stream = s;
+  f.bytes = 1500;  // deeper than the 1000-byte bucket
+  f.arrival_ns = 0;
+  EXPECT_TRUE(pol.produce(f));
+  EXPECT_EQ(pol.conformance_shortfalls(), 1u);
+  EXPECT_NEAR(pol.shortfall_bytes(), 500.0, 1e-6);
+  // The frame was shaped out to the bucket's best effort (500 B of
+  // deficit at 1 kB/s) and the bucket drained to exactly empty.
+  const auto out = qm.consume(s);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->arrival_ns, 500'000'000u);
+  EXPECT_NEAR(pol.bucket().tokens_at(500'000'000), 0.0, 1e-9);
+}
+
+TEST(PolicedProducer, OversizedFramesKeepTheProducerAliveAndAccounted) {
+  QueueManager qm;
+  const auto s = qm.add_stream(1 << 10);
+  PolicedProducer pol(qm, s, TokenBucket(1500.0, 1000),
+                      PolicerAction::kDelay);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    Frame f;
+    f.stream = s;
+    f.bytes = 1500;
+    f.arrival_ns = 0;
+    ASSERT_TRUE(pol.produce(f)) << "frame " << i;
+  }
+  EXPECT_EQ(pol.conformance_shortfalls(), 50u);
+  EXPECT_NEAR(pol.shortfall_bytes(), 50 * 500.0, 1e-3);
+  // Arrival order survives, and each shaped stamp still spaces frames at
+  // no more than the declared rate.
+  std::uint64_t frames = 0;
+  while (const auto out = qm.consume(s)) {
+    ASSERT_GE(out->arrival_ns, last);
+    last = out->arrival_ns;
+    ++frames;
+  }
+  EXPECT_EQ(frames, 50u);
+}
+
 TEST(PolicedProducerProperty, LongRunRateNeverExceedsDeclared) {
   Rng rng(2718);
   QueueManager qm;
