@@ -50,7 +50,8 @@ struct Row {
 Row run_point(const char* mode, unsigned batch_depth, unsigned streams,
               std::uint64_t frames_per_stream,
               ss::telemetry::MetricsRegistry* metrics = nullptr,
-              ss::telemetry::FrameTrace* frame_trace = nullptr) {
+              ss::telemetry::FrameTrace* frame_trace = nullptr,
+              ss::telemetry::AuditSession* audit = nullptr) {
   using namespace ss;
   Row row{mode, batch_depth, streams};
 
@@ -68,6 +69,7 @@ Row run_point(const char* mode, unsigned batch_depth, unsigned streams,
   cfg.delay_histogram = true;
   cfg.metrics = metrics;
   cfg.frame_trace = frame_trace;
+  cfg.audit = audit;
   core::Endsystem es(cfg);
 
   for (unsigned i = 0; i < streams; ++i) {
@@ -115,8 +117,8 @@ struct OverheadRow {
 };
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
-                const OverheadRow& oh, std::uint64_t frames_per_stream,
-                bool quick) {
+                const OverheadRow& oh, const OverheadRow& ah,
+                std::uint64_t frames_per_stream, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -151,9 +153,15 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   std::fprintf(f,
                "  \"telemetry_overhead\": {\"mode\": \"block\", "
                "\"batch_depth\": %u, \"streams\": %u, \"pps_off\": %.1f, "
-               "\"pps_on\": %.1f, \"overhead_pct\": %.2f}\n",
+               "\"pps_on\": %.1f, \"overhead_pct\": %.2f},\n",
                oh.batch_depth, oh.streams, oh.pps_off, oh.pps_on,
                oh.overhead_pct);
+  std::fprintf(f,
+               "  \"audit_overhead\": {\"mode\": \"block\", "
+               "\"batch_depth\": %u, \"streams\": %u, \"pps_off\": %.1f, "
+               "\"pps_on\": %.1f, \"overhead_pct\": %.2f}\n",
+               ah.batch_depth, ah.streams, ah.pps_off, ah.pps_on,
+               ah.overhead_pct);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -249,7 +257,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out, rows, oh, frames_per_stream, quick);
+  // Audit overhead contract: the same point with a decision-audit session
+  // attached (rule provenance + flight recorder, ring capacity 256) vs
+  // detached.  The audit layer observes every comparison, so this is the
+  // upper bound a deployment pays for always-on black-box recording.
+  bench::section("audit overhead (block depth 4, 16 streams)");
+  OverheadRow ah;
+  {
+    const Row off = run_point("block", ah.batch_depth, ah.streams,
+                              frames_per_stream);
+    telemetry::AuditSession audit(ah.streams);
+    const Row on = run_point("block", ah.batch_depth, ah.streams,
+                             frames_per_stream, nullptr, nullptr, &audit);
+    ah.pps_off = off.pps_excl_pci;
+    ah.pps_on = on.pps_excl_pci;
+    ah.overhead_pct =
+        ah.pps_off > 0 ? (ah.pps_off - ah.pps_on) / ah.pps_off * 100.0 : 0.0;
+    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (comparisons=%llu "
+                "recorded=%llu)\n",
+                ah.pps_off, ah.pps_on, ah.overhead_pct,
+                static_cast<unsigned long long>(audit.audit().comparisons()),
+                static_cast<unsigned long long>(audit.recorder().recorded()));
+  }
+
+  write_json(out, rows, oh, ah, frames_per_stream, quick);
 
   // The claim the artifact backs: at >=16 streams, batched draining beats
   // winner-only (batch_depth=1) packet rates.

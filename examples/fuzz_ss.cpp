@@ -18,6 +18,9 @@
 //   fuzz_ss --seed 7 --fault-seed 42                  # every scenario runs
 //                                                       under a seeded
 //                                                       hardware fault plane
+//   fuzz_ss --seed 7 --audit-out audit.json           # black-box flight
+//                                                       recorder + rule
+//                                                       provenance dump
 //
 // Exit status: 0 = no divergence (or replay reproduced nothing), 1 = a
 // divergence was found (minimized reproducer written), 2 = usage/IO
@@ -52,6 +55,7 @@ struct Args {
   std::string replay;  // replay path; empty = fuzz mode
   std::string metrics_json;  // write the run's metrics snapshot here
   std::string trace_out;     // write chip Chrome trace-event JSON here
+  std::string audit_out;     // write the ss-audit-v1 black-box dump here
 };
 
 bool write_text_file(const std::string& path, const std::string& body) {
@@ -65,9 +69,11 @@ bool write_text_file(const std::string& path, const std::string& body) {
 }
 
 DifferentialExecutor::Options exec_options(
-    const Args& args, ss::telemetry::MetricsRegistry* reg) {
+    const Args& args, ss::telemetry::MetricsRegistry* reg,
+    ss::telemetry::AuditSession* audit) {
   DifferentialExecutor::Options opt;
   opt.metrics = reg;
+  opt.audit = audit;
   if (!args.trace_out.empty()) {
     opt.export_chrome_trace = true;
     opt.trace_depth = 4096;  // a Perfetto-sized window, not just the tail
@@ -75,13 +81,17 @@ DifferentialExecutor::Options exec_options(
   return opt;
 }
 
-void print_divergence_context(const RunResult& r) {
+void print_divergence_context(const RunResult& r, const Args& args) {
   if (!r.chip_trace_tail.empty()) {
     std::cout << "  chip trace (last decision cycles before divergence):\n"
               << r.chip_trace_tail;
   }
   if (!r.metrics_json.empty()) {
     std::cout << "  metrics: " << r.metrics_json << '\n';
+  }
+  if (!r.audit_json.empty() && !args.audit_out.empty()) {
+    std::cout << "  audit dump (cause \"divergence\") -> " << args.audit_out
+              << '\n';
   }
 }
 
@@ -111,8 +121,9 @@ int usage() {
       "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
       "               [--out FILE] [--inject-fault G] [--fault-seed S]\n"
       "               [--explore-batch] [--metrics-json FILE]\n"
-      "               [--trace-out FILE]\n"
-      "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n";
+      "               [--trace-out FILE] [--audit-out FILE]\n"
+      "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n"
+      "               [--audit-out FILE]\n";
   return 2;
 }
 
@@ -125,7 +136,12 @@ int replay_mode(const Args& args) {
     return 2;
   }
   ss::telemetry::MetricsRegistry reg;
-  const DifferentialExecutor ex(exec_options(args, &reg));
+  // The audit session is sized for the widest fabric; the executor resets
+  // the violation baselines per run (begin_run).
+  ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
+  audit.set_dump_path(args.audit_out);
+  const DifferentialExecutor ex(exec_options(
+      args, &reg, args.audit_out.empty() ? nullptr : &audit));
   const RunResult r = ex.run(tf.scenario);
   std::cout << "replay ";
   print_point(tf.scenario);
@@ -147,9 +163,10 @@ int replay_mode(const Args& args) {
   if (r.diverged) {
     std::cout << "  DIVERGENCE at event " << r.event_index << " (decision "
               << r.decision_cycle << "): " << r.detail << '\n';
-    print_divergence_context(r);
+    print_divergence_context(r, args);
     return 1;
   }
+  if (!args.audit_out.empty() && !audit.dumped()) audit.dump("on_demand");
   std::cout << "  no divergence\n";
   return stale ? 3 : 0;
 }
@@ -168,7 +185,13 @@ int fuzz_mode(const Args& args) {
   }
   WorkloadFuzzer fuzzer(fo);
   ss::telemetry::MetricsRegistry reg;
-  const DifferentialExecutor ex(exec_options(args, &reg));
+  // One audit session spans the whole campaign: the rule profile
+  // accumulates across scenarios while the flight recorder keeps the last
+  // decisions, so a late divergence still dumps a populated black box.
+  ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
+  audit.set_dump_path(args.audit_out);
+  const DifferentialExecutor ex(exec_options(
+      args, &reg, args.audit_out.empty() ? nullptr : &audit));
 
   std::ofstream trace;
   if (!args.out.empty()) {
@@ -236,7 +259,7 @@ int fuzz_mode(const Args& args) {
     if (r.diverged) {
       std::cout << "DIVERGENCE at event " << r.event_index << " (decision "
                 << r.decision_cycle << "): " << r.detail << '\n';
-      print_divergence_context(r);
+      print_divergence_context(r, args);
       std::cout << "shrinking...\n";
       const ShrinkResult s = shrink(sc, ex);
       const std::string repro = "fuzz_failure_seed" +
@@ -254,6 +277,12 @@ int fuzz_mode(const Args& args) {
   }
 
   if (!write_telemetry()) return 2;
+  if (!args.audit_out.empty()) {
+    if (!audit.dumped()) audit.dump("on_demand");
+    std::cout << "audit dump (" << audit.audit().comparisons()
+              << " comparisons, cause \"" << audit.last_cause() << "\") -> "
+              << args.audit_out << '\n';
+  }
   std::cout << "ok: " << fuzzer.scenarios_generated() << " scenarios, "
             << total_decisions << " differential decisions, " << total_grants
             << " grants, " << elapsed() << " s, no divergence\n";
@@ -305,6 +334,9 @@ int main(int argc, char** argv) {
     } else if (a == "--trace-out") {
       if (i + 1 >= argc) return usage();
       args.trace_out = argv[++i];
+    } else if (a == "--audit-out") {
+      if (i + 1 >= argc) return usage();
+      args.audit_out = argv[++i];
     } else {
       return usage();
     }

@@ -18,6 +18,15 @@
 // runs the same pipeline under a deterministic hardware fault plane: the
 // recovery policy retries with backoff, and on exhaustion the guard fails
 // over to the software scheduler without dropping a frame.
+//
+// Audit quickstart:
+//   quickstart --audit-out audit.json
+// attaches a decision-audit session: every comparator resolution is
+// attributed to its Table-2 rule, the last decisions ride in a flight-
+// recorder ring, and the run ends with a single-line `ss-audit-v1` dump
+// (docs/formats.md).  Under the fault flags a forced failover dumps the
+// black box automatically (cause "failover") — combine with --inject-fault
+// to capture the chip's final decisions at the failover point.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -36,11 +45,20 @@ namespace {
 /// Figure-3 data path.
 int run_instrumented_pipeline(const std::string& metrics_path,
                               const std::string& trace_path,
+                              std::string audit_path,
                               const ss::robust::FaultProfile& faults) {
   using namespace ss;
 
   telemetry::MetricsRegistry registry;
   telemetry::FrameTrace frame_trace;
+  // The black box rides along whenever requested — and always under the
+  // fault flags, so a forced failover leaves a dump behind even when the
+  // operator forgot to ask for one.
+  if (audit_path.empty() && faults.enabled()) {
+    audit_path = "ss_audit_dump.json";
+  }
+  telemetry::AuditSession audit(4);
+  audit.set_dump_path(audit_path);
 
   core::EndsystemConfig cfg;
   cfg.chip.slots = 4;
@@ -49,6 +67,7 @@ int run_instrumented_pipeline(const std::string& metrics_path,
   cfg.pci_batch = 32;
   cfg.metrics = &registry;
   cfg.frame_trace = &frame_trace;
+  if (!audit_path.empty()) cfg.audit = &audit;
   cfg.faults = faults;
   core::Endsystem es(cfg);
 
@@ -106,6 +125,14 @@ int run_instrumented_pipeline(const std::string& metrics_path,
                             : "hardware path survived: every fault recovered "
                               "within the retry bound");
   }
+  if (!audit_path.empty()) {
+    if (!audit.dumped()) audit.dump("on_demand");
+    std::printf("audit: %llu comparisons attributed across %llu decisions; "
+                "flight recorder dump (cause \"%s\") -> %s\n",
+                static_cast<unsigned long long>(audit.audit().comparisons()),
+                static_cast<unsigned long long>(audit.recorder().recorded()),
+                audit.last_cause().c_str(), audit_path.c_str());
+  }
   return 0;
 }
 
@@ -114,13 +141,15 @@ int run_instrumented_pipeline(const std::string& metrics_path,
 int main(int argc, char** argv) {
   using namespace ss::hw;
 
-  std::string metrics_path, trace_path;
+  std::string metrics_path, trace_path, audit_path;
   ss::robust::FaultProfile faults;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
+      audit_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       faults.seed = std::strtoull(argv[++i], nullptr, 10);
       faults.pci_fault_per64k = 700;   // ~1% per bus transaction
@@ -133,12 +162,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--metrics-json FILE] [--trace-out "
-                   "FILE] [--fault-seed S] [--inject-fault K]\n");
+                   "FILE] [--audit-out FILE] [--fault-seed S] "
+                   "[--inject-fault K]\n");
       return 2;
     }
   }
-  if (!metrics_path.empty() || !trace_path.empty() || faults.enabled()) {
-    return run_instrumented_pipeline(metrics_path, trace_path, faults);
+  if (!metrics_path.empty() || !trace_path.empty() || !audit_path.empty() ||
+      faults.enabled()) {
+    return run_instrumented_pipeline(metrics_path, trace_path, audit_path,
+                                     faults);
   }
 
   // 1. Configure the fabric: 4 stream-slots, DWCS comparators, winner-only

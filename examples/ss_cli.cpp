@@ -5,7 +5,9 @@
 //   ss_cli area  <slots>                          Virtex-I/II area & clock
 //   ss_cli trace                                  a traced 8-cycle DWCS run
 //   ss_cli run <streams> <frames> [--metrics-json F] [--trace-out F]
-//                                                 instrumented pipeline run
+//              [--audit-out F]                    instrumented pipeline run
+//   ss_cli audit <streams> <frames> [--out F] [--fault-seed S]
+//                                                 black-box / provenance dump
 //
 // Run without arguments for a demonstration of the subcommands.
 #include <cstdio>
@@ -136,7 +138,8 @@ int cmd_trace() {
 /// fair-share flows, per-layer metrics to a single-line JSON snapshot and
 /// frame-lifecycle events to a Perfetto-loadable Chrome trace.
 int cmd_run(unsigned streams, std::uint64_t frames,
-            const std::string& metrics_path, const std::string& trace_path) {
+            const std::string& metrics_path, const std::string& trace_path,
+            const std::string& audit_path) {
   using namespace ss;
   if (streams < 2 || streams > 32 || (streams & (streams - 1)) != 0) {
     std::fprintf(stderr, "run: streams must be a power of two in 2..32\n");
@@ -145,6 +148,8 @@ int cmd_run(unsigned streams, std::uint64_t frames,
 
   telemetry::MetricsRegistry registry;
   telemetry::FrameTrace frame_trace;
+  telemetry::AuditSession audit(streams);
+  audit.set_dump_path(audit_path);
   core::EndsystemConfig cfg;
   cfg.chip.slots = streams;
   cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
@@ -152,6 +157,7 @@ int cmd_run(unsigned streams, std::uint64_t frames,
   cfg.delay_histogram = true;  // streaming percentiles, O(1) memory
   cfg.metrics = &registry;
   cfg.frame_trace = &frame_trace;
+  if (!audit_path.empty()) cfg.audit = &audit;
   core::Endsystem es(cfg);
 
   const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
@@ -196,6 +202,67 @@ int cmd_run(unsigned streams, std::uint64_t frames,
                 static_cast<unsigned long long>(frame_trace.recorded()),
                 trace_path.c_str());
   }
+  if (!audit_path.empty()) {
+    if (!audit.dumped()) audit.dump("on_demand");
+    std::printf("audit dump (%llu comparisons, ring of %zu) -> %s\n",
+                static_cast<unsigned long long>(audit.audit().comparisons()),
+                audit.recorder().size(), audit_path.c_str());
+  }
+  return 0;
+}
+
+/// `audit`: the black box on demand — run the pipeline with a decision-
+/// audit session attached (optionally under a seeded fault plane) and emit
+/// the single-line ss-audit-v1 document to stdout or a file.
+int cmd_audit(unsigned streams, std::uint64_t frames,
+              const std::string& out_path, std::uint64_t fault_seed) {
+  using namespace ss;
+  if (streams < 2 || streams > 32 || (streams & (streams - 1)) != 0) {
+    std::fprintf(stderr, "audit: streams must be a power of two in 2..32\n");
+    return 1;
+  }
+  telemetry::AuditSession audit(streams);
+  audit.set_dump_path(out_path);
+  core::EndsystemConfig cfg;
+  cfg.chip.slots = streams;
+  cfg.chip.cmp_mode = hw::ComparisonMode::kDwcsFull;
+  cfg.keep_series = false;
+  cfg.audit = &audit;
+  if (fault_seed != 0) {
+    cfg.faults.seed = fault_seed;
+    cfg.faults.pci_fault_per64k = 700;
+    cfg.faults.sram_fault_per64k = 700;
+    cfg.faults.chip_fault_per64k = 700;
+  }
+  core::Endsystem es(cfg);
+  const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
+  for (unsigned i = 0; i < streams; ++i) {
+    dwcs::StreamRequirement r;
+    r.kind = dwcs::RequirementKind::kWindowConstrained;
+    r.period = streams;
+    r.loss_num = 1;
+    r.loss_den = 4;
+    r.initial_deadline = i + 1;
+    es.add_stream(r,
+                  std::make_unique<queueing::CbrGen>(static_cast<std::uint64_t>(
+                      ptime_ns * static_cast<double>(streams))),
+                  1500);
+  }
+  const auto rep = es.run(frames);
+  std::printf("audit: %u streams x %llu frames, %llu decisions, "
+              "%llu comparisons, %llu faults%s\n",
+              streams, static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(rep.decision_cycles),
+              static_cast<unsigned long long>(audit.audit().comparisons()),
+              static_cast<unsigned long long>(audit.faults_total()),
+              rep.failed_over ? " (FAILED OVER)" : "");
+  if (out_path.empty()) {
+    std::printf("%s\n", audit.to_json("on_demand").c_str());
+  } else {
+    if (!audit.dumped()) audit.dump("on_demand");
+    std::printf("ss-audit-v1 (cause \"%s\") -> %s\n",
+                audit.last_cause().c_str(), out_path.c_str());
+  }
   return 0;
 }
 
@@ -205,7 +272,9 @@ void usage() {
   std::puts("       ss_cli area <slots>");
   std::puts("       ss_cli trace");
   std::puts("       ss_cli run <streams> <frames> [--metrics-json FILE]");
-  std::puts("                  [--trace-out FILE]");
+  std::puts("                  [--trace-out FILE] [--audit-out FILE]");
+  std::puts("       ss_cli audit <streams> <frames> [--out FILE]");
+  std::puts("                  [--fault-seed S]");
 }
 
 }  // namespace
@@ -235,13 +304,15 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace") return cmd_trace();
   if (cmd == "run" && argc >= 4) {
-    std::string metrics_path, trace_path;
+    std::string metrics_path, trace_path, audit_path;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--metrics-json" && i + 1 < argc) {
         metrics_path = argv[++i];
       } else if (a == "--trace-out" && i + 1 < argc) {
         trace_path = argv[++i];
+      } else if (a == "--audit-out" && i + 1 < argc) {
+        audit_path = argv[++i];
       } else {
         usage();
         return 1;
@@ -249,7 +320,25 @@ int main(int argc, char** argv) {
     }
     return cmd_run(static_cast<unsigned>(std::atoi(argv[2])),
                    static_cast<std::uint64_t>(std::atoll(argv[3])),
-                   metrics_path, trace_path);
+                   metrics_path, trace_path, audit_path);
+  }
+  if (cmd == "audit" && argc >= 4) {
+    std::string out_path;
+    std::uint64_t fault_seed = 0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (a == "--fault-seed" && i + 1 < argc) {
+        fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        usage();
+        return 1;
+      }
+    }
+    return cmd_audit(static_cast<unsigned>(std::atoi(argv[2])),
+                     static_cast<std::uint64_t>(std::atoll(argv[3])),
+                     out_path, fault_seed);
   }
   usage();
   return 1;

@@ -87,6 +87,16 @@ void Endsystem::finalize_admission() {
       guard_->attach_metrics(&robust_metrics_);
     }
   }
+  SS_TELEM(if (cfg_.audit != nullptr) {
+    // The guard forwards to the chip and the fault plan; an unguarded run
+    // attaches to the chip directly.
+    if (guard_) {
+      guard_->attach_audit(cfg_.audit);
+    } else {
+      chip_->attach_audit(cfg_.audit);
+    }
+    if (cfg_.metrics != nullptr) cfg_.audit->audit().bind_registry(*cfg_.metrics);
+  });
   if (cfg_.use_streaming_unit) {
     streaming_ = std::make_unique<hw::StreamingUnit>(
         cfg_.streaming, pci_, bank_,
@@ -184,7 +194,12 @@ EndsystemReport Endsystem::run(
       while (cursor[i] < frames[i].size() &&
              frames[i][cursor[i]].arrival_ns <= now_ns) {
         const queueing::Frame& f = frames[i][cursor[i]];
-        if (!qm_.produce(i, f)) break;  // ring full: retry next cycle
+        if (!qm_.produce(i, f)) {
+          // Ring full: retry next cycle.  Note the overflow so a window
+          // violation committed this cycle is attributed to it.
+          SS_TELEM(if (cfg_.audit) cfg_.audit->audit().note_overflow(i));
+          break;
+        }
         SS_TELEM(if (em) em->arrivals_delivered->add(1);
                  if (ft) {
                    ft->arrival(i, cursor[i], f.arrival_ns);
@@ -313,6 +328,16 @@ EndsystemReport Endsystem::run(
   }
 
   monitor_->finish();
+  // Import the audit layer's burn attribution so slo_report can render
+  // per-cause violation counts and burn rates without a new dependency.
+  SS_TELEM(if (cfg_.audit != nullptr) {
+    const telemetry::DecisionAudit& da = cfg_.audit->audit();
+    for (std::uint32_t s = 0; s < streams_.size(); ++s) {
+      for (std::size_t c = 0; c < telemetry::kBurnCauses; ++c) {
+        monitor_->add_violation_cause(s, c, da.burn(s, c));
+      }
+    }
+  });
   rep.frames = transmitted;
   rep.link_ns = link_.busy_until_ns();
   rep.host_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -37,6 +37,7 @@
 #include "robust/fault_plan.hpp"
 #include "robust/guarded_scheduler.hpp"
 #include "robust/recovery.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/frame_trace.hpp"
 #include "telemetry/instruments.hpp"
 #include "telemetry/metrics.hpp"
@@ -72,6 +73,12 @@ struct EndsystemConfig {
   /// Frame-lifecycle trace sink (nullptr = off): arrival -> enqueue ->
   /// grant -> PCI -> transmit/drop events for Perfetto.
   telemetry::FrameTrace* frame_trace = nullptr;
+  /// Decision-audit session (nullptr = off): rule provenance per
+  /// comparison, the flight-recorder ring, and SLO burn attribution
+  /// (imported into the QoS monitor at end of run).  A forced failover
+  /// dumps the session automatically (cause "failover") when it carries a
+  /// dump path.
+  telemetry::AuditSession* audit = nullptr;
   /// Fault plane (seed == 0 = disabled, the default: the run is then
   /// bit-identical to a build without the fault plane).  When enabled,
   /// every PCI transfer and chip decision cycle becomes fallible and is

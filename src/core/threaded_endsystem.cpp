@@ -70,6 +70,14 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
              te_.attach_metrics(&tx_metrics_);
              em = &es_metrics_;
            });
+  SS_TELEM(if (cfg_.audit != nullptr) {
+    if (guard_) {
+      guard_->attach_audit(cfg_.audit);
+    } else {
+      chip_->attach_audit(cfg_.audit);
+    }
+    if (cfg_.metrics != nullptr) cfg_.audit->audit().bind_registry(*cfg_.metrics);
+  });
 
   ThreadedReport rep{};
   rep.per_stream_tx.assign(n, 0);
@@ -103,6 +111,9 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
           progressed = true;
         } else {
           full_stalls.fetch_add(1, std::memory_order_relaxed);
+          SS_TELEM(if (cfg_.audit != nullptr) {
+            cfg_.audit->audit().note_overflow(i);
+          });
         }
       }
       if (!progressed) std::this_thread::yield();

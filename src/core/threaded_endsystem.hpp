@@ -31,6 +31,7 @@
 #include "robust/fault_plan.hpp"
 #include "robust/guarded_scheduler.hpp"
 #include "robust/recovery.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/instruments.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -46,6 +47,10 @@ struct ThreadedConfig {
   /// a monitor thread may snapshot the registry concurrently; the counter
   /// cells are per-thread so the threads never contend on a cache line.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Decision-audit session (nullptr = off).  The scheduler thread feeds
+  /// the comparison/decision hooks; the producer thread only touches the
+  /// atomic note_overflow() path on ring-full stalls.
+  telemetry::AuditSession* audit = nullptr;
   /// Fault plane (seed == 0 = disabled).  Faults are injected and
   /// recovered entirely on the scheduler thread; the producer thread
   /// never touches the fallible hardware, so the failover is invisible to

@@ -3,28 +3,34 @@
 namespace ss::dwcs {
 namespace {
 
-bool fcfs(const StreamAttrs& a, const StreamAttrs& b) {
-  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+OrderResult fcfs(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.arrival != b.arrival) {
+    return {a.arrival < b.arrival, OrderRule::kFcfsArrival};
+  }
   // Strict (<) so precedes() is a strict weak ordering usable with
   // std::sort; hardware slots always carry distinct IDs, so this matches
   // the Decision block's deterministic tie-break.
-  return a.id < b.id;
+  return {a.id < b.id, OrderRule::kIdTieBreak};
 }
 
 }  // namespace
 
-bool precedes(const StreamAttrs& a, const StreamAttrs& b) {
-  if (a.pending != b.pending) return a.pending;
+OrderResult precedes_explain(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.pending != b.pending) return {a.pending, OrderRule::kPendingOnly};
 
   // Rule 1: earliest deadline first.
-  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.deadline != b.deadline) {
+    return {a.deadline < b.deadline, OrderRule::kDeadline};
+  }
 
   const bool a_zero = (a.loss_num == 0);
   const bool b_zero = (b.loss_num == 0);
   if (a_zero && b_zero) {
     // Rule 3: equal deadlines and zero window-constraints — highest
     // window-denominator first.
-    if (a.loss_den != b.loss_den) return a.loss_den > b.loss_den;
+    if (a.loss_den != b.loss_den) {
+      return {a.loss_den > b.loss_den, OrderRule::kZeroDenominator};
+    }
     return fcfs(a, b);
   }
   // Rule 2: lowest window-constraint (x'/y') first, by cross-product.
@@ -32,17 +38,29 @@ bool precedes(const StreamAttrs& a, const StreamAttrs& b) {
       static_cast<std::uint64_t>(a.loss_num) * b.loss_den;
   const std::uint64_t rhs =
       static_cast<std::uint64_t>(b.loss_num) * a.loss_den;
-  if (lhs != rhs) return lhs < rhs;
+  if (lhs != rhs) return {lhs < rhs, OrderRule::kWindowConstraint};
   // Rule 4: equal non-zero window-constraints — lowest numerator first.
-  if (a.loss_num != b.loss_num) return a.loss_num < b.loss_num;
+  if (a.loss_num != b.loss_num) {
+    return {a.loss_num < b.loss_num, OrderRule::kNumerator};
+  }
   // Rule 5: all other cases — FCFS.
   return fcfs(a, b);
 }
 
-bool precedes_edf(const StreamAttrs& a, const StreamAttrs& b) {
-  if (a.pending != b.pending) return a.pending;
-  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+OrderResult precedes_edf_explain(const StreamAttrs& a, const StreamAttrs& b) {
+  if (a.pending != b.pending) return {a.pending, OrderRule::kPendingOnly};
+  if (a.deadline != b.deadline) {
+    return {a.deadline < b.deadline, OrderRule::kDeadline};
+  }
   return fcfs(a, b);
+}
+
+bool precedes(const StreamAttrs& a, const StreamAttrs& b) {
+  return precedes_explain(a, b).precedes;
+}
+
+bool precedes_edf(const StreamAttrs& a, const StreamAttrs& b) {
+  return precedes_edf_explain(a, b).precedes;
 }
 
 }  // namespace ss::dwcs

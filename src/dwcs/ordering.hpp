@@ -32,4 +32,31 @@ struct StreamAttrs {
 /// ComparisonMode::kTagOnly.
 [[nodiscard]] bool precedes_edf(const StreamAttrs& a, const StreamAttrs& b);
 
+/// Which rule resolved a pairwise ordering.  Values mirror hw::Rule (and
+/// the telemetry audit rule indices) so provenance from the software
+/// oracle and the hardware Decision block can be compared directly; the
+/// hw layer static_asserts the alignment.
+enum class OrderRule : std::uint8_t {
+  kPendingOnly = 0,      ///< exactly one side was pending
+  kDeadline = 1,         ///< rule 1
+  kWindowConstraint = 2, ///< rule 2
+  kZeroDenominator = 3,  ///< rule 3
+  kNumerator = 4,        ///< rule 4
+  kFcfsArrival = 5,      ///< rule 5 (arrival)
+  kIdTieBreak = 6,       ///< rule 5 fallback (total-order tie break)
+};
+
+struct OrderResult {
+  bool precedes;   ///< same truth value as precedes()/precedes_edf()
+  OrderRule rule;  ///< the rule that decided
+};
+
+/// precedes() with the resolving rule exposed (decision provenance).
+[[nodiscard]] OrderResult precedes_explain(const StreamAttrs& a,
+                                           const StreamAttrs& b);
+
+/// precedes_edf() with the resolving rule exposed.
+[[nodiscard]] OrderResult precedes_edf_explain(const StreamAttrs& a,
+                                               const StreamAttrs& b);
+
 }  // namespace ss::dwcs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/audit.hpp"
 #include "util/bitops.hpp"
 
 namespace ss::hw {
@@ -172,7 +173,46 @@ DecisionOutcome SchedulerChip::execute_decision() {
     trace.hw_cycles = control_.sustained_cycles_per_decision();
     tracer_->record(std::move(trace));
   }
+
+  // Flight recorder: snapshot the committed decision (post-update register
+  // state, grant block, losing pending slots) into the black box.
+  SS_TELEM(if (audit_ != nullptr) {
+    telemetry::DecisionRecord rec;
+    rec.decision = control_.decision_cycles();
+    rec.vtime = vtime_ - out.grants.size();
+    rec.hw_cycles = control_.sustained_cycles_per_decision();
+    rec.fsm_phase = static_cast<std::uint8_t>(control_.state());
+    rec.circulated = out.circulated
+                         ? static_cast<std::int16_t>(*out.circulated)
+                         : std::int16_t{-1};
+    const std::size_t ng =
+        std::min<std::size_t>(out.grants.size(), telemetry::kAuditMaxStreams);
+    rec.n_grants = static_cast<std::uint8_t>(ng);
+    for (std::size_t i = 0; i < ng; ++i) rec.grants[i] = out.grants[i].slot;
+    rec.n_streams = static_cast<std::uint8_t>(slots_.size());
+    std::uint8_t losers = 0;
+    for (unsigned s = 0; s < slots_.size(); ++s) {
+      if (attrs[s].pending && !granted[s]) {
+        rec.losers[losers++] = static_cast<std::uint8_t>(s);
+      }
+      const RegisterBlock& rb = slots_[s];
+      telemetry::DecisionRecord::StreamSnap& snap = rec.streams[s];
+      snap.deadline = rb.deadline().raw();
+      snap.backlog = rb.backlog();
+      snap.violations = rb.counters().violations;
+      snap.loss_num = rb.loss_num();
+      snap.loss_den = rb.loss_den();
+      snap.pending = rb.backlog() > 0;
+    }
+    rec.n_losers = losers;
+    audit_->on_decision(rec);
+  });
   return out;
+}
+
+void SchedulerChip::attach_audit(telemetry::AuditSession* a) {
+  audit_ = a;
+  network_.attach_audit(a != nullptr ? &a->audit() : nullptr);
 }
 
 bool SchedulerChip::try_run_decision_cycle(DecisionOutcome& out) {

@@ -33,6 +33,10 @@
 #include "hw/trace.hpp"
 #include "telemetry/instruments.hpp"
 
+namespace ss::telemetry {
+class AuditSession;
+}  // namespace ss::telemetry
+
 namespace ss::hw {
 
 struct ChipConfig {
@@ -146,6 +150,13 @@ class SchedulerChip {
   /// try_run_decision_cycle consults it.
   void attach_faults(FaultInjector* f) { faults_ = f; }
 
+  /// Attach a decision-audit session (nullptr detaches).  The shuffle
+  /// network reports per-comparison rule provenance into the session's
+  /// profile and every committed (non-idle) decision cycle is pushed into
+  /// its flight-recorder ring.  Observation only: grants, drops and all
+  /// register state are unchanged.  Compiled away under -DSS_TELEMETRY=OFF.
+  void attach_audit(telemetry::AuditSession* a);
+
   /// Switching-activity proxy: compare-exchange swaps executed by the
   /// network so far (BA vs WR dynamic-power comparison).
   [[nodiscard]] std::uint64_t network_swaps() const {
@@ -170,6 +181,7 @@ class SchedulerChip {
   Tracer* tracer_ = nullptr;
   telemetry::ChipMetrics* metrics_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  telemetry::AuditSession* audit_ = nullptr;
 };
 
 }  // namespace ss::hw

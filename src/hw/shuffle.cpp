@@ -2,9 +2,22 @@
 
 #include <cassert>
 
+#include "telemetry/audit.hpp"
 #include "util/bitops.hpp"
 
 namespace ss::hw {
+
+// The audit layer names rules by plain index so telemetry need not include
+// hw headers; pin the two taxonomies together here.
+static_assert(static_cast<std::size_t>(Rule::kPendingOnly) == 0);
+static_assert(static_cast<std::size_t>(Rule::kDeadline) == 1);
+static_assert(static_cast<std::size_t>(Rule::kWindowConstraint) == 2);
+static_assert(static_cast<std::size_t>(Rule::kZeroDenominator) == 3);
+static_assert(static_cast<std::size_t>(Rule::kNumerator) == 4);
+static_assert(static_cast<std::size_t>(Rule::kFcfsArrival) == 5);
+static_assert(static_cast<std::size_t>(Rule::kIdTieBreak) == 6);
+static_assert(telemetry::kAuditRules == 7);
+static_assert(kMaxSlots <= telemetry::kAuditMaxStreams);
 
 unsigned schedule_passes(SortSchedule s, unsigned n) {
   const unsigned k = log2_ceil(n);
@@ -96,7 +109,14 @@ unsigned ShuffleNetwork::step() {
   for (const PairSpec& p : pairs) {
     const AttrWord a = lanes_[p.lo];
     const AttrWord b = lanes_[p.hi];
-    const bool a_wins = decide(a, b, mode_).a_wins;
+    const DecisionResult r = decide(a, b, mode_);
+    const bool a_wins = r.a_wins;
+    SS_TELEM(if (audit_ != nullptr && (a.pending || b.pending)) {
+      const AttrWord& win = a_wins ? a : b;
+      const AttrWord& lose = a_wins ? b : a;
+      audit_->on_comparison(win.id, lose.id,
+                            static_cast<std::uint8_t>(r.rule));
+    });
     const bool swap = p.descending ? a_wins : !a_wins;
     if (swap) {
       lanes_[p.lo] = b;

@@ -30,6 +30,10 @@
 #include "hw/decision_block.hpp"
 #include "hw/fields.hpp"
 
+namespace ss::telemetry {
+class DecisionAudit;
+}  // namespace ss::telemetry
+
 namespace ss::hw {
 
 /// Pairing schedule the Control & Steering unit programs into the muxes.
@@ -101,6 +105,11 @@ class ShuffleNetwork {
   /// Restart the pass counter for the next decision cycle.
   void reset();
 
+  /// Provenance hook: when attached, every comparison with at least one
+  /// pending operand reports (winner, loser, rule) to the audit profile.
+  /// Observation only — lane routing is unchanged.  Pass nullptr to detach.
+  void attach_audit(telemetry::DecisionAudit* audit) { audit_ = audit; }
+
  private:
   void build_schedule(SortSchedule s);
 
@@ -112,6 +121,7 @@ class ShuffleNetwork {
   std::uint64_t total_comparisons_ = 0;
   std::vector<AttrWord> lanes_;
   std::vector<std::vector<PairSpec>> schedule_pairs_;  // [pass][block]
+  telemetry::DecisionAudit* audit_ = nullptr;
 };
 
 /// Pure tournament max-finder used by the WR configuration: only winners

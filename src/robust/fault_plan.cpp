@@ -1,5 +1,7 @@
 #include "robust/fault_plan.hpp"
 
+#include "telemetry/audit.hpp"
+
 namespace ss::robust {
 
 namespace {
@@ -76,6 +78,22 @@ hw::FaultDecision FaultPlan::on_transaction(hw::FaultSite site) {
         break;
       case hw::FaultSite::kChipDecision:
         metrics_->chip_faults->add(1);
+        break;
+    }
+  });
+  SS_TELEM(if (audit_) {
+    switch (site) {
+      case hw::FaultSite::kPciWrite:
+      case hw::FaultSite::kPciRead:
+      case hw::FaultSite::kPciDma:
+        audit_->note_fault(telemetry::AuditSession::FaultSite::kPci);
+        break;
+      case hw::FaultSite::kSramAcquire:
+      case hw::FaultSite::kSramData:
+        audit_->note_fault(telemetry::AuditSession::FaultSite::kSram);
+        break;
+      case hw::FaultSite::kChipDecision:
+        audit_->note_fault(telemetry::AuditSession::FaultSite::kChip);
         break;
     }
   });

@@ -19,6 +19,10 @@
 #include "telemetry/instruments.hpp"
 #include "util/rng.hpp"
 
+namespace ss::telemetry {
+class AuditSession;
+}  // namespace ss::telemetry
+
 namespace ss::robust {
 
 /// Everything that determines the fault sequence.  seed == 0 disables the
@@ -51,6 +55,12 @@ class FaultPlan final : public hw::FaultInjector {
   /// counters (robust.faults.{pci,sram,chip}).
   void attach_metrics(telemetry::RobustMetrics* m) { metrics_ = m; }
 
+  /// Attach a decision-audit session (nullptr detaches): every injected
+  /// fault is noted at injection time so the decision it stalls is
+  /// classified as a fault-induced burn and the dump carries per-site
+  /// fault counts.
+  void attach_audit(telemetry::AuditSession* a) { audit_ = a; }
+
   [[nodiscard]] const FaultProfile& profile() const { return prof_; }
   [[nodiscard]] std::uint64_t injected(hw::FaultSite site) const {
     return injected_[static_cast<std::size_t>(site)];
@@ -68,6 +78,7 @@ class FaultPlan final : public hw::FaultInjector {
   std::array<std::uint64_t, 6> injected_{};
   std::uint64_t chip_attempts_ = 0;
   telemetry::RobustMetrics* metrics_ = nullptr;
+  telemetry::AuditSession* audit_ = nullptr;
 };
 
 }  // namespace ss::robust

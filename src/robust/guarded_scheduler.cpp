@@ -1,6 +1,26 @@
 #include "robust/guarded_scheduler.hpp"
 
+#include "telemetry/audit.hpp"
+
 namespace ss::robust {
+
+// The software oracle's OrderRule must mirror the hardware Rule values so
+// cross-layer provenance (audit rule indices) means the same thing on
+// both decision paths.
+static_assert(static_cast<int>(dwcs::OrderRule::kPendingOnly) ==
+              static_cast<int>(hw::Rule::kPendingOnly));
+static_assert(static_cast<int>(dwcs::OrderRule::kDeadline) ==
+              static_cast<int>(hw::Rule::kDeadline));
+static_assert(static_cast<int>(dwcs::OrderRule::kWindowConstraint) ==
+              static_cast<int>(hw::Rule::kWindowConstraint));
+static_assert(static_cast<int>(dwcs::OrderRule::kZeroDenominator) ==
+              static_cast<int>(hw::Rule::kZeroDenominator));
+static_assert(static_cast<int>(dwcs::OrderRule::kNumerator) ==
+              static_cast<int>(hw::Rule::kNumerator));
+static_assert(static_cast<int>(dwcs::OrderRule::kFcfsArrival) ==
+              static_cast<int>(hw::Rule::kFcfsArrival));
+static_assert(static_cast<int>(dwcs::OrderRule::kIdTieBreak) ==
+              static_cast<int>(hw::Rule::kIdTieBreak));
 
 namespace {
 
@@ -41,6 +61,12 @@ void GuardedScheduler::attach_metrics(telemetry::RobustMetrics* m) {
   if (plan_) plan_->attach_metrics(m);
 }
 
+void GuardedScheduler::attach_audit(telemetry::AuditSession* a) {
+  audit_ = a;
+  chip_.attach_audit(a);
+  if (plan_) plan_->attach_audit(a);
+}
+
 void GuardedScheduler::load_slot(hw::SlotId slot,
                                  const hw::SlotConfig& hw_cfg,
                                  const dwcs::StreamSpec& sw_spec) {
@@ -67,6 +93,14 @@ void GuardedScheduler::force_failover() {
   ++stats_.failovers;
   health_.on_failover();
   SS_TELEM(if (metrics_) metrics_->failovers->add(1));
+  // Black-box dump: the chip no longer runs after this point, so the
+  // flight recorder is frozen exactly at the state that led here.  This
+  // one hook also covers retry exhaustion — every exhaustion path calls
+  // force_failover().
+  SS_TELEM(if (audit_ != nullptr) {
+    audit_->set_health(static_cast<std::uint8_t>(health_.state()));
+    audit_->dump("failover");
+  });
 }
 
 hw::DecisionOutcome GuardedScheduler::shadow_decide() {
@@ -97,6 +131,12 @@ hw::DecisionOutcome GuardedScheduler::shadow_decide() {
 
 hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
   if (failed_over_) return shadow_decide();
+
+  // Publish the current health FSM state so the decision record committed
+  // this cycle carries it.
+  SS_TELEM(if (audit_ != nullptr) {
+    audit_->set_health(static_cast<std::uint8_t>(health_.state()));
+  });
 
   // 1. Hand the SRAM bank to the FPGA so it can read this cycle's
   //    arrival records.

@@ -92,6 +92,13 @@ class GuardedScheduler {
   /// and the fault plan.
   void attach_metrics(telemetry::RobustMetrics* m);
 
+  /// Attach a decision-audit session (nullptr detaches); forwards to the
+  /// chip (provenance + flight recorder) and the fault plan (fault
+  /// context).  force_failover() then freezes the black box: the recorder
+  /// stops at the failover point and an ss-audit-v1 dump is written
+  /// (cause "failover") if the session carries a dump path.
+  void attach_audit(telemetry::AuditSession* a);
+
  private:
   hw::DecisionOutcome shadow_decide();
 
@@ -105,6 +112,7 @@ class GuardedScheduler {
   bool failed_over_ = false;
   Nanos overhead_{0};
   telemetry::RobustMetrics* metrics_ = nullptr;
+  telemetry::AuditSession* audit_ = nullptr;
 };
 
 }  // namespace ss::robust

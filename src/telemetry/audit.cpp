@@ -1,0 +1,318 @@
+#include "telemetry/audit.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace ss::telemetry {
+
+namespace {
+
+constexpr std::memory_order kRel = std::memory_order_relaxed;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+const char* burn_cause_name(std::size_t cause) noexcept {
+  switch (cause) {
+    case 0: return "lost_tiebreak";
+    case 1: return "aggregation_starvation";
+    case 2: return "fault_stall";
+    case 3: return "queue_overflow";
+    case 4: return "unattributed";
+    default: return "unknown";
+  }
+}
+
+DecisionAudit::DecisionAudit(std::uint32_t streams)
+    : streams_(streams > kAuditMaxStreams
+                   ? static_cast<std::uint32_t>(kAuditMaxStreams)
+                   : streams) {
+  cycle_lost_rule_.fill(kNoLoss);
+}
+
+void DecisionAudit::on_comparison(std::uint32_t winner, std::uint32_t loser,
+                                  std::uint8_t rule) noexcept {
+  if (winner >= kAuditMaxStreams || loser >= kAuditMaxStreams ||
+      rule >= kAuditRules) {
+    return;
+  }
+  per_stream_[winner].wins[rule].fetch_add(1, kRel);
+  per_stream_[loser].losses[rule].fetch_add(1, kRel);
+  rule_total_[rule].fetch_add(1, kRel);
+  comparisons_.fetch_add(1, kRel);
+  ++cycle_rules_[rule];
+  cycle_lost_rule_[loser] = rule;
+  if (comparison_counter_ != nullptr) {
+    comparison_counter_->add(1);
+    rule_counters_[rule]->add(1);
+  }
+}
+
+void DecisionAudit::on_violation(std::uint32_t stream) noexcept {
+  if (stream >= kAuditMaxStreams) return;
+  PerStream& ps = per_stream_[stream];
+  ps.violations.fetch_add(1, kRel);
+
+  // Attribution precedence: a fault episode explains every violation in
+  // its decision; overflow and starvation are per-stream one-shot flags;
+  // otherwise the last rule the stream lost on this cycle is the cause.
+  BurnCause cause = BurnCause::kUnattributed;
+  if (cycle_faults_.load(kRel) > 0) {
+    cause = BurnCause::kFaultStall;
+  } else if (ps.overflow_pending.load(kRel) > 0) {
+    ps.overflow_pending.fetch_sub(1, kRel);
+    cause = BurnCause::kQueueOverflow;
+  } else if (ps.agg_starved.load(kRel) > 0) {
+    ps.agg_starved.fetch_sub(1, kRel);
+    cause = BurnCause::kAggregationStarvation;
+  } else if (cycle_lost_rule_[stream] != kNoLoss) {
+    cause = BurnCause::kLostTiebreak;
+    ps.burn_rule[cycle_lost_rule_[stream]].fetch_add(1, kRel);
+  }
+  ps.burn[static_cast<std::size_t>(cause)].fetch_add(1, kRel);
+}
+
+void DecisionAudit::end_decision() noexcept {
+  cycle_rules_.fill(0);
+  cycle_lost_rule_.fill(kNoLoss);
+  cycle_faults_.store(0, kRel);
+}
+
+void DecisionAudit::note_fault() noexcept {
+  cycle_faults_.fetch_add(1, kRel);
+}
+
+void DecisionAudit::note_overflow(std::uint32_t stream) noexcept {
+  if (stream >= kAuditMaxStreams) return;
+  per_stream_[stream].overflow_pending.fetch_add(1, kRel);
+}
+
+void DecisionAudit::note_aggregation_starved(std::uint32_t stream) noexcept {
+  if (stream >= kAuditMaxStreams) return;
+  per_stream_[stream].agg_starved.fetch_add(1, kRel);
+}
+
+void DecisionAudit::bind_registry(MetricsRegistry& reg) {
+  comparison_counter_ = &reg.counter("audit.comparisons");
+  for (std::size_t r = 0; r < kAuditRules; ++r) {
+    rule_counters_[r] =
+        &reg.counter(std::string("audit.rule.") + audit_rule_name(r));
+  }
+}
+
+std::uint64_t DecisionAudit::comparisons() const noexcept {
+  return comparisons_.load(kRel);
+}
+
+std::uint64_t DecisionAudit::rule_total(std::size_t rule) const noexcept {
+  return rule < kAuditRules ? rule_total_[rule].load(kRel) : 0;
+}
+
+std::uint64_t DecisionAudit::wins(std::uint32_t stream,
+                                  std::size_t rule) const noexcept {
+  if (stream >= kAuditMaxStreams || rule >= kAuditRules) return 0;
+  return per_stream_[stream].wins[rule].load(kRel);
+}
+
+std::uint64_t DecisionAudit::losses(std::uint32_t stream,
+                                    std::size_t rule) const noexcept {
+  if (stream >= kAuditMaxStreams || rule >= kAuditRules) return 0;
+  return per_stream_[stream].losses[rule].load(kRel);
+}
+
+std::uint64_t DecisionAudit::violations(std::uint32_t stream) const noexcept {
+  if (stream >= kAuditMaxStreams) return 0;
+  return per_stream_[stream].violations.load(kRel);
+}
+
+std::uint64_t DecisionAudit::burn(std::uint32_t stream,
+                                  std::size_t cause) const noexcept {
+  if (stream >= kAuditMaxStreams || cause >= kBurnCauses) return 0;
+  return per_stream_[stream].burn[cause].load(kRel);
+}
+
+std::uint64_t DecisionAudit::burn_rule(std::uint32_t stream,
+                                       std::size_t rule) const noexcept {
+  if (stream >= kAuditMaxStreams || rule >= kAuditRules) return 0;
+  return per_stream_[stream].burn_rule[rule].load(kRel);
+}
+
+void DecisionAudit::cycle_rules(
+    std::array<std::uint16_t, kAuditRules>& out) const noexcept {
+  out = cycle_rules_;
+}
+
+// ---------------------------------------------------------------------------
+
+AuditSession::AuditSession(std::uint32_t streams, std::size_t ring_capacity)
+    : audit_(streams), recorder_(ring_capacity) {}
+
+void AuditSession::set_dump_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::string AuditSession::dump_path() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dump_path_;
+}
+
+void AuditSession::set_health(std::uint8_t state) noexcept {
+  health_.store(state, std::memory_order_relaxed);
+}
+
+void AuditSession::note_fault(FaultSite site) noexcept {
+  faults_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  audit_.note_fault();
+}
+
+std::uint64_t AuditSession::faults_total() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& f : faults_) n += f.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t AuditSession::faults(FaultSite site) const noexcept {
+  return faults_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+void AuditSession::begin_run() noexcept {
+  prev_violations_.fill(0);
+  audit_.end_decision();
+}
+
+void AuditSession::on_decision(DecisionRecord& rec) {
+  rec.health = health_.load(std::memory_order_relaxed);
+  rec.faults = faults_total();
+  audit_.cycle_rules(rec.rules);
+  const std::uint32_t n =
+      rec.n_streams < audit_.streams() ? rec.n_streams : audit_.streams();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint64_t v = rec.streams[s].violations;
+    for (std::uint64_t k = prev_violations_[s]; k < v; ++k) {
+      audit_.on_violation(s);
+    }
+    prev_violations_[s] = v;
+  }
+  recorder_.record(rec);
+  audit_.end_decision();
+}
+
+std::string AuditSession::to_json(const std::string& cause) const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"ss-audit-v1\",\"cause\":\"";
+  out += cause;
+  out += "\",\"streams\":";
+  append_u64(out, audit_.streams());
+  out += ",\"decisions\":";
+  append_u64(out, recorder_.recorded());
+  out += ",\"comparisons\":";
+  append_u64(out, audit_.comparisons());
+
+  out += ",\"rules\":{";
+  bool first = true;
+  for (std::size_t r = 0; r < kAuditRules; ++r) {
+    const std::uint64_t v = audit_.rule_total(r);
+    if (v == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += audit_rule_name(r);
+    out += "\":";
+    append_u64(out, v);
+  }
+  out += "}";
+
+  out += ",\"health\":";
+  append_u64(out, health_.load(std::memory_order_relaxed));
+  out += ",\"faults\":{\"pci\":";
+  append_u64(out, faults(FaultSite::kPci));
+  out += ",\"sram\":";
+  append_u64(out, faults(FaultSite::kSram));
+  out += ",\"chip\":";
+  append_u64(out, faults(FaultSite::kChip));
+  out += ",\"total\":";
+  append_u64(out, faults_total());
+  out += "}";
+
+  out += ",\"stream_profiles\":[";
+  for (std::uint32_t s = 0; s < audit_.streams(); ++s) {
+    if (s) out += ",";
+    out += "{\"id\":";
+    append_u64(out, s);
+    auto rule_map = [&](const char* key, auto getter) {
+      out += ",\"";
+      out += key;
+      out += "\":{";
+      bool f = true;
+      for (std::size_t r = 0; r < kAuditRules; ++r) {
+        const std::uint64_t v = getter(r);
+        if (v == 0) continue;
+        if (!f) out += ",";
+        f = false;
+        out += "\"";
+        out += audit_rule_name(r);
+        out += "\":";
+        append_u64(out, v);
+      }
+      out += "}";
+    };
+    rule_map("wins", [&](std::size_t r) { return audit_.wins(s, r); });
+    rule_map("losses", [&](std::size_t r) { return audit_.losses(s, r); });
+    rule_map("burn_rules",
+             [&](std::size_t r) { return audit_.burn_rule(s, r); });
+    out += ",\"violations\":";
+    append_u64(out, audit_.violations(s));
+    out += ",\"burn\":{";
+    bool f = true;
+    for (std::size_t c = 0; c < kBurnCauses; ++c) {
+      const std::uint64_t v = audit_.burn(s, c);
+      if (v == 0) continue;
+      if (!f) out += ",";
+      f = false;
+      out += "\"";
+      out += burn_cause_name(c);
+      out += "\":";
+      append_u64(out, v);
+    }
+    out += "}}";
+  }
+  out += "]";
+
+  out += ",\"ring\":";
+  out += recorder_.to_json();
+  out += "}";
+  return out;
+}
+
+bool AuditSession::dump(const std::string& cause) {
+  const std::string doc = to_json(cause);
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_cause_ = cause;
+  dumped_.store(true, std::memory_order_relaxed);
+  if (dump_path_.empty()) return false;
+  std::ofstream f(dump_path_, std::ios::binary);
+  if (!f) return false;
+  f << doc << "\n";
+  return static_cast<bool>(f);
+}
+
+bool AuditSession::dumped() const noexcept {
+  return dumped_.load(std::memory_order_relaxed);
+}
+
+std::string AuditSession::last_cause() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_cause_;
+}
+
+}  // namespace ss::telemetry

@@ -1,0 +1,196 @@
+// audit.hpp — decision provenance and SLO burn attribution.
+//
+// The telemetry registry counts *what* the fabric did; this layer records
+// *why*.  Every pairwise comparison in the shuffle network resolves
+// through exactly one Table-2 rule (or the pending-only / id-tie-break
+// paths of the comparator), and the DecisionAudit aggregates those rule
+// firings into a per-stream profile: how often stream S won or lost, and
+// on which rule.  The same per-cycle loss tracking attributes each
+// window-constraint violation to a cause the moment the chip's update
+// phase commits it — a lost tiebreak (with the losing rule), aggregation
+// round-robin starvation, a fault-induced stall, or host queue overflow —
+// feeding the per-stream burn-rate counters in QosMonitor/slo_report.
+//
+// AuditSession bundles the profile with a FlightRecorder ring and the dump
+// policy: the robust layer pushes health/fault context in, the chip calls
+// on_decision() once per committed decision, and failover / retry
+// exhaustion / differential divergence trigger a single-line `ss-audit-v1`
+// dump (schema in docs/formats.md).
+//
+// Layering: this header must not include src/hw — hw depends on telemetry.
+// Rules and streams are plain indices whose alignment with hw::Rule /
+// dwcs::OrderRule is pinned by static_asserts in those layers.
+//
+// Concurrency: all profile counters are relaxed atomics, safe to read from
+// a monitor thread mid-run.  The per-cycle state (which rule each stream
+// last lost on, rule counts inside the current decision) is owned by the
+// scheduling thread: on_comparison / on_violation / end_decision must be
+// called from the thread driving the chip.  note_fault / note_overflow /
+// note_aggregation_starved are atomic and may come from any thread.
+// Everything compiles away under -DSS_TELEMETRY=OFF call sites (SS_TELEM).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ss::telemetry {
+
+/// Why a window-constraint violation burned: the attribution categories of
+/// the SLO burn report.
+enum class BurnCause : std::uint8_t {
+  kLostTiebreak = 0,           ///< lost a comparator rule this decision
+  kAggregationStarvation = 1,  ///< aggregate round-robin starved the streamlet
+  kFaultStall = 2,             ///< a fault was injected during this decision
+  kQueueOverflow = 3,          ///< host ring rejected the frame
+  kUnattributed = 4,           ///< none of the above observed this cycle
+};
+
+inline constexpr std::size_t kBurnCauses = 5;
+
+/// Stable lowercase name ("lost_tiebreak", "fault_stall", ...).
+[[nodiscard]] const char* burn_cause_name(std::size_t cause) noexcept;
+
+/// Per-stream rule-firing profile plus violation-cause attribution.
+class DecisionAudit {
+ public:
+  explicit DecisionAudit(std::uint32_t streams);
+
+  [[nodiscard]] std::uint32_t streams() const noexcept { return streams_; }
+
+  /// Hot path: one comparator resolved winner over loser via `rule`.
+  /// Called from the scheduling thread for every comparison with at least
+  /// one pending operand.
+  void on_comparison(std::uint32_t winner, std::uint32_t loser,
+                     std::uint8_t rule) noexcept;
+
+  /// A window violation committed for `stream` in the current decision:
+  /// classify it against the cycle context and bump the burn counters.
+  void on_violation(std::uint32_t stream) noexcept;
+
+  /// Decision boundary: clears the per-cycle loss/fault context.  Called
+  /// by AuditSession::on_decision after violations are classified.
+  void end_decision() noexcept;
+
+  /// Context hooks (any thread).
+  void note_fault() noexcept;
+  void note_overflow(std::uint32_t stream) noexcept;
+  void note_aggregation_starved(std::uint32_t stream) noexcept;
+
+  /// Mirror the global rule counters into `reg` as audit.rule.<name> (plus
+  /// audit.comparisons) so they ride in the ss-metrics-v1 snapshot.
+  /// Idempotent; call at attach time.
+  void bind_registry(MetricsRegistry& reg);
+
+  // -- accessors (safe from any thread) ------------------------------------
+  [[nodiscard]] std::uint64_t comparisons() const noexcept;
+  [[nodiscard]] std::uint64_t rule_total(std::size_t rule) const noexcept;
+  [[nodiscard]] std::uint64_t wins(std::uint32_t stream,
+                                   std::size_t rule) const noexcept;
+  [[nodiscard]] std::uint64_t losses(std::uint32_t stream,
+                                     std::size_t rule) const noexcept;
+  [[nodiscard]] std::uint64_t violations(std::uint32_t stream) const noexcept;
+  [[nodiscard]] std::uint64_t burn(std::uint32_t stream,
+                                   std::size_t cause) const noexcept;
+  /// Lost-tiebreak violations broken down by the rule that was lost.
+  [[nodiscard]] std::uint64_t burn_rule(std::uint32_t stream,
+                                        std::size_t rule) const noexcept;
+
+  /// Rule firings inside the current (uncommitted) decision; scheduling
+  /// thread only.
+  void cycle_rules(std::array<std::uint16_t, kAuditRules>& out) const noexcept;
+
+ private:
+  struct PerStream {
+    std::array<std::atomic<std::uint64_t>, kAuditRules> wins{};
+    std::array<std::atomic<std::uint64_t>, kAuditRules> losses{};
+    std::array<std::atomic<std::uint64_t>, kBurnCauses> burn{};
+    std::array<std::atomic<std::uint64_t>, kAuditRules> burn_rule{};
+    std::atomic<std::uint64_t> violations{0};
+    std::atomic<std::uint32_t> overflow_pending{0};
+    std::atomic<std::uint32_t> agg_starved{0};
+  };
+
+  std::uint32_t streams_;
+  std::array<PerStream, kAuditMaxStreams> per_stream_{};
+  std::array<std::atomic<std::uint64_t>, kAuditRules> rule_total_{};
+  std::atomic<std::uint64_t> comparisons_{0};
+  std::atomic<std::uint32_t> cycle_faults_{0};
+
+  // Scheduling-thread-only cycle context.
+  static constexpr std::uint8_t kNoLoss = 0xff;
+  std::array<std::uint16_t, kAuditRules> cycle_rules_{};
+  std::array<std::uint8_t, kAuditMaxStreams> cycle_lost_rule_{};
+
+  // Optional mirrored registry counters (audit.rule.*).
+  std::array<Counter*, kAuditRules> rule_counters_{};
+  Counter* comparison_counter_ = nullptr;
+};
+
+/// The black box: provenance profile + flight recorder + dump policy.
+/// Attach one to a chip (and guard / fault plan / endsystem) and every
+/// committed decision flows through on_decision().
+class AuditSession {
+ public:
+  /// Fault sites mirrored from hw::FaultSite groups for the dump.
+  enum class FaultSite : std::uint8_t { kPci = 0, kSram = 1, kChip = 2 };
+
+  explicit AuditSession(std::uint32_t streams,
+                        std::size_t ring_capacity =
+                            FlightRecorder::kDefaultCapacity);
+
+  [[nodiscard]] DecisionAudit& audit() noexcept { return audit_; }
+  [[nodiscard]] const DecisionAudit& audit() const noexcept { return audit_; }
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Robust-layer context (any thread).
+  void set_health(std::uint8_t state) noexcept;
+  void note_fault(FaultSite site) noexcept;
+  [[nodiscard]] std::uint64_t faults_total() const noexcept;
+  [[nodiscard]] std::uint64_t faults(FaultSite site) const noexcept;
+
+  /// Reset the per-run violation baselines (chip counters restart at zero
+  /// each differential scenario while the profile accumulates).
+  void begin_run() noexcept;
+
+  /// Chip hook: `rec` arrives with identity/grants/stream snapshots
+  /// filled; the session stamps rule counts, health and fault context,
+  /// classifies fresh violations, records the ring entry, and closes the
+  /// decision.  Scheduling thread only.
+  void on_decision(DecisionRecord& rec);
+
+  /// The single-line `ss-audit-v1` document.
+  [[nodiscard]] std::string to_json(const std::string& cause) const;
+
+  /// Write to_json(cause) to dump_path() (no-op path -> not written).
+  /// Records cause/dumped state either way.  Returns true if a file was
+  /// written.
+  bool dump(const std::string& cause);
+
+  [[nodiscard]] bool dumped() const noexcept;
+  [[nodiscard]] std::string last_cause() const;
+
+ private:
+  DecisionAudit audit_;
+  FlightRecorder recorder_;
+  std::atomic<std::uint8_t> health_{0};
+  std::array<std::atomic<std::uint64_t>, 3> faults_{};
+  std::array<std::uint64_t, kAuditMaxStreams> prev_violations_{};
+  std::atomic<bool> dumped_{false};
+  mutable std::mutex mu_;  ///< guards dump_path_/last_cause_ + file writes
+  std::string dump_path_;
+  std::string last_cause_;
+};
+
+}  // namespace ss::telemetry

@@ -1,0 +1,137 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+
+namespace ss::telemetry {
+
+const char* audit_rule_name(std::size_t rule) noexcept {
+  switch (rule) {
+    case 0: return "pending_only";
+    case 1: return "deadline";
+    case 2: return "window_constraint";
+    case 3: return "zero_denominator";
+    case 4: return "numerator";
+    case 5: return "fcfs_arrival";
+    case 6: return "id_tie_break";
+    default: return "unknown";
+  }
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(const DecisionRecord& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = r;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  ++recorded_;
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+DecisionRecord FlightRecorder::last() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return DecisionRecord{};
+  return ring_[(head_ + ring_.size() - 1) % ring_.size()];
+}
+
+std::vector<DecisionRecord> FlightRecorder::entries() const {
+  std::vector<DecisionRecord> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(count_);
+  const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<DecisionRecord> window = entries();
+
+  std::string out;
+  out.reserve(window.size() * 512 + 16);
+  char buf[192];
+  out += "[";
+  bool first_rec = true;
+  for (const DecisionRecord& r : window) {
+    if (!first_rec) out += ",";
+    first_rec = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"decision\":%llu,\"vtime\":%llu,\"hw_cycles\":%llu,"
+                  "\"phase\":%u,\"health\":%u,\"faults\":%llu,"
+                  "\"circulated\":%d",
+                  static_cast<unsigned long long>(r.decision),
+                  static_cast<unsigned long long>(r.vtime),
+                  static_cast<unsigned long long>(r.hw_cycles),
+                  static_cast<unsigned>(r.fsm_phase),
+                  static_cast<unsigned>(r.health),
+                  static_cast<unsigned long long>(r.faults),
+                  static_cast<int>(r.circulated));
+    out += buf;
+
+    auto slot_list = [&](const char* key, const auto& ids, std::uint8_t n) {
+      out += ",\"";
+      out += key;
+      out += "\":[";
+      for (std::uint8_t i = 0; i < n; ++i) {
+        if (i) out += ",";
+        std::snprintf(buf, sizeof buf, "%u", static_cast<unsigned>(ids[i]));
+        out += buf;
+      }
+      out += "]";
+    };
+    slot_list("grants", r.grants, r.n_grants);
+    slot_list("losers", r.losers, r.n_losers);
+
+    out += ",\"rules\":{";
+    bool first_rule = true;
+    for (std::size_t i = 0; i < kAuditRules; ++i) {
+      if (r.rules[i] == 0) continue;
+      if (!first_rule) out += ",";
+      first_rule = false;
+      std::snprintf(buf, sizeof buf, "\"%s\":%u", audit_rule_name(i),
+                    static_cast<unsigned>(r.rules[i]));
+      out += buf;
+    }
+    out += "}";
+
+    out += ",\"streams\":[";
+    for (std::uint8_t s = 0; s < r.n_streams; ++s) {
+      const DecisionRecord::StreamSnap& ss = r.streams[s];
+      if (s) out += ",";
+      std::snprintf(buf, sizeof buf,
+                    "{\"id\":%u,\"deadline\":%llu,\"backlog\":%u,"
+                    "\"violations\":%llu,\"loss_num\":%u,\"loss_den\":%u,"
+                    "\"pending\":%s}",
+                    static_cast<unsigned>(s),
+                    static_cast<unsigned long long>(ss.deadline), ss.backlog,
+                    static_cast<unsigned long long>(ss.violations),
+                    static_cast<unsigned>(ss.loss_num),
+                    static_cast<unsigned>(ss.loss_den),
+                    ss.pending ? "true" : "false");
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ss::telemetry

@@ -106,6 +106,17 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
     robust_metrics = telemetry::RobustMetrics::create(*opt_.metrics);
     guard->attach_metrics(&robust_metrics);
   }
+  if (opt_.audit) {
+    // Observation only: the audit hooks read chip state and never steer a
+    // comparison, so a run's digest is identical with or without a session
+    // attached (asserted by AuditDigest.ObservationOnly10k).
+    if (guard) {
+      guard->attach_audit(opt_.audit);
+    } else {
+      chip.attach_audit(opt_.audit);
+    }
+    opt_.audit->begin_run();
+  }
 
   dwcs::ReferenceScheduler::Options so;
   so.block_mode = sc.fabric.block_mode;
@@ -483,6 +494,10 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   if (res.diverged) {
     res.chip_trace_tail = tracer.render_all();
     if (opt_.metrics) res.metrics_json = opt_.metrics->to_json();
+    if (opt_.audit) {
+      res.audit_json = opt_.audit->to_json("divergence");
+      opt_.audit->dump("divergence");
+    }
   }
   if (opt_.export_chrome_trace) {
     res.chip_trace_chrome_json = tracer.to_chrome_json();

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "robust/recovery.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 #include "testing/scenario.hpp"
 
@@ -70,6 +71,11 @@ struct RunResult {
   /// Chrome trace-event JSON of the retained decision-cycle window (only
   /// when Options::export_chrome_trace; empty otherwise).
   std::string chip_trace_chrome_json;
+
+  /// ss-audit-v1 snapshot taken at the divergence point (only when
+  /// Options::audit was attached and the run diverged; empty otherwise).
+  /// The session itself is also dumped with cause "divergence".
+  std::string audit_json;
 };
 
 class DifferentialExecutor {
@@ -93,6 +99,12 @@ class DifferentialExecutor {
     /// (fuzz/replay drivers pass one to get a metrics snapshot attached to
     /// divergence reports and --metrics-json output).
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Decision-audit session: rule provenance + the flight-recorder ring
+    /// for the run.  The executor calls begin_run() (the chip's counters
+    /// restart each scenario while the profile accumulates) and dumps the
+    /// session with cause "divergence" when the diff fails.  Must be sized
+    /// for the largest scenario when reused across scenarios.
+    telemetry::AuditSession* audit = nullptr;
   };
 
   DifferentialExecutor() = default;

@@ -62,9 +62,12 @@ double Histogram::percentile(double p) const {
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(total_);
   // Underflow mass sits below every bin: it resolves to lo_ (the closest
-  // representable value), keeping the estimate conservative.
+  // representable value), keeping the estimate conservative.  Only actual
+  // underflow counts may short-circuit: at p=0 the rank is 0 and an
+  // unconditional `cum >= rank` would return lo_ even when every sample
+  // sits in a higher bin — p0 must be the first occupied bin's low edge.
   std::uint64_t cum = under_;
-  if (static_cast<double>(cum) >= rank) return lo_;
+  if (under_ > 0 && static_cast<double>(cum) >= rank) return lo_;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     if (counts_[b] == 0) continue;
     const auto before = static_cast<double>(cum);

@@ -179,6 +179,51 @@ TEST(TelemetryHistogram, LogspacePercentileTracksExactOrderStatistics) {
   }
 }
 
+// Extreme tails of ss::Histogram::percentile.  p0 must resolve to the
+// first *occupied* bin's low edge, not the histogram's lower bound: with
+// no underflow mass the old `cum >= rank` short-circuit fired at rank 0
+// and reported lo_ no matter where the samples sat.
+TEST(TelemetryHistogram, PercentileExtremeTails) {
+  {
+    Histogram h(0.0, 100.0, 10);  // 10-wide bins
+    h.add(55.0);                  // single sample, bin [50, 60)
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 50.0) << "p0 = occupied bin low edge";
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 60.0)
+        << "p100 = occupied bin high edge";
+    EXPECT_NEAR(h.percentile(50.0), 55.0, 1e-9) << "midpoint interpolation";
+  }
+  {
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 1000; ++i) h.add(72.0);  // all mass in one bin
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 70.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 80.0);
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 70.0);
+    EXPECT_LE(p50, 80.0);
+  }
+  {
+    // Underflow mass still resolves to lo_ (conservative), and overflow
+    // mass to hi_.
+    Histogram h(10.0, 20.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 20.0);
+  }
+  {
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0) << "empty histogram";
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+  }
+  {
+    // Log-scale single sample: the same edge contract on the log bins.
+    Histogram h = Histogram::logspace(1.0, 1024.0, 10);  // bins x2 wide
+    h.add(48.0);  // bin [32, 64)
+    EXPECT_NEAR(h.percentile(0.0), 32.0, 1e-9);
+    EXPECT_NEAR(h.percentile(100.0), 64.0, 1e-9);
+  }
+}
+
 TEST(FrameTraceTest, RingBoundsRetentionButCountsEverything) {
   telemetry::FrameTrace ft(8);
   for (std::uint64_t i = 0; i < 20; ++i) ft.arrival(0, i, i * 1000);
@@ -212,6 +257,31 @@ TEST(FrameTraceTest, ChromeJsonHasTracksAndLifecycleSpans) {
   // Both process tracks exist: stage timeline and per-stream spans.
   EXPECT_NE(j.find("\"pid\":1"), std::string::npos);
   EXPECT_NE(j.find("\"pid\":2"), std::string::npos);
+}
+
+// After the ring wraps, the export must contain exactly the newest
+// `capacity` events in chronological (oldest -> newest) order — the write
+// head sits mid-ring, so a naive 0..size dump would splice the timeline.
+TEST(FrameTraceTest, ChromeJsonChronologicalAfterWrap) {
+  telemetry::FrameTrace ft(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ft.arrival(0, i, i * 1000);  // ts = i us in the export
+  }
+  ASSERT_EQ(ft.size(), 8u);
+  const std::string j = ft.to_chrome_json();
+  // Evicted events (ts 0..11 us) are gone; survivors (12..19 us) appear in
+  // ascending timestamp order.
+  EXPECT_EQ(j.find("\"ts\":11.000"), std::string::npos)
+      << "evicted event leaked into the export";
+  std::size_t prev = 0;
+  for (std::uint64_t i = 12; i < 20; ++i) {
+    const std::string needle =
+        "\"ts\":" + std::to_string(i) + ".000";
+    const std::size_t pos = j.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing retained event at " << i;
+    EXPECT_GT(pos, prev) << "export not chronological at " << i;
+    prev = pos;
+  }
 }
 
 dwcs::StreamRequirement fair_share(double w) {
