@@ -15,6 +15,10 @@
 //                                                       grant, shrink it
 //   fuzz_ss --seed 7 --explore-batch                  # also sample the
 //                                                       block batch_depth axis
+//   fuzz_ss --seed 7 --explore-rank                   # also sample the
+//                                                       rank-layer axis
+//                                                       (discipline x PIFO
+//                                                       substrate)
 //   fuzz_ss --seed 7 --fault-seed 42                  # every scenario runs
 //                                                       under a seeded
 //                                                       hardware fault plane
@@ -35,6 +39,7 @@
 #include <string>
 
 #include "testing/differential_executor.hpp"
+#include "testing/rank_equivalence.hpp"
 #include "testing/shrinker.hpp"
 #include "testing/trace_io.hpp"
 #include "testing/workload_fuzzer.hpp"
@@ -51,6 +56,7 @@ struct Args {
   std::uint64_t inject_fault = 0;
   std::uint64_t fault_seed = 0;  // non-zero: every scenario gets a fault plane
   bool explore_batch = false;
+  bool explore_rank = false;
   std::string out;     // trace capture path (fuzz mode)
   std::string replay;  // replay path; empty = fuzz mode
   std::string metrics_json;  // write the run's metrics snapshot here
@@ -114,13 +120,21 @@ void print_point(const Scenario& sc) {
   if (sc.fabric.batch_depth > 0) {
     std::cout << " batch=" << sc.fabric.batch_depth;
   }
+  if (sc.rank.enabled) {
+    std::cout << " rank=" << rank_disc_name(sc.rank.disc) << '@'
+              << rank_backend_name(sc.rank.backend);
+    if (sc.rank.backend == RankBackend::kSpPifo) {
+      std::cout << '/' << unsigned{sc.rank.bands} << 'q';
+    }
+  }
 }
 
 int usage() {
   std::cerr <<
       "usage: fuzz_ss [--seed S] [--scenarios K] [--events N] [--seconds T]\n"
       "               [--out FILE] [--inject-fault G] [--fault-seed S]\n"
-      "               [--explore-batch] [--metrics-json FILE]\n"
+      "               [--explore-batch] [--explore-rank]\n"
+      "               [--metrics-json FILE]\n"
       "               [--trace-out FILE] [--audit-out FILE]\n"
       "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n"
       "               [--audit-out FILE]\n";
@@ -176,6 +190,7 @@ int fuzz_mode(const Args& args) {
   fo.seed = args.seed;
   fo.events_per_scenario = args.events;
   fo.explore_batch = args.explore_batch;
+  fo.explore_rank = args.explore_rank;
   if (args.fault_seed != 0) {
     // Fault campaign: every scenario carries a seeded hardware fault
     // plane.  The schedule must still match the fault-free oracle, so a
@@ -246,6 +261,12 @@ int fuzz_mode(const Args& args) {
     print_point(sc);
     std::cout << " decisions=" << r.decisions << " digest=" << r.digest
               << (r.hwpq_checked ? " hwpq" : "");
+    if (r.rank_checked) {
+      std::cout << " rank_served=" << r.rank_served;
+      if (sc.rank.backend == RankBackend::kSpPifo) {
+        std::cout << " rank_inv=" << r.rank_inversions;
+      }
+    }
     if (sc.faults.enabled()) {
       std::cout << " faults=" << r.faults_injected
                 << (r.failed_over ? " FAILOVER" : "");
@@ -322,6 +343,8 @@ int main(int argc, char** argv) {
       if (!value(args.fault_seed)) return usage();
     } else if (a == "--explore-batch") {
       args.explore_batch = true;
+    } else if (a == "--explore-rank") {
+      args.explore_rank = true;
     } else if (a == "--out") {
       if (i + 1 >= argc) return usage();
       args.out = argv[++i];

@@ -21,14 +21,14 @@ void BinaryHeapPq::push(Entry e) {
   if (heap_.size() >= cap_) throw std::length_error("BinaryHeapPq full");
   // One read+compare+writeback pair of cycles per level traversed.
   cycles_ += 2 * levels();
-  heap_.push_back(e);
+  heap_.push_back({e, next_seq_++});
   sift_up(heap_.size() - 1);
 }
 
 std::optional<Entry> BinaryHeapPq::pop_min() {
   if (heap_.empty()) return std::nullopt;
   cycles_ += 2 * levels();
-  const Entry top = heap_.front();
+  const Entry top = heap_.front().e;
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
@@ -38,7 +38,7 @@ std::optional<Entry> BinaryHeapPq::pop_min() {
 void BinaryHeapPq::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t p = (i - 1) / 2;
-    if (heap_[p].key <= heap_[i].key) break;
+    if (!before(heap_[i], heap_[p])) break;
     std::swap(heap_[p], heap_[i]);
     i = p;
   }
@@ -49,8 +49,8 @@ void BinaryHeapPq::sift_down(std::size_t i) {
   for (;;) {
     std::size_t best = i;
     const std::size_t l = 2 * i + 1, r = 2 * i + 2;
-    if (l < n && heap_[l].key < heap_[best].key) best = l;
-    if (r < n && heap_[r].key < heap_[best].key) best = r;
+    if (l < n && before(heap_[l], heap_[best])) best = l;
+    if (r < n && before(heap_[r], heap_[best])) best = r;
     if (best == i) return;
     std::swap(heap_[i], heap_[best]);
     i = best;

@@ -27,13 +27,25 @@ class BinaryHeapPq final : public HwPriorityQueue {
   [[nodiscard]] std::string name() const override { return "binary-heap"; }
 
  private:
+  /// Heap cell: the entry plus its push sequence number, so equal keys
+  /// drain FIFO (the documented tie-break contract of pq_interface.hpp —
+  /// in hardware, a width-extended key with an arrival stamp in the low
+  /// bits).
+  struct Cell {
+    Entry e;
+    std::uint64_t seq;
+  };
+  static bool before(const Cell& a, const Cell& b) {
+    return a.e.key < b.e.key || (a.e.key == b.e.key && a.seq < b.seq);
+  }
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   [[nodiscard]] std::uint64_t levels() const;
 
   std::size_t cap_;
-  std::vector<Entry> heap_;
+  std::vector<Cell> heap_;
   std::uint64_t cycles_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace ss::hwpq

@@ -28,9 +28,8 @@ void PipelinedHeapPq::account_op() {
 void PipelinedHeapPq::push(Entry e) {
   if (heap_.size() >= cap_) throw std::length_error("PipelinedHeapPq full");
   account_op();
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(),
-                 [](const Entry& a, const Entry& b) { return a.key > b.key; });
+  heap_.push_back({e, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), after);
 }
 
 std::optional<Entry> PipelinedHeapPq::pop_min() {
@@ -39,9 +38,8 @@ std::optional<Entry> PipelinedHeapPq::pop_min() {
     return std::nullopt;
   }
   account_op();
-  std::pop_heap(heap_.begin(), heap_.end(),
-                [](const Entry& a, const Entry& b) { return a.key > b.key; });
-  const Entry top = heap_.back();
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  const Entry top = heap_.back().e;
   heap_.pop_back();
   return top;
 }

@@ -34,12 +34,24 @@ class PipelinedHeapPq final : public HwPriorityQueue {
   [[nodiscard]] unsigned pipeline_depth() const { return depth_; }
 
  private:
+  /// Entry plus push sequence, realizing the FIFO-on-equal-keys tie-break
+  /// contract of pq_interface.hpp (a width-extended key in hardware).
+  struct Cell {
+    Entry e;
+    std::uint64_t seq;
+  };
+  // Max-heap comparator on the stable (key, seq) order: the min (and,
+  // among equal keys, the earliest-pushed) entry surfaces first.
+  static bool after(const Cell& a, const Cell& b) {
+    return a.e.key > b.e.key || (a.e.key == b.e.key && a.seq > b.seq);
+  }
   void account_op();
 
   std::size_t cap_;
   unsigned depth_;
-  std::vector<Entry> heap_;
+  std::vector<Cell> heap_;
   std::uint64_t cycles_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t ops_in_flight_window_ = 0;  ///< ops since last drain
 };
 

@@ -25,6 +25,15 @@ struct Entry {
   friend bool operator==(const Entry&, const Entry&) = default;
 };
 
+/// Tie-break contract: every structure resolves EQUAL keys in FIFO push
+/// order ("insert behind equal priorities", the behaviour the [18]
+/// shift-register chain realizes in hardware).  This makes the pop
+/// sequence of all four structures — and of a seq-stabilized
+/// std::priority_queue — identical for ANY push/pop interleaving, not just
+/// for unique keys; tests/hwpq_crosscheck_test.cpp pins it, and the
+/// programmable rank layer (src/pifo/) builds its stable-PIFO semantics
+/// directly on it.
+
 class HwPriorityQueue {
  public:
   virtual ~HwPriorityQueue() = default;

@@ -15,7 +15,10 @@ SystolicPq::SystolicPq(std::size_t capacity) : cap_(capacity) {
 void SystolicPq::push(Entry e) {
   if (cells_.size() >= cap_) throw std::length_error("SystolicPq full");
   cycles_ += 1;  // head insertion; ripple overlaps subsequent cycles
-  const auto it = std::lower_bound(
+  // Insert BEHIND equal keys: the ripple comparator only displaces a cell
+  // on a strictly-smaller key, which is what realizes the FIFO tie-break
+  // contract of pq_interface.hpp in this structure.
+  const auto it = std::upper_bound(
       cells_.begin(), cells_.end(), e,
       [](const Entry& a, const Entry& b) { return a.key < b.key; });
   cells_.insert(it, e);

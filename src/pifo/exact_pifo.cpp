@@ -1,0 +1,31 @@
+#include "pifo/exact_pifo.hpp"
+
+#include <stdexcept>
+
+namespace ss::pifo {
+
+ExactPifo::ExactPifo(hwpq::PqKind kind, std::size_t capacity)
+    : pq_(hwpq::make_pq(kind, capacity)), slots_(capacity) {
+  free_.reserve(capacity);
+  // Hand out low slot indices first (cosmetic, but keeps traces readable).
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+void ExactPifo::push(const sched::Pkt& p, std::uint64_t rank) {
+  if (free_.empty()) throw std::length_error("ExactPifo full");
+  const std::uint32_t slot = free_.back();
+  free_.pop_back();
+  slots_[slot] = p;
+  pq_->push({rank, slot});
+}
+
+std::optional<RankedPkt> ExactPifo::pop() {
+  const auto e = pq_->pop_min();
+  if (!e) return std::nullopt;
+  free_.push_back(e->id);
+  return RankedPkt{slots_[e->id], e->key};
+}
+
+}  // namespace ss::pifo

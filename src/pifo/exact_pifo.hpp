@@ -1,0 +1,50 @@
+// exact_pifo.hpp — a true PIFO over the Section-3 hardware priority-queue
+// structures.
+//
+// The hwpq structures sort (key, id) entries; a PIFO must carry whole
+// packets.  In hardware the packet never enters the sorter — only its
+// rank and a buffer handle do — and this model does the same: packets
+// park in a slot table, the hwpq sorts {rank, slot} entries, and pop
+// redeems the winning slot.  Cycle and area figures therefore come
+// straight from the underlying structure's model, which is the point: the
+// bench can report what rank-programmability costs on each of the four
+// related-work substrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hwpq/factory.hpp"
+#include "pifo/pifo.hpp"
+
+namespace ss::pifo {
+
+class ExactPifo final : public PifoBackend {
+ public:
+  ExactPifo(hwpq::PqKind kind, std::size_t capacity);
+
+  void push(const sched::Pkt& p, std::uint64_t rank) override;
+  std::optional<RankedPkt> pop() override;
+
+  [[nodiscard]] std::size_t size() const override { return pq_->size(); }
+  [[nodiscard]] std::size_t capacity() const override {
+    return pq_->capacity();
+  }
+  [[nodiscard]] std::string name() const override {
+    return "exact-pifo/" + pq_->name();
+  }
+
+  /// Cycle/area pass-throughs from the underlying hardware model.
+  [[nodiscard]] std::uint64_t cycles() const { return pq_->cycles(); }
+  [[nodiscard]] unsigned area_slices() const {
+    return pq_->area_slices(pq_->capacity());
+  }
+
+ private:
+  std::unique_ptr<hwpq::HwPriorityQueue> pq_;
+  std::vector<sched::Pkt> slots_;       ///< packet buffer, indexed by Entry::id
+  std::vector<std::uint32_t> free_;     ///< free slot indices
+};
+
+}  // namespace ss::pifo

@@ -1,0 +1,55 @@
+// pifo.hpp — the substrate side of the programmable-scheduling split: a
+// Push-In-First-Out queue that admits (packet, rank) pairs and always
+// releases the minimum rank.
+//
+// Two realizations live behind this interface:
+//
+//  * ExactPifo (exact_pifo.hpp): a true PIFO over any of the Section-3
+//    hardware priority-queue structures (hwpq/), inheriting their cycle
+//    and area models — what a rank-programmable ShareStreams fabric would
+//    cost if it kept a full sorting structure.
+//
+//  * SpPifo (sp_pifo.hpp): the SP-PIFO approximation (NSDI 2020) — a
+//    handful of FIFO bands with adaptive rank bounds.  Cheap enough for
+//    merchant silicon, but it admits INVERSIONS: a packet may pop before
+//    a smaller-ranked one that shares or trails its band.
+//
+// Pop-order contract: among EQUAL ranks, packets pop in push order.
+// ExactPifo inherits this from the hwpq tie-break contract
+// (pq_interface.hpp); SpPifo's bands are FIFOs, so it holds by
+// construction.  bench/pifo_inversions.cpp quantifies the gap between the
+// two under adversarial rank distributions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sched/discipline.hpp"
+
+namespace ss::pifo {
+
+/// A packet together with the rank it was admitted under.
+struct RankedPkt {
+  sched::Pkt pkt;
+  std::uint64_t rank;
+  friend bool operator==(const RankedPkt&, const RankedPkt&) = default;
+};
+
+class PifoBackend {
+ public:
+  virtual ~PifoBackend() = default;
+
+  /// Admit a packet under `rank`.  Throws std::length_error when full.
+  virtual void push(const sched::Pkt& p, std::uint64_t rank) = 0;
+
+  /// Release the next packet (minimum rank for ExactPifo; approximate for
+  /// SpPifo).  Empty when the queue is.
+  virtual std::optional<RankedPkt> pop() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ss::pifo

@@ -1,0 +1,69 @@
+// rank_fn.hpp — the programmable-scheduling rank-function abstraction.
+//
+// "Programmable Packet Scheduling at Line Rate" (PIFO, SIGCOMM 2016)
+// argues that most packet-scheduling disciplines decompose into (a) a
+// pure-ish function computing a RANK for each packet at enqueue and (b) a
+// fixed Push-In-First-Out queue that always dequeues the minimum rank.
+// That is the paper's "unified canonical architecture" claim a generation
+// later: one priority substrate, many disciplines, only the rank program
+// changes.  This header is the rank side of that split; pifo.hpp is the
+// substrate side; rank_discipline.hpp glues the two back into the
+// repository's ss::sched::Discipline interface so every rank-expressed
+// discipline drops into the existing bench and property tests unchanged.
+//
+// Contract (what the differential campaigns in
+// tests/pifo_equivalence_test.cpp actually pin):
+//
+//  * rank() is called exactly once per packet, at enqueue, and may update
+//    internal per-stream state (finish tags, deadlines, virtual clocks).
+//  * note_served() is called with the popped packet's rank, in pop order —
+//    the hook disciplines with a GLOBAL virtual time (SCFQ's V, SFQ's
+//    round cursor) use to resynchronize to the substrate's progress.
+//  * flush() is the epoch hook: it rewinds every internal clock to zero.
+//    Long-running deployments call it at drain points (backlog == 0) to
+//    keep ranks inside the 64-bit domain; it is NEVER called mid-backlog,
+//    and the equivalence campaigns never call it at all (the bespoke
+//    disciplines have no equivalent knob).
+//
+// Rank domain: ranks are uint64.  Disciplines that tie-break across
+// streams by scan order (WFQ, EDF, virtual clock) pack the stream id into
+// the low 8 bits — so they support at most kMaxRankStreams streams and
+// need their natural key to fit 56 bits.  Disciplines whose ties are
+// resolved by arrival order (FCFS, static priority) instead rely on the
+// substrate's stable FIFO-on-equal-rank pop order (the hwpq tie-break
+// contract; SP-PIFO bands are FIFO by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/discipline.hpp"
+
+namespace ss::pifo {
+
+/// Streams addressable by the scan-order tie-break field.
+inline constexpr std::uint32_t kMaxRankStreams = 256;
+
+/// Fixed-point fraction bits used by the fair-queuing rank functions
+/// (finish tags and virtual-clock stamps carry 16 fractional bits).
+inline constexpr unsigned kRankFracBits = 16;
+
+class RankFn {
+ public:
+  virtual ~RankFn() = default;
+
+  /// Compute the packet's rank; called once, at enqueue.
+  [[nodiscard]] virtual std::uint64_t rank(const sched::Pkt& p) = 0;
+
+  /// The substrate served a packet carrying `rank`; called in pop order.
+  /// Disciplines with global virtual time advance it here.
+  virtual void note_served(std::uint64_t rank) { (void)rank; }
+
+  /// Epoch hook: rewind all internal clocks to their initial state.  Only
+  /// legal while no packet ranked by this function is still queued.
+  virtual void flush() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ss::pifo

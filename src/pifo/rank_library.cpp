@@ -1,0 +1,140 @@
+#include "pifo/rank_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ss::pifo {
+
+namespace {
+
+/// bytes/divisor in 16.16 fixed point.  Exact whenever the bespoke double
+/// quotient is a multiple of 2^-16 (power-of-two divisors in
+/// [2^-16, 2^16]); rounds to nearest otherwise.
+std::uint64_t div_fx(std::uint32_t bytes, double divisor) {
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) * 65536.0 / divisor));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- WfqRank
+
+void WfqRank::ensure(std::uint32_t stream) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+}
+
+void WfqRank::set_weight(std::uint32_t stream, double weight) {
+  ensure(stream);
+  flows_[stream].weight = weight > 0.0 ? weight : 1.0;
+}
+
+std::uint64_t WfqRank::rank(const sched::Pkt& p) {
+  ensure(p.stream);
+  Flow& f = flows_[p.stream];
+  const std::uint64_t start_fx = std::max(vtime_fx_, f.last_finish_fx);
+  f.last_finish_fx = start_fx + div_fx(p.bytes, f.weight);
+  return (f.last_finish_fx << 8) | p.stream;
+}
+
+void WfqRank::flush() {
+  vtime_fx_ = 0;
+  for (Flow& f : flows_) f.last_finish_fx = 0;
+}
+
+// ---------------------------------------------------------------- EdfRank
+
+void EdfRank::add_stream(std::uint32_t stream, std::uint64_t period_ns,
+                         std::uint64_t first_deadline_ns) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+  Flow& f = flows_[stream];
+  f.period = period_ns == 0 ? 1 : period_ns;
+  f.next_deadline = first_deadline_ns;
+  f.first_deadline = first_deadline_ns;
+}
+
+std::uint64_t EdfRank::rank(const sched::Pkt& p) {
+  if (p.stream >= flows_.size()) flows_.resize(p.stream + 1);
+  Flow& f = flows_[p.stream];
+  const std::uint64_t deadline = f.next_deadline;
+  f.next_deadline += f.period;
+  return (deadline << 8) | p.stream;
+}
+
+void EdfRank::flush() {
+  for (Flow& f : flows_) f.next_deadline = f.first_deadline;
+}
+
+// ------------------------------------------------------- VirtualClockRank
+
+void VirtualClockRank::ensure(std::uint32_t stream) {
+  if (stream >= flows_.size()) flows_.resize(stream + 1);
+}
+
+void VirtualClockRank::set_rate(std::uint32_t stream, double bytes_per_tick) {
+  ensure(stream);
+  flows_[stream].rate = bytes_per_tick > 0 ? bytes_per_tick : 1.0;
+}
+
+std::uint64_t VirtualClockRank::rank(const sched::Pkt& p) {
+  ensure(p.stream);
+  Flow& f = flows_[p.stream];
+  f.vclock_fx = std::max(f.vclock_fx, p.arrival_ns << 16) +
+                div_fx(p.bytes, f.rate);
+  return (f.vclock_fx << 8) | p.stream;
+}
+
+void VirtualClockRank::flush() {
+  for (Flow& f : flows_) f.vclock_fx = 0;
+}
+
+// ---------------------------------------------------------------- SfqRank
+
+SfqRank::SfqRank(std::uint32_t buckets)
+    : buckets_(buckets == 0 ? 1 : buckets), last_slot_(buckets_, 0) {}
+
+std::uint32_t SfqRank::bucket_of(std::uint32_t stream) const {
+  // Same hash and salt as sched::Sfq with perturbation disabled.
+  std::uint64_t h = stream ^ 0x9E3779B97F4A7C15ULL;
+  h = splitmix64(h);
+  return static_cast<std::uint32_t>(h % buckets_);
+}
+
+std::uint64_t SfqRank::rank(const sched::Pkt& p) {
+  const std::uint32_t b = bucket_of(p.stream);
+  const std::uint64_t B = buckets_;
+  // Earliest slot >= scan_ congruent to b (mod B)...
+  std::uint64_t slot = scan_ + ((b + B - scan_ % B) % B);
+  // ...but never earlier than one full round past the bucket's previous
+  // assignment (one service per bucket per round).
+  if (last_slot_[b] != 0) slot = std::max(slot, (last_slot_[b] - 1) + B);
+  last_slot_[b] = slot + 1;
+  return slot;
+}
+
+void SfqRank::flush() {
+  scan_ = 0;
+  std::fill(last_slot_.begin(), last_slot_.end(), 0);
+}
+
+// --------------------------------------------------------- StaticPrioRank
+
+void StaticPrioRank::set_priority(std::uint32_t stream, std::uint32_t level) {
+  if (stream >= levels_.size()) levels_.resize(stream + 1, 0);
+  levels_[stream] = level;
+}
+
+std::uint64_t StaticPrioRank::rank(const sched::Pkt& p) {
+  const std::uint32_t lvl =
+      p.stream < levels_.size() ? levels_[p.stream] : 0;
+  // Higher level = smaller rank; FIFO within a level comes from the
+  // substrate's stable tie-break, matching the bespoke per-level deque.
+  return static_cast<std::uint64_t>(~lvl);
+}
+
+// --------------------------------------------------------------- FcfsRank
+
+std::uint64_t FcfsRank::rank(const sched::Pkt& /*p*/) { return 0; }
+
+}  // namespace ss::pifo

@@ -1,0 +1,152 @@
+// rank_library.hpp — the six scheduling disciplines of the sched/ layer
+// re-expressed as rank functions over a PIFO substrate.
+//
+// Each class documents its ENCODING — how the bespoke discipline's pick
+// rule becomes "pop the minimum 64-bit rank" — and its EXACTNESS
+// PRECONDITIONS, under which tests/pifo_equivalence_test.cpp pins the
+// rank form packet-for-packet identical to the bespoke implementation on
+// an exact PIFO:
+//
+//  * Scan-tie-break disciplines (WFQ, EDF, virtual clock) pack the stream
+//    id into the low 8 bits: the bespoke dequeue scans flows in index
+//    order and takes the first strict minimum, so equal natural keys
+//    resolve to the LOWEST stream index — exactly what the packed field
+//    gives the PIFO.  Requires stream < kMaxRankStreams and the natural
+//    key to fit 56 bits.
+//  * Fair-queuing arithmetic (WFQ finish tags, virtual-clock stamps) is
+//    carried in 16.16 fixed point.  With power-of-two weights/rates in
+//    [2^-16, 2^16] the bespoke double arithmetic is exact and quantized
+//    at 2^-16 granularity, so fixed point reproduces its order bit for
+//    bit; arbitrary weights only approximate (ranks may collide where
+//    doubles differ below 2^-16).
+//  * SFQ is encoded via virtual round SLOTS (see SfqRank) — no ties by
+//    construction.
+//  * FCFS and static priority leave ties to the substrate's stable
+//    FIFO-on-equal-rank order, mirroring their bespoke per-level / global
+//    FIFOs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pifo/rank_fn.hpp"
+
+namespace ss::pifo {
+
+/// WFQ (SCFQ self-clocked fair queuing).  Natural key: the 16.16
+/// fixed-point finish tag  max(V, last_finish_i) + bytes/weight_i ; V
+/// resynchronizes to the served packet's tag in note_served().
+/// rank = finish_fx << 8 | stream.
+class WfqRank final : public RankFn {
+ public:
+  void set_weight(std::uint32_t stream, double weight);
+
+  std::uint64_t rank(const sched::Pkt& p) override;
+  void note_served(std::uint64_t rank) override { vtime_fx_ = rank >> 8; }
+  void flush() override;
+  [[nodiscard]] std::string name() const override { return "rank-wfq"; }
+
+ private:
+  struct Flow {
+    double weight = 1.0;
+    std::uint64_t last_finish_fx = 0;
+  };
+  void ensure(std::uint32_t stream);
+
+  std::vector<Flow> flows_;
+  std::uint64_t vtime_fx_ = 0;
+};
+
+/// EDF.  Natural key: the packet's deadline  first_deadline + k*period
+/// (per-stream arrival counter k).  rank = deadline << 8 | stream.
+/// Unconfigured streams default to period 1, first deadline 0 — the same
+/// defaults sched::Edf applies.
+class EdfRank final : public RankFn {
+ public:
+  void add_stream(std::uint32_t stream, std::uint64_t period_ns,
+                  std::uint64_t first_deadline_ns);
+
+  std::uint64_t rank(const sched::Pkt& p) override;
+  void flush() override;
+  [[nodiscard]] std::string name() const override { return "rank-edf"; }
+
+ private:
+  struct Flow {
+    std::uint64_t period = 1;
+    std::uint64_t next_deadline = 0;
+    std::uint64_t first_deadline = 0;
+  };
+  std::vector<Flow> flows_;
+};
+
+/// Zhang's Virtual Clock.  Natural key: the 16.16 fixed-point stamp
+/// VC_i = max(VC_i, arrival_ns) + bytes/rate_i  (the clock does NOT
+/// resynchronize on service — no note_served).  rank = stamp << 8 |
+/// stream.  Requires arrival_ns < 2^40 so the stamp fits 56 bits.
+class VirtualClockRank final : public RankFn {
+ public:
+  void set_rate(std::uint32_t stream, double bytes_per_tick);
+
+  std::uint64_t rank(const sched::Pkt& p) override;
+  void flush() override;
+  [[nodiscard]] std::string name() const override { return "rank-vc"; }
+
+ private:
+  struct Flow {
+    double rate = 1.0;
+    std::uint64_t vclock_fx = 0;
+  };
+  void ensure(std::uint32_t stream);
+
+  std::vector<Flow> flows_;
+};
+
+/// SFQ via virtual round slots.  Round-robin over hash buckets is not a
+/// priority order — it is a position in an endless carousel — so the
+/// encoding assigns each packet the absolute SLOT it would be served in:
+/// bucket b owns slots ≡ b (mod B); a packet takes the earliest slot of
+/// its bucket that is (a) at or after the scan point S (the slot after
+/// the last served one) and (b) a full round after its bucket's previous
+/// assignment.  Slots are globally unique, so rank = slot with no tie
+/// field.  Uses the same splitmix64 bucket hash and fixed salt as
+/// sched::Sfq (hash perturbation is out of scope for the rank form).
+class SfqRank final : public RankFn {
+ public:
+  explicit SfqRank(std::uint32_t buckets = 128);
+
+  std::uint64_t rank(const sched::Pkt& p) override;
+  void note_served(std::uint64_t rank) override { scan_ = rank + 1; }
+  void flush() override;
+  [[nodiscard]] std::string name() const override { return "rank-sfq"; }
+
+  [[nodiscard]] std::uint32_t bucket_of(std::uint32_t stream) const;
+
+ private:
+  std::uint32_t buckets_;
+  std::uint64_t scan_ = 0;  ///< next candidate slot (last served + 1)
+  std::vector<std::uint64_t> last_slot_;  ///< last assigned slot + 1; 0 = none
+};
+
+/// Strict static priority: higher level first, FIFO within a level (the
+/// substrate's stable tie-break supplies the FIFO).  rank = ~level.
+class StaticPrioRank final : public RankFn {
+ public:
+  void set_priority(std::uint32_t stream, std::uint32_t level);
+
+  std::uint64_t rank(const sched::Pkt& p) override;
+  [[nodiscard]] std::string name() const override { return "rank-prio"; }
+
+ private:
+  std::vector<std::uint32_t> levels_;
+};
+
+/// FCFS: the degenerate rank function — constant 0.  The entire pop order
+/// is the substrate's FIFO tie-break, which is the point of keeping it.
+class FcfsRank final : public RankFn {
+ public:
+  std::uint64_t rank(const sched::Pkt& p) override;
+  [[nodiscard]] std::string name() const override { return "rank-fcfs"; }
+};
+
+}  // namespace ss::pifo

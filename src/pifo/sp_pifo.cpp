@@ -1,0 +1,51 @@
+#include "pifo/sp_pifo.hpp"
+
+#include <stdexcept>
+
+namespace ss::pifo {
+
+SpPifo::SpPifo(std::size_t capacity, unsigned bands)
+    : cap_(capacity),
+      queues_(bands == 0 ? 1 : bands),
+      bounds_(queues_.size(), 0) {}
+
+std::string SpPifo::name() const {
+  return "sp-pifo/" + std::to_string(queues_.size()) + "q";
+}
+
+void SpPifo::push(const sched::Pkt& p, std::uint64_t rank) {
+  if (size_ >= cap_) throw std::length_error("SpPifo full");
+  // Scan from the lowest-priority band down; admit to the first band the
+  // rank clears, raising that band's bound to the rank (push-up).
+  for (std::size_t b = queues_.size(); b-- > 0;) {
+    if (rank >= bounds_[b]) {
+      bounds_[b] = rank;
+      ++pushups_;
+      queues_[b].push_back({p, rank});
+      ++size_;
+      return;
+    }
+  }
+  // The rank undercut every bound: admit to band 0 and drop all bounds by
+  // the overshoot (push-down).  bounds_[i] >= bounds_[0] keeps the
+  // subtraction from underflowing, and bounds stay monotone because each
+  // drops by the same amount.
+  const std::uint64_t cost = bounds_[0] - rank;
+  for (std::uint64_t& bd : bounds_) bd -= cost;
+  ++pushdowns_;
+  queues_[0].push_back({p, rank});
+  ++size_;
+}
+
+std::optional<RankedPkt> SpPifo::pop() {
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    const RankedPkt r = q.front();
+    q.pop_front();
+    --size_;
+    return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ss::pifo

@@ -1,0 +1,67 @@
+// sp_pifo.hpp — the SP-PIFO approximation of a PIFO (Alcoz, Dietmüller,
+// Vanbever — NSDI 2020): n strict-priority FIFO bands with per-band rank
+// bounds that adapt online.
+//
+// The scheme needs only what merchant switching silicon already has
+// (strict-priority FIFOs), trading exactness for cost:
+//
+//  * enqueue scans bands from LOWEST priority (highest bound) downward
+//    and admits the packet to the first band whose bound it clears
+//    (rank >= bound), then raises that band's bound to the rank
+//    ("push-up").
+//  * if the rank undercuts even band 0's bound, the packet goes to band 0
+//    and ALL bounds drop by the overshoot cost = bound[0] - rank
+//    ("push-down") — the reaction that keeps future small ranks from
+//    being trapped behind large ones.
+//  * dequeue serves the lowest-indexed non-empty band, FIFO within band.
+//
+// Invariants (property-tested in tests/pifo_equivalence_test.cpp):
+// bounds stay monotone non-decreasing across bands, and push-down never
+// underflows (bound[i] - cost = bound[i] - bound[0] + rank >= rank >= 0).
+// With a single band the structure degenerates to a plain FIFO.
+//
+// Inversions — pops where a strictly-smaller rank was still queued — are
+// the price of the approximation; bench/pifo_inversions.cpp counts them
+// against ExactPifo under adversarial rank distributions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pifo/pifo.hpp"
+
+namespace ss::pifo {
+
+class SpPifo final : public PifoBackend {
+ public:
+  explicit SpPifo(std::size_t capacity, unsigned bands = 8);
+
+  void push(const sched::Pkt& p, std::uint64_t rank) override;
+  std::optional<RankedPkt> pop() override;
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] std::size_t capacity() const override { return cap_; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned bands() const {
+    return static_cast<unsigned>(queues_.size());
+  }
+  /// Current admission bound of band `b` (bounds are monotone in b).
+  [[nodiscard]] std::uint64_t bound(unsigned b) const { return bounds_[b]; }
+
+  /// Adaptation counters: push-up happens on every admission; push-down
+  /// only when a rank undercuts band 0's bound.
+  [[nodiscard]] std::uint64_t pushups() const { return pushups_; }
+  [[nodiscard]] std::uint64_t pushdowns() const { return pushdowns_; }
+
+ private:
+  std::size_t cap_;
+  std::size_t size_ = 0;
+  std::vector<std::deque<RankedPkt>> queues_;
+  std::vector<std::uint64_t> bounds_;
+  std::uint64_t pushups_ = 0;
+  std::uint64_t pushdowns_ = 0;
+};
+
+}  // namespace ss::pifo

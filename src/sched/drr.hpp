@@ -27,6 +27,14 @@ class Drr final : public Discipline {
   [[nodiscard]] std::size_t backlog() const override { return backlog_; }
   [[nodiscard]] std::string name() const override { return "DRR"; }
 
+  /// Current deficit counter of `stream` (0 for unknown streams).  The
+  /// carryover invariant — deficit < quantum * weight + max packet, and 0
+  /// whenever the flow is inactive — is property-tested in
+  /// tests/fairness_property_test.cpp.
+  [[nodiscard]] std::uint64_t deficit(std::uint32_t stream) const {
+    return stream < flows_.size() ? flows_[stream].deficit : 0;
+  }
+
  private:
   struct Flow {
     std::deque<Pkt> q;

@@ -8,6 +8,7 @@
 
 #include "hwpq/factory.hpp"
 #include "robust/guarded_scheduler.hpp"
+#include "testing/rank_equivalence.hpp"
 #include "util/hash.hpp"
 
 namespace ss::testing {
@@ -481,6 +482,27 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
         }
       }
       if (res.diverged) break;
+    }
+  }
+
+  // --- rank-layer differential -------------------------------------------
+  // An independent replay of the same event stream: the rank-expressed
+  // discipline on its PIFO substrate against the bespoke sched/
+  // implementation.  Runs after the chip diff (it shares no state with
+  // it) and mixes its pop stream into the digest under tag 6 — scenarios
+  // without the axis hash exactly as before.
+  if (!res.diverged && sc.rank.enabled) {
+    std::vector<std::size_t> event_of;
+    const std::vector<RankOp> ops = ops_from_events(sc.events, &event_of);
+    RankHarness rh = make_rank_harness(sc.rank, sc.streams, ops.size() + 8);
+    const RankDiffOutcome ro = run_rank_ops(rh, ops, &hash);
+    res.rank_checked = true;
+    res.rank_served = ro.served;
+    res.rank_inversions = ro.inversions;
+    if (ro.diverged) {
+      diverge(ro.op_index < event_of.size() ? event_of[ro.op_index]
+                                            : sc.events.size(),
+              "rank layer: " + ro.detail);
     }
   }
 

@@ -51,6 +51,15 @@ struct RunResult {
   std::uint64_t arrivals = 0;   ///< requests fed to both implementations
   bool hwpq_checked = false;    ///< hwpq variants participated in the diff
 
+  // Rank-layer differential (scenarios with rank.enabled): the scenario's
+  // event stream replayed through a rank-expressed discipline on a PIFO
+  // substrate against its bespoke sched/ counterpart.  Exact backends
+  // require packet-for-packet identity; SP-PIFO requires conservation and
+  // reports its inverted pops here.
+  bool rank_checked = false;
+  std::uint64_t rank_served = 0;      ///< packets served by the rank form
+  std::uint64_t rank_inversions = 0;  ///< inverted pops (0 on exact)
+
   // Fault-plane outcome (all zero/false when the scenario's fault plane is
   // disabled).  Faults must not change the schedule: a faulted run's
   // digest equals the fault-free digest of the same scenario.

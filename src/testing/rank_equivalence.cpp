@@ -1,0 +1,246 @@
+#include "testing/rank_equivalence.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "pifo/exact_pifo.hpp"
+#include "pifo/rank_library.hpp"
+#include "pifo/sp_pifo.hpp"
+#include "sched/edf.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sfq.hpp"
+#include "sched/static_prio.hpp"
+#include "sched/virtual_clock.hpp"
+#include "sched/wfq.hpp"
+
+namespace ss::testing {
+namespace {
+
+/// Digest field tag for rank-layer pops (the chip diff uses 1..5).
+enum : std::uint8_t { kTagRank = 6 };
+
+/// SFQ bucket count used by both sides of the differential.
+constexpr std::uint32_t kSfqBuckets = 8;
+
+/// Power-of-two weight/rate derived from a stream setup — the fixed-point
+/// exactness precondition of rank_library.hpp.
+double pot_weight(const StreamSetup& s) {
+  return static_cast<double>(1u << (s.loss_den & 3));
+}
+
+std::string pkt_str(const std::optional<sched::Pkt>& p) {
+  if (!p) return "none";
+  std::ostringstream os;
+  os << "{stream=" << p->stream << " seq=" << p->seq << " bytes=" << p->bytes
+     << " arr=" << p->arrival_ns << "}";
+  return os.str();
+}
+
+}  // namespace
+
+const char* rank_disc_name(RankDisc d) {
+  switch (d) {
+    case RankDisc::kFcfs: return "fcfs";
+    case RankDisc::kStaticPrio: return "prio";
+    case RankDisc::kEdf: return "edf";
+    case RankDisc::kWfq: return "wfq";
+    case RankDisc::kVirtualClock: return "vclock";
+    case RankDisc::kSfq: return "sfq";
+  }
+  return "?";
+}
+
+const char* rank_backend_name(RankBackend b) {
+  switch (b) {
+    case RankBackend::kBinaryHeap: return "binheap";
+    case RankBackend::kPipelinedHeap: return "pipeheap";
+    case RankBackend::kSystolic: return "systolic";
+    case RankBackend::kShiftRegister: return "shiftreg";
+    case RankBackend::kSpPifo: return "sppifo";
+  }
+  return "?";
+}
+
+RankHarness make_rank_harness(const RankConfig& cfg,
+                              const std::vector<StreamSetup>& streams,
+                              std::size_t capacity) {
+  RankHarness h;
+
+  switch (cfg.disc) {
+    case RankDisc::kFcfs: {
+      h.fn = std::make_unique<pifo::FcfsRank>();
+      h.bespoke = std::make_unique<sched::Fcfs>();
+      break;
+    }
+    case RankDisc::kStaticPrio: {
+      auto fn = std::make_unique<pifo::StaticPrioRank>();
+      auto sw = std::make_unique<sched::StaticPrio>();
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        fn->set_priority(s, streams[i].loss_den);
+        sw->set_priority(s, streams[i].loss_den);
+      }
+      h.fn = std::move(fn);
+      h.bespoke = std::move(sw);
+      break;
+    }
+    case RankDisc::kEdf: {
+      auto fn = std::make_unique<pifo::EdfRank>();
+      auto sw = std::make_unique<sched::Edf>();
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        fn->add_stream(s, streams[i].period, streams[i].initial_deadline);
+        sw->add_stream(s, streams[i].period, streams[i].initial_deadline);
+      }
+      h.fn = std::move(fn);
+      h.bespoke = std::move(sw);
+      break;
+    }
+    case RankDisc::kWfq: {
+      auto fn = std::make_unique<pifo::WfqRank>();
+      auto sw = std::make_unique<sched::Wfq>();
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        fn->set_weight(s, pot_weight(streams[i]));
+        sw->set_weight(s, pot_weight(streams[i]));
+      }
+      h.fn = std::move(fn);
+      h.bespoke = std::move(sw);
+      break;
+    }
+    case RankDisc::kVirtualClock: {
+      auto fn = std::make_unique<pifo::VirtualClockRank>();
+      auto sw = std::make_unique<sched::VirtualClock>();
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        fn->set_rate(s, pot_weight(streams[i]));
+        sw->set_rate(s, pot_weight(streams[i]));
+      }
+      h.fn = std::move(fn);
+      h.bespoke = std::move(sw);
+      break;
+    }
+    case RankDisc::kSfq: {
+      h.fn = std::make_unique<pifo::SfqRank>(kSfqBuckets);
+      h.bespoke = std::make_unique<sched::Sfq>(kSfqBuckets, 0);
+      break;
+    }
+  }
+
+  if (cfg.backend == RankBackend::kSpPifo) {
+    h.backend = std::make_unique<pifo::SpPifo>(capacity, cfg.bands);
+    h.exact = false;
+  } else {
+    const auto kind = static_cast<hwpq::PqKind>(cfg.backend);
+    h.backend = std::make_unique<pifo::ExactPifo>(kind, capacity);
+    h.exact = true;
+  }
+  return h;
+}
+
+RankDiffOutcome run_rank_ops(RankHarness& h, const std::vector<RankOp>& ops,
+                             Fnv1a64* hash) {
+  RankDiffOutcome out;
+
+  // Queued ranks (for inverted-pop counting) and, in the SP-PIFO regime,
+  // the served (stream, seq) multisets for the conservation check.
+  std::multiset<std::uint64_t> queued;
+  std::multiset<std::pair<std::uint32_t, std::uint64_t>> served_rank;
+  std::multiset<std::pair<std::uint32_t, std::uint64_t>> served_sw;
+
+  auto diverge = [&](std::size_t i, const std::string& detail) {
+    out.diverged = true;
+    out.op_index = i;
+    out.detail = detail;
+  };
+
+  auto serve_one = [&](std::size_t i) {
+    const auto r = h.backend->pop();
+    const auto b = h.bespoke->dequeue(0);
+    if (r) {
+      h.fn->note_served(r->rank);
+      ++out.served;
+      if (r->rank > *queued.begin()) ++out.inversions;
+      queued.erase(queued.find(r->rank));
+    }
+    if (hash) {
+      hash->mix_byte(kTagRank);
+      hash->mix(r ? 1 + std::uint64_t{r->pkt.stream} : 0);
+      hash->mix(r ? r->pkt.seq : 0);
+    }
+    if (h.exact) {
+      const std::optional<sched::Pkt> rp =
+          r ? std::optional<sched::Pkt>(r->pkt) : std::nullopt;
+      if (rp != b) {
+        diverge(i, h.backend->name() + " served " + pkt_str(rp) + " but " +
+                       h.bespoke->name() + " served " + pkt_str(b));
+      }
+    } else {
+      if (r.has_value() != b.has_value()) {
+        diverge(i, std::string("backlog disagreement: ") + h.backend->name() +
+                       (r ? " busy" : " idle") + " vs " + h.bespoke->name() +
+                       (b ? " busy" : " idle"));
+      }
+      if (r) served_rank.emplace(r->pkt.stream, r->pkt.seq);
+      if (b) served_sw.emplace(b->stream, b->seq);
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size() && !out.diverged; ++i) {
+    const RankOp& op = ops[i];
+    if (op.enqueue) {
+      const std::uint64_t rank = h.fn->rank(op.pkt);
+      h.backend->push(op.pkt, rank);
+      h.bespoke->enqueue(op.pkt);
+      queued.insert(rank);
+    } else {
+      serve_one(i);
+    }
+  }
+
+  // Drain both sides: a campaign ends when nothing is left queued, and a
+  // backlog mismatch here is itself a divergence.
+  while (!out.diverged &&
+         (h.backend->size() > 0 || h.bespoke->backlog() > 0)) {
+    serve_one(ops.size());
+  }
+
+  if (!out.diverged && !h.exact && served_rank != served_sw) {
+    diverge(ops.size(), h.backend->name() +
+                            " served a different packet multiset than " +
+                            h.bespoke->name() + " (conservation violation)");
+  }
+  return out;
+}
+
+std::vector<RankOp> ops_from_events(const std::vector<Event>& events,
+                                    std::vector<std::size_t>* event_of) {
+  std::vector<RankOp> ops;
+  ops.reserve(events.size());
+  if (event_of) event_of->clear();
+  std::uint64_t arrival_ordinal = 0;
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    const Event& e = events[ei];
+    RankOp op;
+    switch (e.kind) {
+      case EventKind::kArrival:
+      case EventKind::kTaggedArrival:
+        op.enqueue = true;
+        op.pkt.stream = e.stream;
+        op.pkt.bytes = 64 * (1 + (e.stream & 3));
+        op.pkt.arrival_ns = ei;
+        op.pkt.seq = arrival_ordinal++;
+        break;
+      case EventKind::kDecide:
+        op.enqueue = false;
+        break;
+      case EventKind::kReconfig:
+        continue;  // no rank-layer counterpart (the resort argument)
+    }
+    ops.push_back(op);
+    if (event_of) event_of->push_back(ei);
+  }
+  return ops;
+}
+
+}  // namespace ss::testing

@@ -1,0 +1,92 @@
+// rank_equivalence.hpp — the rank-layer differential mode: drive a
+// rank-expressed discipline (src/pifo/) and its bespoke sched/
+// counterpart through one operation stream and compare.
+//
+// Two comparison regimes, chosen by the substrate:
+//
+//  * EXACT backends (a true PIFO over any hwpq structure): the rank form
+//    must match the bespoke discipline PACKET FOR PACKET — every dequeue
+//    returns the identical Pkt (stream, bytes, arrival, seq) or both
+//    return empty.  This is the strongest form of the "disciplines are
+//    rank functions" claim and what tests/pifo_equivalence_test.cpp pins
+//    over 10k-packet campaigns.
+//
+//  * SP-PIFO: inversions are expected, so packet-for-packet equality is
+//    the wrong predicate.  The harness instead checks CONSERVATION (the
+//    multiset of packets served equals the bespoke discipline's, once
+//    both drain) and counts inverted pops — pops whose rank exceeds the
+//    smallest rank still queued — for the bounded-inversion property
+//    tests and the fuzzer's coverage accounting.
+//
+// The harness works at the (RankFn, PifoBackend) level rather than
+// through the RankDiscipline adapter so it can observe ranks; the adapter
+// is what benches and fairness tests use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pifo/pifo.hpp"
+#include "pifo/rank_fn.hpp"
+#include "sched/discipline.hpp"
+#include "testing/scenario.hpp"
+#include "util/hash.hpp"
+
+namespace ss::testing {
+
+/// One step of a rank campaign: admit `pkt` or serve the next packet.
+struct RankOp {
+  bool enqueue = false;
+  sched::Pkt pkt{};
+};
+
+struct RankDiffOutcome {
+  bool diverged = false;
+  std::size_t op_index = 0;  ///< index into the op stream at detection
+  std::string detail;
+  std::uint64_t served = 0;      ///< packets served by the rank form
+  std::uint64_t inversions = 0;  ///< inverted pops (always 0 on exact)
+};
+
+/// The two sides of one rank differential plus its comparison regime.
+struct RankHarness {
+  std::unique_ptr<pifo::RankFn> fn;
+  std::unique_ptr<pifo::PifoBackend> backend;
+  std::unique_ptr<sched::Discipline> bespoke;
+  bool exact = true;  ///< packet-for-packet regime (false for SP-PIFO)
+};
+
+/// Build both sides with IDENTICAL parameters derived from the scenario's
+/// per-stream setups: WFQ weights and virtual-clock rates are the
+/// power-of-two 1 << (loss_den & 3) (the fixed-point exactness
+/// precondition), EDF takes (period, initial_deadline) verbatim, static
+/// priority takes loss_den as the level, SFQ uses 8 hash buckets.
+/// `capacity` bounds the backend (use the campaign's arrival count).
+[[nodiscard]] RankHarness make_rank_harness(
+    const RankConfig& cfg, const std::vector<StreamSetup>& streams,
+    std::size_t capacity);
+
+/// Run the op stream (plus a full end-of-stream drain) through both
+/// sides.  When `hash` is non-null every served (stream, seq) — and every
+/// empty pop — is mixed under digest tag 6, extending the differential
+/// digest to the rank layer.
+[[nodiscard]] RankDiffOutcome run_rank_ops(RankHarness& h,
+                                           const std::vector<RankOp>& ops,
+                                           Fnv1a64* hash = nullptr);
+
+/// Translate a scenario's event stream into rank-campaign ops: arrivals
+/// (tagged or not) become enqueues of a synthetic Pkt — bytes
+/// 64 * (1 + (stream & 3)), arrival_ns = event index, seq = arrival
+/// ordinal — and every decide event becomes one dequeue.  Reconfig events
+/// are skipped (the rank layer has no mid-run reparameterization, by
+/// design: the paper's resort argument).  `event_of[i]` maps op i back to
+/// its source event index for divergence reports.
+[[nodiscard]] std::vector<RankOp> ops_from_events(
+    const std::vector<Event>& events, std::vector<std::size_t>* event_of);
+
+[[nodiscard]] const char* rank_disc_name(RankDisc d);
+[[nodiscard]] const char* rank_backend_name(RankBackend b);
+
+}  // namespace ss::testing

@@ -78,6 +78,41 @@ struct Event {
   friend bool operator==(const Event&, const Event&) = default;
 };
 
+/// Software discipline expressed as a rank function (src/pifo/) for the
+/// rank-layer differential: the rank form replays the scenario's event
+/// stream against its bespoke sched/ counterpart.
+enum class RankDisc : std::uint8_t {
+  kFcfs,
+  kStaticPrio,
+  kEdf,
+  kWfq,
+  kVirtualClock,
+  kSfq,
+};
+
+/// PIFO substrate carrying the rank form: one of the four exact hardware
+/// structures (packet-for-packet equivalence required) or the SP-PIFO
+/// approximation (conservation required, inversions counted).
+enum class RankBackend : std::uint8_t {
+  kBinaryHeap,
+  kPipelinedHeap,
+  kSystolic,
+  kShiftRegister,
+  kSpPifo,
+};
+
+/// Rank-layer axis of a scenario.  Disabled by default so pre-rank trace
+/// files and golden digests are untouched; serialized as an optional
+/// `rank` record.
+struct RankConfig {
+  bool enabled = false;
+  RankDisc disc = RankDisc::kFcfs;
+  RankBackend backend = RankBackend::kBinaryHeap;
+  std::uint8_t bands = 8;  ///< SP-PIFO band count (kSpPifo only)
+
+  friend bool operator==(const RankConfig&, const RankConfig&) = default;
+};
+
 struct Scenario {
   FabricPoint fabric;
   std::vector<StreamSetup> streams;  ///< one per slot
@@ -108,6 +143,9 @@ struct Scenario {
   /// Serialized with the scenario so a minimized reproducer still
   /// reproduces.
   std::uint64_t inject_fault_at_grant = 0;
+
+  /// Rank-layer differential axis (rank.enabled == false = off).
+  RankConfig rank{};
 
   /// Hardware fault plane for this run (seed == 0 = disabled).  The
   /// contract under faults: the guarded chip either recovers within the

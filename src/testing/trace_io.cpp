@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "testing/rank_equivalence.hpp"
+
 namespace ss::testing {
 namespace {
 
@@ -97,6 +99,12 @@ std::string serialize(const Scenario& sc,
        << sc.faults.pci_timeout_ns << ' ' << sc.faults.sram_stall_ns << ' '
        << sc.faults.chip_stall_ns << ' ' << sc.faults.chip_fail_after
        << '\n';
+  }
+  // Optional rank-layer record (pre-rank trace files parse unchanged).
+  if (sc.rank.enabled) {
+    os << "rank " << rank_disc_name(sc.rank.disc) << ' '
+       << rank_backend_name(sc.rank.backend) << ' '
+       << unsigned{sc.rank.bands} << '\n';
   }
   os << "streams " << sc.streams.size() << '\n';
   for (const StreamSetup& s : sc.streams) {
@@ -200,6 +208,31 @@ TraceFile parse(std::istream& in) {
       }
       if (f.seed == 0) fail(ln, "faults record requires a non-zero seed");
       if (f.max_burst == 0) fail(ln, "faults max_burst must be positive");
+    } else if (tag == "rank") {
+      std::string disc, backend;
+      unsigned bands = 0;
+      if (!(is >> disc >> backend >> bands)) fail(ln, "malformed rank line");
+      sc.rank.enabled = true;
+      bool found = false;
+      for (unsigned d = 0; d < 6; ++d) {
+        if (disc == rank_disc_name(static_cast<RankDisc>(d))) {
+          sc.rank.disc = static_cast<RankDisc>(d);
+          found = true;
+        }
+      }
+      if (!found) fail(ln, "unknown rank discipline '" + disc + "'");
+      found = false;
+      for (unsigned b = 0; b < 5; ++b) {
+        if (backend == rank_backend_name(static_cast<RankBackend>(b))) {
+          sc.rank.backend = static_cast<RankBackend>(b);
+          found = true;
+        }
+      }
+      if (!found) fail(ln, "unknown rank backend '" + backend + "'");
+      if (bands == 0 || bands > 255) {
+        fail(ln, "rank band count must be in [1, 255]");
+      }
+      sc.rank.bands = static_cast<std::uint8_t>(bands);
     } else if (tag == "streams") {
       if (!(is >> declared_streams)) fail(ln, "malformed streams line");
     } else if (tag == "s") {

@@ -162,6 +162,16 @@ Scenario WorkloadFuzzer::next() {
     if (decide_budget == 0) break;  // 16-bit horizon guard
   }
 
+  // --- rank-layer axis ------------------------------------------------------
+  // Drawn after everything else so turning the axis on leaves the rest of
+  // the scenario (and every scenario of a disabled run) bit-identical.
+  if (opt_.explore_rank && rng_.chance(0.75)) {
+    sc.rank.enabled = true;
+    sc.rank.disc = static_cast<RankDisc>(rng_.below(6));
+    sc.rank.backend = static_cast<RankBackend>(rng_.below(5));
+    sc.rank.bands = static_cast<std::uint8_t>(1 + rng_.below(8));
+  }
+
   return sc;
 }
 

@@ -56,6 +56,12 @@ class WorkloadFuzzer {
     /// are decoupled from workload shape (only read when
     /// fault_probability > 0).
     std::uint64_t fault_seed = 0x5eedfa17u;
+    /// Also sample the rank-layer axis (Scenario::rank): discipline x
+    /// PIFO substrate x SP-PIFO band count.  Off by default for the same
+    /// golden-seed reason as explore_batch; the rank draws happen LAST in
+    /// next(), so enabling it never shifts the draws shaping the scenario
+    /// itself.  The fuzz_ss CLI turns it on with --explore-rank.
+    bool explore_rank = false;
   };
 
   explicit WorkloadFuzzer(const Options& opt);

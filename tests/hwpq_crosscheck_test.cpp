@@ -1,0 +1,145 @@
+// hwpq_crosscheck_test.cpp — the tie-break contract of pq_interface.hpp,
+// pinned across every structure at once.
+//
+// All four hardware priority-queue models — and a seq-stabilized
+// std::priority_queue reference — must produce IDENTICAL pop sequences
+// for ANY push/pop interleaving, including heavy key ties: equal keys
+// drain in FIFO push order ("insert behind equal priorities", the
+// behaviour the shift-register chain realizes literally in hardware and
+// the heaps realize with a width-extended (key, seq) comparison).  The
+// exact-PIFO backend of src/pifo/ builds its stable semantics directly on
+// this contract, so a regression here would silently break the rank
+// layer's packet-for-packet equivalence guarantee.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "hwpq/factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ss;
+using namespace ss::hwpq;
+
+/// std::priority_queue stabilized the same way the hardware models are:
+/// a push sequence number extends the key, making the min (and, among
+/// equal keys, earliest-pushed) entry surface first.
+class StableStdPq {
+ public:
+  void push(Entry e) { q_.push({e, next_seq_++}); }
+  std::optional<Entry> pop_min() {
+    if (q_.empty()) return std::nullopt;
+    const Entry top = q_.top().e;
+    q_.pop();
+    return top;
+  }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  struct Cell {
+    Entry e;
+    std::uint64_t seq;
+    bool operator<(const Cell& o) const {  // max-heap: reverse the order
+      return e.key > o.e.key || (e.key == o.e.key && seq > o.seq);
+    }
+  };
+  std::priority_queue<Cell> q_;
+  std::uint64_t next_seq_ = 0;
+};
+
+struct Op {
+  bool push = false;
+  Entry e{};
+};
+
+/// Drive all five queues through `ops` and require identical pop streams.
+void crosscheck(const std::vector<Op>& ops, std::size_t capacity) {
+  std::vector<std::unique_ptr<HwPriorityQueue>> pqs;
+  for (PqKind k : kAllPqKinds) pqs.push_back(make_pq(k, capacity));
+  StableStdPq ref;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].push) {
+      ref.push(ops[i].e);
+      for (auto& pq : pqs) pq->push(ops[i].e);
+    } else {
+      const auto want = ref.pop_min();
+      for (auto& pq : pqs) {
+        const auto got = pq->pop_min();
+        ASSERT_EQ(got, want) << pq->name() << " at op " << i << " (key "
+                             << (want ? want->key : 0) << ")";
+      }
+    }
+  }
+  // Drain: the full remaining order must agree too.
+  while (ref.size() > 0) {
+    const auto want = ref.pop_min();
+    for (auto& pq : pqs) ASSERT_EQ(pq->pop_min(), want);
+  }
+  for (auto& pq : pqs) EXPECT_EQ(pq->size(), 0u);
+}
+
+/// Randomized interleavings drawn from a small key alphabet, so ties are
+/// the COMMON case, not the corner case.
+std::vector<Op> adversarial_ops(std::uint64_t seed, std::size_t n,
+                                std::uint64_t key_alphabet,
+                                std::size_t capacity) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  std::size_t backlog = 0;
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Op op;
+    op.push = backlog == 0 || (backlog < capacity && rng.chance(0.55));
+    if (op.push) {
+      op.e.key = rng.below(key_alphabet);
+      op.e.id = id++;
+      ++backlog;
+    } else {
+      --backlog;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(HwpqCrosscheck, AllStructuresAgreeUnderHeavyTies) {
+  // Alphabet of 4 keys over 2000 ops: nearly every comparison is a tie.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    crosscheck(adversarial_ops(seed, 2000, 4, 64), 64);
+  }
+}
+
+TEST(HwpqCrosscheck, AllStructuresAgreeOnSingleKeyPureFifo) {
+  // Degenerate alphabet: ONE key.  The entire order is the tie-break, so
+  // this is the contract in its purest form.
+  crosscheck(adversarial_ops(9, 1500, 1, 32), 32);
+}
+
+TEST(HwpqCrosscheck, AllStructuresAgreeUnderMixedAlphabets) {
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    crosscheck(adversarial_ops(seed, 3000, 1000, 128), 128);
+    crosscheck(adversarial_ops(seed ^ 0xffu, 800, 2, 8), 8);  // tiny + tied
+  }
+}
+
+TEST(HwpqCrosscheck, SawtoothFillDrainKeepsFifoWithinEqualKeys) {
+  // Deterministic capacity sawtooth: fill to the brim with one repeated
+  // key, drain to empty, repeat with interleaved distinct keys.  Exercises
+  // the systolic/shift-register insertion path at both boundaries.
+  std::vector<Op> ops;
+  std::uint32_t id = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      ops.push_back({true, {round % 2 == 0 ? 7u : static_cast<std::uint64_t>(i / 4), id++}});
+    }
+    for (int i = 0; i < 16; ++i) ops.push_back({false, {}});
+  }
+  crosscheck(ops, 16);
+}
+
+}  // namespace

@@ -148,5 +148,62 @@ TEST(SeedStability, GoldenFuzzTraceForSeed2003BatchDepths) {
   }
 }
 
+// The golden scenario again, now with the programmable rank layer armed
+// on two fixed winner configurations: WFQ-as-rank on an exact binary-heap
+// PIFO (must shadow the bespoke discipline packet-for-packet, so the
+// served count is pinned and inversions are zero by construction) and
+// EDF-as-rank on a 4-band SP-PIFO (approximate: conservation holds but
+// the inversion count is a pinned behavioural fingerprint).  The rank
+// check mixes its own digest tag, so these digests differ from the
+// unranked golden digest above; a drift here means the rank encodings,
+// the SP-PIFO bound adaptation, or the `rank` trace record moved.
+TEST(SeedStability, GoldenRankLayerWinnersForSeed2003) {
+  testing::WorkloadFuzzer::Options opt;
+  opt.seed = 2003;
+  opt.events_per_scenario = 64;
+  testing::WorkloadFuzzer fuzz(opt);
+  const testing::Scenario sc = fuzz.next();
+  ASSERT_FALSE(sc.rank.enabled);  // explore_rank defaults off
+
+  const testing::DifferentialExecutor ex;
+  struct Pin {
+    testing::RankDisc disc;
+    testing::RankBackend backend;
+    std::uint8_t bands;
+    std::uint64_t rank_served;
+    std::uint64_t rank_inversions;
+    std::uint64_t digest;
+    const char* record;  ///< the serialized `rank` line
+  };
+  const Pin pins[] = {
+      {testing::RankDisc::kWfq, testing::RankBackend::kBinaryHeap, 8,
+       52, 0, 0x482d74e2fee794cbULL, "rank wfq binheap 8\n"},
+      {testing::RankDisc::kEdf, testing::RankBackend::kSpPifo, 4,
+       52, 40, 0xe6d8d12f978ac24dULL, "rank edf sppifo 4\n"},
+  };
+  for (const Pin& p : pins) {
+    testing::Scenario ranked = sc;
+    ranked.rank.enabled = true;
+    ranked.rank.disc = p.disc;
+    ranked.rank.backend = p.backend;
+    ranked.rank.bands = p.bands;
+    const testing::RunResult r = ex.run(ranked);
+    EXPECT_FALSE(r.diverged) << p.record << r.detail;
+    EXPECT_TRUE(r.rank_checked) << p.record;
+    EXPECT_EQ(r.rank_served, p.rank_served) << p.record;
+    EXPECT_EQ(r.rank_inversions, p.rank_inversions) << p.record;
+    EXPECT_EQ(r.digest, p.digest) << p.record;
+
+    // The optional `rank` record must survive the text format and replay
+    // to the identical digest (unranked files stay valid: the base
+    // scenario serializes without the record).
+    const std::string text = serialize(ranked);
+    EXPECT_NE(text.find(p.record), std::string::npos) << p.record;
+    EXPECT_EQ(ex.run(testing::parse_string(text).scenario).digest, r.digest)
+        << p.record;
+  }
+  EXPECT_EQ(serialize(sc).find("rank "), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ss
