@@ -29,6 +29,8 @@
 
 #include "bench_common.hpp"
 #include "core/endsystem.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/watchdog.hpp"
 
 namespace {
 
@@ -51,7 +53,8 @@ Row run_point(const char* mode, unsigned batch_depth, unsigned streams,
               std::uint64_t frames_per_stream,
               ss::telemetry::MetricsRegistry* metrics = nullptr,
               ss::telemetry::FrameTrace* frame_trace = nullptr,
-              ss::telemetry::AuditSession* audit = nullptr) {
+              ss::telemetry::AuditSession* audit = nullptr,
+              ss::telemetry::Profiler* profiler = nullptr) {
   using namespace ss;
   Row row{mode, batch_depth, streams};
 
@@ -70,6 +73,7 @@ Row run_point(const char* mode, unsigned batch_depth, unsigned streams,
   cfg.metrics = metrics;
   cfg.frame_trace = frame_trace;
   cfg.audit = audit;
+  cfg.profiler = profiler;
   core::Endsystem es(cfg);
 
   for (unsigned i = 0; i < streams; ++i) {
@@ -116,8 +120,36 @@ struct OverheadRow {
   double overhead_pct = 0;  ///< (off - on) / off, percent
 };
 
+// Noise discipline for the overhead contracts: the box this runs on is
+// shared, so a single off/on pair conflates scheduling noise (observed
+// swings of +-20% between identical runs) with instrumentation cost.
+// Each contract interleaves `reps` off/on pairs — both legs sample the
+// same background-load regime — and keeps the best of each leg: the max
+// estimates unthrottled capability, which is what an overhead ratio is
+// about.
+template <typename OffFn, typename OnFn>
+void measure_overhead(OverheadRow& r, unsigned reps, OffFn&& off, OnFn&& on) {
+  for (unsigned i = 0; i < reps; ++i) {
+    r.pps_off = std::max(r.pps_off, off().pps_excl_pci);
+    r.pps_on = std::max(r.pps_on, on().pps_excl_pci);
+  }
+  r.overhead_pct =
+      r.pps_off > 0 ? (r.pps_off - r.pps_on) / r.pps_off * 100.0 : 0.0;
+}
+
+void print_overhead_entry(std::FILE* f, const char* key, const OverheadRow& r,
+                          bool last) {
+  std::fprintf(f,
+               "  \"%s\": {\"mode\": \"block\", "
+               "\"batch_depth\": %u, \"streams\": %u, \"pps_off\": %.1f, "
+               "\"pps_on\": %.1f, \"overhead_pct\": %.2f}%s\n",
+               key, r.batch_depth, r.streams, r.pps_off, r.pps_on,
+               r.overhead_pct, last ? "" : ",");
+}
+
 void write_json(const std::string& path, const std::vector<Row>& rows,
                 const OverheadRow& oh, const OverheadRow& ah,
+                const OverheadRow& sh, const OverheadRow& ph,
                 std::uint64_t frames_per_stream, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -150,18 +182,13 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"telemetry_overhead\": {\"mode\": \"block\", "
-               "\"batch_depth\": %u, \"streams\": %u, \"pps_off\": %.1f, "
-               "\"pps_on\": %.1f, \"overhead_pct\": %.2f},\n",
-               oh.batch_depth, oh.streams, oh.pps_off, oh.pps_on,
-               oh.overhead_pct);
-  std::fprintf(f,
-               "  \"audit_overhead\": {\"mode\": \"block\", "
-               "\"batch_depth\": %u, \"streams\": %u, \"pps_off\": %.1f, "
-               "\"pps_on\": %.1f, \"overhead_pct\": %.2f}\n",
-               ah.batch_depth, ah.streams, ah.pps_off, ah.pps_on,
-               ah.overhead_pct);
+  print_overhead_entry(f, "telemetry_overhead", oh, false);
+  // audit_overhead is the production observability config: audit sampled
+  // 1-in-64, metrics registry bound, anomaly watchdog polling live.
+  print_overhead_entry(f, "audit_overhead", ah, false);
+  // audit_sampled_overhead isolates the sampled audit session itself.
+  print_overhead_entry(f, "audit_sampled_overhead", sh, false);
+  print_overhead_entry(f, "profiler_overhead", ph, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -172,8 +199,9 @@ int main(int argc, char** argv) {
   using namespace ss;
   std::uint64_t frames_per_stream = 20000;
   std::string out = "BENCH_throughput.json";
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, profile_out;
   bool quick = false;
+  unsigned reps_override = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
@@ -181,16 +209,22 @@ int main(int argc, char** argv) {
       frames_per_stream = 2000;
     } else if (a == "--frames" && i + 1 < argc) {
       frames_per_stream = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps_override =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (a == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else if (a == "--metrics-json" && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (a == "--profile-out" && i + 1 < argc) {
+      profile_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: throughput_baseline [--quick] [--frames N] "
-                   "[--out FILE] [--metrics-json FILE] [--trace-out FILE]\n");
+                   "[--reps N] [--out FILE] [--metrics-json FILE] "
+                   "[--trace-out FILE] [--profile-out FILE]\n");
       return 2;
     }
   }
@@ -225,21 +259,26 @@ int main(int argc, char** argv) {
   // number is what the rows above report; the attached number shows what a
   // monitored deployment pays.
   bench::section("telemetry overhead (block depth 4, 16 streams)");
+  // `--reps` widens the interleaved best-of-N window when the box is
+  // noisy enough that 5 reps still let one lucky leg skew a row.
+  const unsigned reps = reps_override ? reps_override : (quick ? 2u : 5u);
   OverheadRow oh;
   {
-    const Row off = run_point("block", oh.batch_depth, oh.streams,
-                              frames_per_stream);
     telemetry::MetricsRegistry registry;
     telemetry::FrameTrace frame_trace;
-    const Row on = run_point("block", oh.batch_depth, oh.streams,
-                             frames_per_stream, &registry,
-                             trace_out.empty() ? nullptr : &frame_trace);
-    oh.pps_off = off.pps_excl_pci;
-    oh.pps_on = on.pps_excl_pci;
-    oh.overhead_pct =
-        oh.pps_off > 0 ? (oh.pps_off - oh.pps_on) / oh.pps_off * 100.0 : 0.0;
-    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%\n", oh.pps_off,
-                oh.pps_on, oh.overhead_pct);
+    measure_overhead(
+        oh, reps,
+        [&] {
+          return run_point("block", oh.batch_depth, oh.streams,
+                           frames_per_stream);
+        },
+        [&] {
+          return run_point("block", oh.batch_depth, oh.streams,
+                           frames_per_stream, &registry,
+                           trace_out.empty() ? nullptr : &frame_trace);
+        });
+    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (best of %u)\n",
+                oh.pps_off, oh.pps_on, oh.overhead_pct, reps);
     if (!metrics_out.empty()) {
       std::FILE* mf = std::fopen(metrics_out.c_str(), "w");
       if (!mf) {
@@ -257,30 +296,98 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Audit overhead contract: the same point with a decision-audit session
-  // attached (rule provenance + flight recorder, ring capacity 256) vs
-  // detached.  The audit layer observes every comparison, so this is the
-  // upper bound a deployment pays for always-on black-box recording.
-  bench::section("audit overhead (block depth 4, 16 streams)");
+  // Audit overhead, production configuration: the decision-audit session
+  // sampling rule provenance 1-in-64, its exact counters bound into a
+  // registry, and the anomaly watchdog polling that registry live.  The
+  // row isolates the audit plane: the cost of the EndsystemMetrics
+  // instrumentation is the telemetry_overhead row above, so it is not
+  // attached here (a deployment running both pays roughly the sum).
+  bench::section(
+      "audit overhead, production config "
+      "(sampled 1-in-64 + registry + watchdog; block depth 4, 16 streams)");
   OverheadRow ah;
   {
-    const Row off = run_point("block", ah.batch_depth, ah.streams,
-                              frames_per_stream);
+    telemetry::MetricsRegistry registry;
     telemetry::AuditSession audit(ah.streams);
-    const Row on = run_point("block", ah.batch_depth, ah.streams,
-                             frames_per_stream, nullptr, nullptr, &audit);
-    ah.pps_off = off.pps_excl_pci;
-    ah.pps_on = on.pps_excl_pci;
-    ah.overhead_pct =
-        ah.pps_off > 0 ? (ah.pps_off - ah.pps_on) / ah.pps_off * 100.0 : 0.0;
-    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (comparisons=%llu "
-                "recorded=%llu)\n",
-                ah.pps_off, ah.pps_on, ah.overhead_pct,
+    audit.set_sampling(64);
+    audit.audit().bind_registry(registry);
+    telemetry::Watchdog watchdog(registry, &audit);
+    watchdog.start();
+    measure_overhead(
+        ah, reps,
+        [&] {
+          return run_point("block", ah.batch_depth, ah.streams,
+                           frames_per_stream);
+        },
+        [&] {
+          return run_point("block", ah.batch_depth, ah.streams,
+                           frames_per_stream, nullptr, nullptr, &audit);
+        });
+    watchdog.stop();
+    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (best of %u; "
+                "comparisons=%llu sampled=%llu recorded=%llu "
+                "watchdog_polls=%llu)\n",
+                ah.pps_off, ah.pps_on, ah.overhead_pct, reps,
                 static_cast<unsigned long long>(audit.audit().comparisons()),
-                static_cast<unsigned long long>(audit.recorder().recorded()));
+                static_cast<unsigned long long>(
+                    audit.audit().comparisons_sampled()),
+                static_cast<unsigned long long>(audit.recorder().recorded()),
+                static_cast<unsigned long long>(watchdog.polls()));
   }
 
-  write_json(out, rows, oh, ah, frames_per_stream, quick);
+  // The sampled audit session alone (no registry, no watchdog): what the
+  // 1-in-64 DecisionSampler costs over a fully detached run.
+  bench::section("audit overhead, sampling only (1-in-64)");
+  OverheadRow sh;
+  {
+    telemetry::AuditSession audit(sh.streams);
+    audit.set_sampling(64);
+    measure_overhead(
+        sh, reps,
+        [&] {
+          return run_point("block", sh.batch_depth, sh.streams,
+                           frames_per_stream);
+        },
+        [&] {
+          return run_point("block", sh.batch_depth, sh.streams,
+                           frames_per_stream, nullptr, nullptr, &audit);
+        });
+    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (best of %u)\n",
+                sh.pps_off, sh.pps_on, sh.overhead_pct, reps);
+  }
+
+  // Hot-path self-profiler: per-stage scoped timers (rdtsc where
+  // available) on the decision, shuffle, PCI, queue-drain and transmit
+  // paths.
+  bench::section("profiler overhead");
+  OverheadRow ph;
+  {
+    telemetry::Profiler profiler;
+    measure_overhead(
+        ph, reps,
+        [&] {
+          return run_point("block", ph.batch_depth, ph.streams,
+                           frames_per_stream);
+        },
+        [&] {
+          return run_point("block", ph.batch_depth, ph.streams,
+                           frames_per_stream, nullptr, nullptr, nullptr,
+                           &profiler);
+        });
+    std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (best of %u; "
+                "%s clock)\n",
+                ph.pps_off, ph.pps_on, ph.overhead_pct, reps,
+                telemetry::Profiler::clock_name());
+    if (!profile_out.empty()) {
+      if (!profiler.write_json(profile_out)) {
+        std::fprintf(stderr, "cannot open %s\n", profile_out.c_str());
+        return 2;
+      }
+      std::printf("stage profile -> %s\n", profile_out.c_str());
+    }
+  }
+
+  write_json(out, rows, oh, ah, sh, ph, frames_per_stream, quick);
 
   // The claim the artifact backs: at >=16 streams, batched draining beats
   // winner-only (batch_depth=1) packet rates.

@@ -61,7 +61,11 @@ struct Args {
   std::string replay;  // replay path; empty = fuzz mode
   std::string metrics_json;  // write the run's metrics snapshot here
   std::string trace_out;     // write chip Chrome trace-event JSON here
-  std::string audit_out;     // write the ss-audit-v1 black-box dump here
+  std::string audit_out;     // write the ss-audit-v2 black-box dump here
+  // Audit sampling period (1 = every decision).  The fuzzer keeps full
+  // audit by default — it is a correctness tool, not a production loop —
+  // but the flag lets campaigns measure the sampled configuration.
+  unsigned sample_every = 1;
 };
 
 bool write_text_file(const std::string& path, const std::string& body) {
@@ -136,8 +140,9 @@ int usage() {
       "               [--explore-batch] [--explore-rank]\n"
       "               [--metrics-json FILE]\n"
       "               [--trace-out FILE] [--audit-out FILE]\n"
+      "               [--sample-every N]\n"
       "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n"
-      "               [--audit-out FILE]\n";
+      "               [--audit-out FILE] [--sample-every N]\n";
   return 2;
 }
 
@@ -154,6 +159,7 @@ int replay_mode(const Args& args) {
   // the violation baselines per run (begin_run).
   ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
   audit.set_dump_path(args.audit_out);
+  audit.set_sampling(args.sample_every);
   const DifferentialExecutor ex(exec_options(
       args, &reg, args.audit_out.empty() ? nullptr : &audit));
   const RunResult r = ex.run(tf.scenario);
@@ -205,6 +211,7 @@ int fuzz_mode(const Args& args) {
   // decisions, so a late divergence still dumps a populated black box.
   ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
   audit.set_dump_path(args.audit_out);
+  audit.set_sampling(args.sample_every);
   const DifferentialExecutor ex(exec_options(
       args, &reg, args.audit_out.empty() ? nullptr : &audit));
 
@@ -360,6 +367,10 @@ int main(int argc, char** argv) {
     } else if (a == "--audit-out") {
       if (i + 1 >= argc) return usage();
       args.audit_out = argv[++i];
+    } else if (a == "--sample-every") {
+      if (i + 1 >= argc) return usage();
+      args.sample_every =
+          static_cast<unsigned>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       return usage();
     }

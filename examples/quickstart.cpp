@@ -20,13 +20,23 @@
 // over to the software scheduler without dropping a frame.
 //
 // Audit quickstart:
-//   quickstart --audit-out audit.json
+//   quickstart --audit-out audit.json [--sample-every N]
 // attaches a decision-audit session: every comparator resolution is
 // attributed to its Table-2 rule, the last decisions ride in a flight-
-// recorder ring, and the run ends with a single-line `ss-audit-v1` dump
-// (docs/formats.md).  Under the fault flags a forced failover dumps the
-// black box automatically (cause "failover") — combine with --inject-fault
-// to capture the chip's final decisions at the failover point.
+// recorder ring, and the run ends with a single-line `ss-audit-v2` dump
+// (docs/formats.md).  Rule profiles are sampled 1-in-N (default 64;
+// N <= 1 audits every decision) — exact grant/violation/burn counters are
+// unaffected, and winners are bit-identical at any rate.  Under the fault
+// flags a forced failover dumps the black box automatically (cause
+// "failover") — combine with --inject-fault to capture the chip's final
+// decisions at the failover point.
+//
+// Observability quickstart:
+//   quickstart --profile-out prof.json --watchdog
+// attaches the hot-path self-profiler (per-stage wall time as a
+// flamegraph-style `ss-profile-v1` JSON) and the anomaly watchdog (a
+// monitor thread whose rolling-window rules fire the flight recorder
+// with cause "watchdog:<rule>").
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -36,6 +46,8 @@
 #include "core/endsystem.hpp"
 #include "hw/scheduler_chip.hpp"
 #include "robust/fault_plan.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/watchdog.hpp"
 #include "util/sim_time.hpp"
 
 namespace {
@@ -46,19 +58,23 @@ namespace {
 int run_instrumented_pipeline(const std::string& metrics_path,
                               const std::string& trace_path,
                               std::string audit_path,
+                              const std::string& profile_path,
+                              bool watchdog_on, unsigned sample_every,
                               const ss::robust::FaultProfile& faults) {
   using namespace ss;
 
   telemetry::MetricsRegistry registry;
   telemetry::FrameTrace frame_trace;
+  telemetry::Profiler profiler;
   // The black box rides along whenever requested — and always under the
-  // fault flags, so a forced failover leaves a dump behind even when the
-  // operator forgot to ask for one.
-  if (audit_path.empty() && faults.enabled()) {
+  // fault flags or the watchdog, so an anomaly leaves a dump behind even
+  // when the operator forgot to ask for one.
+  if (audit_path.empty() && (faults.enabled() || watchdog_on)) {
     audit_path = "ss_audit_dump.json";
   }
   telemetry::AuditSession audit(4);
   audit.set_dump_path(audit_path);
+  audit.set_sampling(sample_every);
 
   core::EndsystemConfig cfg;
   cfg.chip.slots = 4;
@@ -68,8 +84,12 @@ int run_instrumented_pipeline(const std::string& metrics_path,
   cfg.metrics = &registry;
   cfg.frame_trace = &frame_trace;
   if (!audit_path.empty()) cfg.audit = &audit;
+  if (!profile_path.empty()) cfg.profiler = &profiler;
   cfg.faults = faults;
   core::Endsystem es(cfg);
+
+  telemetry::Watchdog watchdog(registry, cfg.audit);
+  if (watchdog_on) watchdog.start();
 
   const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
   const double weights[4] = {1.0, 1.0, 2.0, 4.0};
@@ -82,6 +102,14 @@ int run_instrumented_pipeline(const std::string& metrics_path,
     es.add_stream(r, std::make_unique<queueing::CbrGen>(interval), 1500);
   }
   const auto rep = es.run(std::vector<std::uint64_t>{500, 500, 1000, 2000});
+  if (watchdog_on) {
+    watchdog.stop();  // runs one final rule evaluation before joining
+    std::printf("watchdog: %llu polls, %llu rule firings%s%s\n",
+                static_cast<unsigned long long>(watchdog.polls()),
+                static_cast<unsigned long long>(watchdog.fired()),
+                watchdog.fired() > 0 ? ", last rule " : "",
+                watchdog.fired() > 0 ? watchdog.last_rule().c_str() : "");
+  }
 
   if (!metrics_path.empty()) {
     std::FILE* f = std::fopen(metrics_path.c_str(), "w");
@@ -125,11 +153,24 @@ int run_instrumented_pipeline(const std::string& metrics_path,
                             : "hardware path survived: every fault recovered "
                               "within the retry bound");
   }
+  if (!profile_path.empty()) {
+    if (!profiler.write_json(profile_path)) {
+      std::fprintf(stderr, "quickstart: cannot open %s\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    std::printf("profile: per-stage wall time (%s clock) -> %s\n",
+                telemetry::Profiler::clock_name(), profile_path.c_str());
+  }
   if (!audit_path.empty()) {
     if (!audit.dumped()) audit.dump("on_demand");
-    std::printf("audit: %llu comparisons attributed across %llu decisions; "
-                "flight recorder dump (cause \"%s\") -> %s\n",
+    std::printf("audit: %llu comparisons (%llu with sampled provenance, "
+                "1-in-%u) across %llu decisions; flight recorder dump "
+                "(cause \"%s\") -> %s\n",
                 static_cast<unsigned long long>(audit.audit().comparisons()),
+                static_cast<unsigned long long>(
+                    audit.audit().comparisons_sampled()),
+                audit.sampler().every(),
                 static_cast<unsigned long long>(audit.recorder().recorded()),
                 audit.last_cause().c_str(), audit_path.c_str());
   }
@@ -141,7 +182,9 @@ int run_instrumented_pipeline(const std::string& metrics_path,
 int main(int argc, char** argv) {
   using namespace ss::hw;
 
-  std::string metrics_path, trace_path, audit_path;
+  std::string metrics_path, trace_path, audit_path, profile_path;
+  bool watchdog_on = false;
+  unsigned sample_every = 64;  // production default; <= 1 audits everything
   ss::robust::FaultProfile faults;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
@@ -150,6 +193,13 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
       audit_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-every") == 0 && i + 1 < argc) {
+      sample_every =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      watchdog_on = true;
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       faults.seed = std::strtoull(argv[++i], nullptr, 10);
       faults.pci_fault_per64k = 700;   // ~1% per bus transaction
@@ -162,14 +212,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--metrics-json FILE] [--trace-out "
-                   "FILE] [--audit-out FILE] [--fault-seed S] "
+                   "FILE] [--audit-out FILE] [--profile-out FILE] "
+                   "[--sample-every N] [--watchdog] [--fault-seed S] "
                    "[--inject-fault K]\n");
       return 2;
     }
   }
   if (!metrics_path.empty() || !trace_path.empty() || !audit_path.empty() ||
-      faults.enabled()) {
+      !profile_path.empty() || watchdog_on || faults.enabled()) {
     return run_instrumented_pipeline(metrics_path, trace_path, audit_path,
+                                     profile_path, watchdog_on, sample_every,
                                      faults);
   }
 

@@ -5,9 +5,10 @@
 //   ss_cli area  <slots>                          Virtex-I/II area & clock
 //   ss_cli trace                                  a traced 8-cycle DWCS run
 //   ss_cli run <streams> <frames> [--metrics-json F] [--trace-out F]
-//              [--audit-out F]                    instrumented pipeline run
+//              [--audit-out F] [--profile-out F] [--sample-every N]
+//                                                 instrumented pipeline run
 //   ss_cli audit <streams> <frames> [--out F] [--fault-seed S]
-//                                                 black-box / provenance dump
+//                [--sample-every N] [--watchdog]  black-box / provenance dump
 //
 // Run without arguments for a demonstration of the subcommands.
 #include <cstdio>
@@ -26,6 +27,8 @@
 #include "hw/area_model.hpp"
 #include "hw/scheduler_chip.hpp"
 #include "hw/trace.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/watchdog.hpp"
 #include "util/sim_time.hpp"
 
 namespace {
@@ -139,7 +142,8 @@ int cmd_trace() {
 /// frame-lifecycle events to a Perfetto-loadable Chrome trace.
 int cmd_run(unsigned streams, std::uint64_t frames,
             const std::string& metrics_path, const std::string& trace_path,
-            const std::string& audit_path) {
+            const std::string& audit_path, const std::string& profile_path,
+            unsigned sample_every) {
   using namespace ss;
   if (streams < 2 || streams > 32 || (streams & (streams - 1)) != 0) {
     std::fprintf(stderr, "run: streams must be a power of two in 2..32\n");
@@ -148,8 +152,10 @@ int cmd_run(unsigned streams, std::uint64_t frames,
 
   telemetry::MetricsRegistry registry;
   telemetry::FrameTrace frame_trace;
+  telemetry::Profiler profiler;
   telemetry::AuditSession audit(streams);
   audit.set_dump_path(audit_path);
+  audit.set_sampling(sample_every);
   core::EndsystemConfig cfg;
   cfg.chip.slots = streams;
   cfg.chip.cmp_mode = hw::ComparisonMode::kTagOnly;
@@ -158,6 +164,7 @@ int cmd_run(unsigned streams, std::uint64_t frames,
   cfg.metrics = &registry;
   cfg.frame_trace = &frame_trace;
   if (!audit_path.empty()) cfg.audit = &audit;
+  if (!profile_path.empty()) cfg.profiler = &profiler;
   core::Endsystem es(cfg);
 
   const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
@@ -202,32 +209,48 @@ int cmd_run(unsigned streams, std::uint64_t frames,
                 static_cast<unsigned long long>(frame_trace.recorded()),
                 trace_path.c_str());
   }
+  if (!profile_path.empty()) {
+    if (!profiler.write_json(profile_path)) {
+      std::fprintf(stderr, "run: cannot open %s\n", profile_path.c_str());
+      return 1;
+    }
+    std::printf("stage profile (ss-profile-v1, %s clock) -> %s\n",
+                telemetry::Profiler::clock_name(), profile_path.c_str());
+  }
   if (!audit_path.empty()) {
     if (!audit.dumped()) audit.dump("on_demand");
-    std::printf("audit dump (%llu comparisons, ring of %zu) -> %s\n",
+    std::printf("audit dump (%llu comparisons, 1-in-%u sampled, ring of "
+                "%zu) -> %s\n",
                 static_cast<unsigned long long>(audit.audit().comparisons()),
-                audit.recorder().size(), audit_path.c_str());
+                audit.sampler().every(), audit.recorder().size(),
+                audit_path.c_str());
   }
   return 0;
 }
 
 /// `audit`: the black box on demand — run the pipeline with a decision-
-/// audit session attached (optionally under a seeded fault plane) and emit
-/// the single-line ss-audit-v1 document to stdout or a file.
+/// audit session attached (optionally under a seeded fault plane, with the
+/// anomaly watchdog watching the registry) and emit the single-line
+/// ss-audit-v2 document to stdout or a file.
 int cmd_audit(unsigned streams, std::uint64_t frames,
-              const std::string& out_path, std::uint64_t fault_seed) {
+              const std::string& out_path, std::uint64_t fault_seed,
+              unsigned sample_every, bool watchdog_on, bool overload) {
   using namespace ss;
   if (streams < 2 || streams > 32 || (streams & (streams - 1)) != 0) {
     std::fprintf(stderr, "audit: streams must be a power of two in 2..32\n");
     return 1;
   }
+  telemetry::MetricsRegistry registry;
   telemetry::AuditSession audit(streams);
   audit.set_dump_path(out_path);
+  audit.set_sampling(sample_every);
   core::EndsystemConfig cfg;
   cfg.chip.slots = streams;
   cfg.chip.cmp_mode = hw::ComparisonMode::kDwcsFull;
   cfg.keep_series = false;
   cfg.audit = &audit;
+  // The watchdog reads rolling metric windows, so it drags the registry in.
+  if (watchdog_on) cfg.metrics = &registry;
   if (fault_seed != 0) {
     cfg.faults.seed = fault_seed;
     cfg.faults.pci_fault_per64k = 700;
@@ -239,16 +262,24 @@ int cmd_audit(unsigned streams, std::uint64_t frames,
   for (unsigned i = 0; i < streams; ++i) {
     dwcs::StreamRequirement r;
     r.kind = dwcs::RequirementKind::kWindowConstrained;
-    r.period = streams;
+    // --overload: every stream demands twice its fair share, so window
+    // violations (and their burn attribution) are guaranteed — the
+    // deterministic way to trip the watchdog's burn_rate_spike rule.
+    r.period = overload ? streams / 2 : streams;
     r.loss_num = 1;
     r.loss_den = 4;
     r.initial_deadline = i + 1;
-    es.add_stream(r,
-                  std::make_unique<queueing::CbrGen>(static_cast<std::uint64_t>(
-                      ptime_ns * static_cast<double>(streams))),
-                  1500);
+    const double interval =
+        ptime_ns * static_cast<double>(overload ? streams / 2 : streams);
+    es.add_stream(
+        r, std::make_unique<queueing::CbrGen>(
+               static_cast<std::uint64_t>(interval)),
+        1500);
   }
+  telemetry::Watchdog watchdog(registry, &audit);
+  if (watchdog_on) watchdog.start();
   const auto rep = es.run(frames);
+  if (watchdog_on) watchdog.stop();  // final rule evaluation before join
   std::printf("audit: %u streams x %llu frames, %llu decisions, "
               "%llu comparisons, %llu faults%s\n",
               streams, static_cast<unsigned long long>(frames),
@@ -256,11 +287,18 @@ int cmd_audit(unsigned streams, std::uint64_t frames,
               static_cast<unsigned long long>(audit.audit().comparisons()),
               static_cast<unsigned long long>(audit.faults_total()),
               rep.failed_over ? " (FAILED OVER)" : "");
+  if (watchdog_on) {
+    std::printf("watchdog: %llu polls, %llu firings%s%s\n",
+                static_cast<unsigned long long>(watchdog.polls()),
+                static_cast<unsigned long long>(watchdog.fired()),
+                watchdog.fired() > 0 ? ", last rule " : "",
+                watchdog.fired() > 0 ? watchdog.last_rule().c_str() : "");
+  }
   if (out_path.empty()) {
     std::printf("%s\n", audit.to_json("on_demand").c_str());
   } else {
     if (!audit.dumped()) audit.dump("on_demand");
-    std::printf("ss-audit-v1 (cause \"%s\") -> %s\n",
+    std::printf("ss-audit-v2 (cause \"%s\") -> %s\n",
                 audit.last_cause().c_str(), out_path.c_str());
   }
   return 0;
@@ -273,8 +311,10 @@ void usage() {
   std::puts("       ss_cli trace");
   std::puts("       ss_cli run <streams> <frames> [--metrics-json FILE]");
   std::puts("                  [--trace-out FILE] [--audit-out FILE]");
+  std::puts("                  [--profile-out FILE] [--sample-every N]");
   std::puts("       ss_cli audit <streams> <frames> [--out FILE]");
-  std::puts("                  [--fault-seed S]");
+  std::puts("                  [--fault-seed S] [--sample-every N]");
+  std::puts("                  [--watchdog] [--overload]");
 }
 
 }  // namespace
@@ -304,7 +344,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace") return cmd_trace();
   if (cmd == "run" && argc >= 4) {
-    std::string metrics_path, trace_path, audit_path;
+    std::string metrics_path, trace_path, audit_path, profile_path;
+    unsigned sample_every = 64;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--metrics-json" && i + 1 < argc) {
@@ -313,6 +354,10 @@ int main(int argc, char** argv) {
         trace_path = argv[++i];
       } else if (a == "--audit-out" && i + 1 < argc) {
         audit_path = argv[++i];
+      } else if (a == "--profile-out" && i + 1 < argc) {
+        profile_path = argv[++i];
+      } else if (a == "--sample-every" && i + 1 < argc) {
+        sample_every = static_cast<unsigned>(std::atoi(argv[++i]));
       } else {
         usage();
         return 1;
@@ -320,17 +365,27 @@ int main(int argc, char** argv) {
     }
     return cmd_run(static_cast<unsigned>(std::atoi(argv[2])),
                    static_cast<std::uint64_t>(std::atoll(argv[3])),
-                   metrics_path, trace_path, audit_path);
+                   metrics_path, trace_path, audit_path, profile_path,
+                   sample_every);
   }
   if (cmd == "audit" && argc >= 4) {
     std::string out_path;
     std::uint64_t fault_seed = 0;
+    unsigned sample_every = 64;
+    bool watchdog_on = false;
+    bool overload = false;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (a == "--fault-seed" && i + 1 < argc) {
         fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (a == "--sample-every" && i + 1 < argc) {
+        sample_every = static_cast<unsigned>(std::atoi(argv[++i]));
+      } else if (a == "--watchdog") {
+        watchdog_on = true;
+      } else if (a == "--overload") {
+        overload = true;
       } else {
         usage();
         return 1;
@@ -338,7 +393,8 @@ int main(int argc, char** argv) {
     }
     return cmd_audit(static_cast<unsigned>(std::atoi(argv[2])),
                      static_cast<std::uint64_t>(std::atoll(argv[3])),
-                     out_path, fault_seed);
+                     out_path, fault_seed, sample_every, watchdog_on,
+                     overload);
   }
   usage();
   return 1;

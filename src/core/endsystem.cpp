@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "telemetry/profiler.hpp"
 #include "util/sim_time.hpp"
 
 namespace ss::core {
@@ -86,7 +87,12 @@ void Endsystem::finalize_admission() {
       robust_metrics_ = telemetry::RobustMetrics::create(*cfg_.metrics);
       guard_->attach_metrics(&robust_metrics_);
     }
+    if (cfg_.frame_trace) cfg_.frame_trace->bind_registry(*cfg_.metrics);
   }
+  SS_TELEM(if (cfg_.profiler != nullptr) {
+    chip_->attach_profiler(cfg_.profiler);
+    if (cfg_.metrics != nullptr) cfg_.profiler->bind_registry(*cfg_.metrics);
+  });
   SS_TELEM(if (cfg_.audit != nullptr) {
     // The guard forwards to the chip and the fault plan; an unguarded run
     // attaches to the chip directly.
@@ -153,6 +159,7 @@ EndsystemReport Endsystem::run(
   // Post-failover the software path crosses no bus, so transfers cost 0.
   robust::RecoveryStats pci_rstats{};
   const auto pci_xfer_ns = [&](std::size_t bytes, bool read) {
+    SS_PROF(cfg_.profiler, telemetry::ProfStage::kPci);
     if (!guard_) {
       if (read) return count(pci_.pio_read(bytes));
       return count(cfg_.dma_bulk ? pci_.dma_transfer(bytes)
@@ -190,53 +197,56 @@ EndsystemReport Endsystem::run(
     // Deliver due arrivals: frame into the QM ring, arrival offset to the
     // card — either through the Streaming unit's watermark machinery or
     // via fixed-size batch accounting.
-    for (std::uint32_t i = 0; i < streams_.size(); ++i) {
-      while (cursor[i] < frames[i].size() &&
-             frames[i][cursor[i]].arrival_ns <= now_ns) {
-        const queueing::Frame& f = frames[i][cursor[i]];
-        if (!qm_.produce(i, f)) {
-          // Ring full: retry next cycle.  Note the overflow so a window
-          // violation committed this cycle is attributed to it.
-          SS_TELEM(if (cfg_.audit) cfg_.audit->audit().note_overflow(i));
-          break;
-        }
-        SS_TELEM(if (em) em->arrivals_delivered->add(1);
-                 if (ft) {
-                   ft->arrival(i, cursor[i], f.arrival_ns);
-                   ft->enqueue(i, cursor[i], now_ns);
-                 });
-        ++cursor[i];
-        if (streaming_) continue;  // the unit moves the offsets below
-        const auto off = static_cast<std::uint64_t>(
-            static_cast<double>(f.arrival_ns) / packet_time_ns_);
-        if (guard_) {
-          guard_->push_request(static_cast<hw::SlotId>(i), off);
-        } else {
-          chip_->push_request(static_cast<hw::SlotId>(i), hw::Arrival{off});
-        }
-        if (++batch_fill[i] >= cfg_.pci_batch) {
-          batch_fill[i] = 0;
-          const std::size_t bytes = std::size_t{cfg_.pci_batch} * 2;
-          const std::uint64_t xfer_ns = pci_xfer_ns(bytes, false);
-          pci_ns += xfer_ns;
-          SS_TELEM(if (ft) {
-            ft->pci(cfg_.dma_bulk ? telemetry::PciDir::kDma
-                                  : telemetry::PciDir::kWrite,
-                    now_ns, xfer_ns, static_cast<std::uint32_t>(bytes));
-          });
-        }
-      }
-      if (streaming_) {
-        // Watermark-driven refill; the scheduler only sees requests whose
-        // offsets physically reached the card queue.
-        if (streaming_->needs_refill(i)) streaming_->refill(i, qm_);
-        std::uint16_t off16;
-        while (streaming_->pop_arrival(i, off16)) {
+    {
+      SS_PROF(cfg_.profiler, telemetry::ProfStage::kQueueDrain);
+      for (std::uint32_t i = 0; i < streams_.size(); ++i) {
+        while (cursor[i] < frames[i].size() &&
+               frames[i][cursor[i]].arrival_ns <= now_ns) {
+          const queueing::Frame& f = frames[i][cursor[i]];
+          if (!qm_.produce(i, f)) {
+            // Ring full: retry next cycle.  Note the overflow so a window
+            // violation committed this cycle is attributed to it.
+            SS_TELEM(if (cfg_.audit) cfg_.audit->audit().note_overflow(i));
+            break;
+          }
+          SS_TELEM(if (em) em->arrivals_delivered->add(1);
+                   if (ft) {
+                     ft->arrival(i, cursor[i], f.arrival_ns);
+                     ft->enqueue(i, cursor[i], now_ns);
+                   });
+          ++cursor[i];
+          if (streaming_) continue;  // the unit moves the offsets below
+          const auto off = static_cast<std::uint64_t>(
+              static_cast<double>(f.arrival_ns) / packet_time_ns_);
           if (guard_) {
-            guard_->push_request(static_cast<hw::SlotId>(i), off16);
+            guard_->push_request(static_cast<hw::SlotId>(i), off);
           } else {
-            chip_->push_request(static_cast<hw::SlotId>(i),
-                                hw::Arrival{off16});
+            chip_->push_request(static_cast<hw::SlotId>(i), hw::Arrival{off});
+          }
+          if (++batch_fill[i] >= cfg_.pci_batch) {
+            batch_fill[i] = 0;
+            const std::size_t bytes = std::size_t{cfg_.pci_batch} * 2;
+            const std::uint64_t xfer_ns = pci_xfer_ns(bytes, false);
+            pci_ns += xfer_ns;
+            SS_TELEM(if (ft) {
+              ft->pci(cfg_.dma_bulk ? telemetry::PciDir::kDma
+                                    : telemetry::PciDir::kWrite,
+                      now_ns, xfer_ns, static_cast<std::uint32_t>(bytes));
+            });
+          }
+        }
+        if (streaming_) {
+          // Watermark-driven refill; the scheduler only sees requests whose
+          // offsets physically reached the card queue.
+          if (streaming_->needs_refill(i)) streaming_->refill(i, qm_);
+          std::uint16_t off16;
+          while (streaming_->pop_arrival(i, off16)) {
+            if (guard_) {
+              guard_->push_request(static_cast<hw::SlotId>(i), off16);
+            } else {
+              chip_->push_request(static_cast<hw::SlotId>(i),
+                                  hw::Arrival{off16});
+            }
           }
         }
       }
@@ -291,7 +301,10 @@ EndsystemReport Endsystem::run(
                            packet_time_ns_)});
     }
     burst_records.clear();
-    transmitted += te_.transmit_block(burst, &burst_records);
+    {
+      SS_PROF(cfg_.profiler, telemetry::ProfStage::kTransmit);
+      transmitted += te_.transmit_block(burst, &burst_records);
+    }
     SS_TELEM(if (em) em->frames_completed->add(burst_records.size());
              if (ft) {
                const std::uint64_t dcycle = chip_->decision_cycles();
@@ -310,6 +323,10 @@ EndsystemReport Endsystem::run(
              });
     for (const queueing::TxRecord& rec : burst_records) {
       monitor_->record(rec);
+      SS_TELEM(if (em) {
+        em->frame_delay_us->observe(static_cast<double>(rec.delay_ns()) /
+                                    1000.0);
+      });
     }
   }
   const auto t1 = std::chrono::steady_clock::now();

@@ -79,6 +79,10 @@ struct EndsystemConfig {
   /// dumps the session automatically (cause "failover") when it carries a
   /// dump path.
   telemetry::AuditSession* audit = nullptr;
+  /// Hot-path self-profiler (nullptr = off): the chip attributes decision
+  /// and shuffle-pass time, the host loop attributes queue-drain, PCI and
+  /// transmit time.  Compiled away under -DSS_TELEMETRY=OFF.
+  telemetry::Profiler* profiler = nullptr;
   /// Fault plane (seed == 0 = disabled, the default: the run is then
   /// bit-identical to a build without the fault plane).  When enabled,
   /// every PCI transfer and chip decision cycle becomes fallible and is

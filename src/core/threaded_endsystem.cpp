@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/profiler.hpp"
 #include "util/sim_time.hpp"
 
 namespace ss::core {
@@ -78,6 +79,10 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
     }
     if (cfg_.metrics != nullptr) cfg_.audit->audit().bind_registry(*cfg_.metrics);
   });
+  SS_TELEM(if (cfg_.profiler != nullptr) {
+    chip_->attach_profiler(cfg_.profiler);
+    if (cfg_.metrics != nullptr) cfg_.profiler->bind_registry(*cfg_.metrics);
+  });
 
   ThreadedReport rep{};
   rep.per_stream_tx.assign(n, 0);
@@ -136,6 +141,7 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
     // rewound to the consumption count — every frame still in the ring is
     // re-announced to the freshly loaded slot on the next discovery pass.
     if (reload_pending_.load(std::memory_order_acquire)) {
+      SS_PROF(cfg_.profiler, telemetry::ProfStage::kReloadCommit);
       std::vector<PendingReload> batch;
       {
         const std::lock_guard<std::mutex> lock(reload_mu_);
@@ -211,7 +217,10 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
                                    ptime)});
     }
     burst_records.clear();
-    transmitted += te_.transmit_block(burst, &burst_records);
+    {
+      SS_PROF(cfg_.profiler, telemetry::ProfStage::kTransmit);
+      transmitted += te_.transmit_block(burst, &burst_records);
+    }
     SS_TELEM(if (em) em->frames_completed->add(burst_records.size()));
     for (const queueing::TxRecord& rec : burst_records) {
       ++consumed[rec.stream];

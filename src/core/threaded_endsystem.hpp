@@ -51,6 +51,10 @@ struct ThreadedConfig {
   /// the comparison/decision hooks; the producer thread only touches the
   /// atomic note_overflow() path on ring-full stalls.
   telemetry::AuditSession* audit = nullptr;
+  /// Hot-path self-profiler (nullptr = off).  The scheduler thread owns
+  /// every profiled stage here — decision cycles, transmit bursts and
+  /// reload commits; the producer thread never records.
+  telemetry::Profiler* profiler = nullptr;
   /// Fault plane (seed == 0 = disabled).  Faults are injected and
   /// recovered entirely on the scheduler thread; the producer thread
   /// never touches the fallible hardware, so the failover is invisible to

@@ -1,9 +1,11 @@
 #include "hw/scheduler_chip.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "telemetry/audit.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/bitops.hpp"
 
 namespace ss::hw {
@@ -85,11 +87,22 @@ DecisionOutcome SchedulerChip::execute_decision() {
   }
   if (tracer_) trace.loaded = attrs;
 
+  // Sampling gate, decided before the SCHEDULE passes so the comparison
+  // hot path already knows whether this decision carries full provenance.
+  SS_TELEM(bool audit_sampled = false;
+           if (audit_ != nullptr) audit_sampled = audit_->begin_decision();
+           network_.set_audit_live(audit_sampled));
+
   // SCHEDULE: log2(N) (or schedule-specific) network passes.
   network_.load(attrs);
   SS_TELEM(const std::uint64_t swaps_before = network_.total_swaps();
-           const std::uint64_t cmps_before = network_.total_comparisons());
-  network_.run_all();
+           const std::uint64_t cmps_before = network_.total_comparisons();
+           const std::uint64_t pend_before =
+               network_.total_pending_comparisons());
+  {
+    SS_PROF(profiler_, telemetry::ProfStage::kShufflePasses);
+    network_.run_all();
+  }
   SS_TELEM(if (metrics_) {
     metrics_->net_passes->add(network_.passes_executed());
     metrics_->net_swaps->add(network_.total_swaps() - swaps_before);
@@ -174,9 +187,26 @@ DecisionOutcome SchedulerChip::execute_decision() {
     tracer_->record(std::move(trace));
   }
 
-  // Flight recorder: snapshot the committed decision (post-update register
-  // state, grant block, losing pending slots) into the black box.
-  SS_TELEM(if (audit_ != nullptr) {
+  // Flight recorder: a sampled decision snapshots the committed state
+  // (post-update registers, grant block, losing pending slots) into the
+  // black box; an unsampled one hands the session just the per-slot
+  // violation counters so the exact burn attribution keeps flowing.
+  SS_TELEM(if (audit_ != nullptr && !audit_sampled) {
+    std::array<std::uint64_t, telemetry::kAuditMaxStreams> vio{};
+    const auto n_slots = static_cast<std::uint32_t>(slots_.size());
+    std::uint64_t losers = 0;
+    for (std::uint32_t s = 0; s < n_slots; ++s) {
+      vio[s] = slots_[s].counters().violations;
+      // Contended and not served: the lost-tiebreak context the sampled
+      // path gets per-comparison, at mask granularity.
+      if (attrs[s].pending && !granted[s]) losers |= std::uint64_t{1} << s;
+    }
+    audit_->on_decision_lite(n_slots, vio.data(),
+                             network_.total_pending_comparisons() -
+                                 pend_before,
+                             losers);
+  });
+  SS_TELEM(if (audit_ != nullptr && audit_sampled) {
     telemetry::DecisionRecord rec;
     rec.decision = control_.decision_cycles();
     rec.vtime = vtime_ - out.grants.size();
@@ -225,6 +255,7 @@ bool SchedulerChip::try_run_decision_cycle(DecisionOutcome& out) {
 }
 
 DecisionOutcome SchedulerChip::run_decision_cycle() {
+  SS_PROF(profiler_, telemetry::ProfStage::kChipDecision);
   // Tick the Control & Steering FSM through one full decision; the
   // datapath work happens at the UPDATE-apply boundary.  (The network
   // passes were already executed functionally inside execute_decision();

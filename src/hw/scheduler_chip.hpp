@@ -35,6 +35,7 @@
 
 namespace ss::telemetry {
 class AuditSession;
+class Profiler;
 }  // namespace ss::telemetry
 
 namespace ss::hw {
@@ -152,10 +153,19 @@ class SchedulerChip {
 
   /// Attach a decision-audit session (nullptr detaches).  The shuffle
   /// network reports per-comparison rule provenance into the session's
-  /// profile and every committed (non-idle) decision cycle is pushed into
-  /// its flight-recorder ring.  Observation only: grants, drops and all
-  /// register state are unchanged.  Compiled away under -DSS_TELEMETRY=OFF.
+  /// profile and every committed (non-idle) decision cycle either pushes
+  /// a full record into the flight-recorder ring (sampled decisions —
+  /// the session's DecisionSampler decides) or advances the exact
+  /// counters through the cheap lite path.  Observation only: grants,
+  /// drops and all register state are unchanged at any sample rate.
+  /// Compiled away under -DSS_TELEMETRY=OFF.
   void attach_audit(telemetry::AuditSession* a);
+
+  /// Attach a hot-path profiler (nullptr detaches).  The chip attributes
+  /// each decision cycle and its SCHEDULE network passes to the
+  /// chip_decision / shuffle_passes stages.  Compiled away under
+  /// -DSS_TELEMETRY=OFF.
+  void attach_profiler(telemetry::Profiler* p) { profiler_ = p; }
 
   /// Switching-activity proxy: compare-exchange swaps executed by the
   /// network so far (BA vs WR dynamic-power comparison).
@@ -182,6 +192,7 @@ class SchedulerChip {
   telemetry::ChipMetrics* metrics_ = nullptr;
   FaultInjector* faults_ = nullptr;
   telemetry::AuditSession* audit_ = nullptr;
+  telemetry::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace ss::hw

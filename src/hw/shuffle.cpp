@@ -96,7 +96,15 @@ void ShuffleNetwork::build_schedule(SortSchedule s) {
 
 void ShuffleNetwork::load(std::span<const AttrWord> words) {
   assert(words.size() == lanes_.size());
-  for (unsigned i = 0; i < slots_; ++i) lanes_[i] = words[i];
+  bool all_pending = true;
+  for (unsigned i = 0; i < slots_; ++i) {
+    lanes_[i] = words[i];
+    all_pending = all_pending && words[i].pending;
+  }
+  // Pendingness is pass-invariant (passes permute lanes, never clear the
+  // flag), so the all-backlogged fast path — every pair has a pending
+  // operand — holds for the whole decision.
+  all_pending_ = all_pending;
   pass_ = 0;
 }
 
@@ -104,6 +112,10 @@ unsigned ShuffleNetwork::step() {
   assert(pass_ < total_passes_);
   const auto& pairs = schedule_pairs_[pass_];
   unsigned swaps = 0;
+  // Pending-comparison tally: O(1) on the all-backlogged fast path
+  // (every pair qualifies), per-pair only in the mixed case, so an
+  // unsampled decision at full contention pays nothing here.
+  SS_TELEM(unsigned pending_pairs = 0);
   // All Decision blocks fire concurrently: read both operands of every
   // pair before writing any result, exactly like registered outputs.
   for (const PairSpec& p : pairs) {
@@ -111,12 +123,13 @@ unsigned ShuffleNetwork::step() {
     const AttrWord b = lanes_[p.hi];
     const DecisionResult r = decide(a, b, mode_);
     const bool a_wins = r.a_wins;
-    SS_TELEM(if (audit_ != nullptr && (a.pending || b.pending)) {
+    SS_TELEM(if (audit_live_ && (a.pending || b.pending)) {
       const AttrWord& win = a_wins ? a : b;
       const AttrWord& lose = a_wins ? b : a;
       audit_->on_comparison(win.id, lose.id,
                             static_cast<std::uint8_t>(r.rule));
     });
+    SS_TELEM(if (!all_pending_ && (a.pending || b.pending)) ++pending_pairs);
     const bool swap = p.descending ? a_wins : !a_wins;
     if (swap) {
       lanes_[p.lo] = b;
@@ -125,6 +138,8 @@ unsigned ShuffleNetwork::step() {
     }
   }
   total_comparisons_ += pairs.size();
+  SS_TELEM(pending_comparisons_ +=
+           all_pending_ ? pairs.size() : pending_pairs);
   total_swaps_ += swaps;
   ++pass_;
   return swaps;

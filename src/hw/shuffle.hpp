@@ -102,13 +102,32 @@ class ShuffleNetwork {
     return total_comparisons_;
   }
 
+  /// Comparisons whose operands included at least one pending stream —
+  /// the exact denominator of the audit plane (counted unconditionally
+  /// under SS_TELEMETRY so unsampled decisions keep an exact tally
+  /// without the per-comparison audit callback cost; 0 when telemetry is
+  /// compiled out).
+  [[nodiscard]] std::uint64_t total_pending_comparisons() const {
+    return pending_comparisons_;
+  }
+
   /// Restart the pass counter for the next decision cycle.
   void reset();
 
   /// Provenance hook: when attached, every comparison with at least one
   /// pending operand reports (winner, loser, rule) to the audit profile.
   /// Observation only — lane routing is unchanged.  Pass nullptr to detach.
-  void attach_audit(telemetry::DecisionAudit* audit) { audit_ = audit; }
+  void attach_audit(telemetry::DecisionAudit* audit) {
+    audit_ = audit;
+    audit_live_ = audit != nullptr;
+  }
+
+  /// Per-decision sampling gate: when false the per-comparison callback
+  /// is skipped wholesale (the chip's unsampled path — exact tallies
+  /// still flow through total_pending_comparisons and the decision-level
+  /// hooks).  Re-enabled per decision by the chip; attach_audit resets it
+  /// to live so direct users get the full-rate behavior.
+  void set_audit_live(bool live) { audit_live_ = live && audit_ != nullptr; }
 
  private:
   void build_schedule(SortSchedule s);
@@ -119,6 +138,9 @@ class ShuffleNetwork {
   unsigned pass_ = 0;
   std::uint64_t total_swaps_ = 0;
   std::uint64_t total_comparisons_ = 0;
+  std::uint64_t pending_comparisons_ = 0;
+  bool all_pending_ = false;  ///< every loaded lane backlogged (pass-invariant)
+  bool audit_live_ = false;   ///< per-decision comparison-callback gate
   std::vector<AttrWord> lanes_;
   std::vector<std::vector<PairSpec>> schedule_pairs_;  // [pass][block]
   telemetry::DecisionAudit* audit_ = nullptr;

@@ -99,6 +99,9 @@ void GuardedScheduler::force_failover() {
   // force_failover().
   SS_TELEM(if (audit_ != nullptr) {
     audit_->set_health(static_cast<std::uint8_t>(health_.state()));
+    // Always-sample override: should any further decision run through
+    // the session (software-path harnesses), it carries full provenance.
+    audit_->force_sample();
     audit_->dump("failover");
   });
 }

@@ -36,22 +36,24 @@ DecisionAudit::DecisionAudit(std::uint32_t streams)
   cycle_lost_rule_.fill(kNoLoss);
 }
 
-void DecisionAudit::on_comparison(std::uint32_t winner, std::uint32_t loser,
-                                  std::uint8_t rule) noexcept {
-  if (winner >= kAuditMaxStreams || loser >= kAuditMaxStreams ||
-      rule >= kAuditRules) {
-    return;
-  }
+void DecisionAudit::on_comparison_sampled(std::uint32_t winner,
+                                          std::uint32_t loser,
+                                          std::uint8_t rule) noexcept {
+  // Sampled cycles tally comparisons here (committed at end_decision);
+  // unsampled cycles get the same exact total via add_comparisons.
+  ++cycle_comparisons_;
+  ++cycle_rules_[rule];
   per_stream_[winner].wins[rule].fetch_add(1, kRel);
   per_stream_[loser].losses[rule].fetch_add(1, kRel);
   rule_total_[rule].fetch_add(1, kRel);
-  comparisons_.fetch_add(1, kRel);
-  ++cycle_rules_[rule];
-  cycle_lost_rule_[loser] = rule;
-  if (comparison_counter_ != nullptr) {
-    comparison_counter_->add(1);
-    rule_counters_[rule]->add(1);
-  }
+  comparisons_sampled_.fetch_add(1, kRel);
+  if (rule_counters_[rule] != nullptr) rule_counters_[rule]->add(1);
+}
+
+void DecisionAudit::add_comparisons(std::uint64_t n) noexcept {
+  if (n == 0) return;
+  comparisons_.fetch_add(n, kRel);
+  if (comparison_counter_ != nullptr) comparison_counter_->add(n);
 }
 
 void DecisionAudit::on_violation(std::uint32_t stream) noexcept {
@@ -74,13 +76,33 @@ void DecisionAudit::on_violation(std::uint32_t stream) noexcept {
   } else if (cycle_lost_rule_[stream] != kNoLoss) {
     cause = BurnCause::kLostTiebreak;
     ps.burn_rule[cycle_lost_rule_[stream]].fetch_add(1, kRel);
+  } else if ((cycle_losers_ >> stream) & 1u) {
+    // Unsampled cycle: the comparison callback did not run, but the chip
+    // reported the stream contended and lost — the cause stays exact,
+    // only the per-rule detail is missing.
+    cause = BurnCause::kLostTiebreak;
   }
   ps.burn[static_cast<std::size_t>(cause)].fetch_add(1, kRel);
+  if (violation_counter_ != nullptr) {
+    violation_counter_->add(1);
+    burn_counters_[static_cast<std::size_t>(cause)]->add(1);
+  }
 }
 
 void DecisionAudit::end_decision() noexcept {
-  cycle_rules_.fill(0);
+  // cycle_comparisons_/cycle_rules_ only advance on sampled cycles, so
+  // the commit-and-clear is skipped entirely on the (dominant) unsampled
+  // path; the last-lost bytes are written at every rate and always clear.
+  if (cycle_comparisons_ != 0) {
+    comparisons_.fetch_add(cycle_comparisons_, kRel);
+    if (comparison_counter_ != nullptr) {
+      comparison_counter_->add(cycle_comparisons_);
+    }
+    cycle_comparisons_ = 0;
+    cycle_rules_.fill(0);
+  }
   cycle_lost_rule_.fill(kNoLoss);
+  cycle_losers_ = 0;
   cycle_faults_.store(0, kRel);
 }
 
@@ -99,15 +121,28 @@ void DecisionAudit::note_aggregation_starved(std::uint32_t stream) noexcept {
 }
 
 void DecisionAudit::bind_registry(MetricsRegistry& reg) {
-  comparison_counter_ = &reg.counter("audit.comparisons");
+  comparison_counter_ = &reg.counter(
+      "audit.comparisons", "comparator resolutions observed (exact)");
   for (std::size_t r = 0; r < kAuditRules; ++r) {
     rule_counters_[r] =
-        &reg.counter(std::string("audit.rule.") + audit_rule_name(r));
+        &reg.counter(std::string("audit.rule.") + audit_rule_name(r),
+                     "comparisons resolved by this rule (sampled)");
   }
+  for (std::size_t c = 0; c < kBurnCauses; ++c) {
+    burn_counters_[c] =
+        &reg.counter(std::string("audit.burn.") + burn_cause_name(c),
+                     "violations attributed to this cause (exact)");
+  }
+  violation_counter_ = &reg.counter(
+      "audit.violations", "window-constraint violations observed (exact)");
 }
 
 std::uint64_t DecisionAudit::comparisons() const noexcept {
   return comparisons_.load(kRel);
+}
+
+std::uint64_t DecisionAudit::comparisons_sampled() const noexcept {
+  return comparisons_sampled_.load(kRel);
 }
 
 std::uint64_t DecisionAudit::rule_total(std::size_t rule) const noexcept {
@@ -171,6 +206,9 @@ void AuditSession::note_fault(FaultSite site) noexcept {
   faults_[static_cast<std::size_t>(site)].fetch_add(
       1, std::memory_order_relaxed);
   audit_.note_fault();
+  // Always-sample override: the decision a fault lands in (the stalled
+  // attempt retries, so the tick after this) gets full provenance.
+  sampler_.force_next();
 }
 
 std::uint64_t AuditSession::faults_total() const noexcept {
@@ -189,27 +227,64 @@ void AuditSession::begin_run() noexcept {
   audit_.end_decision();
 }
 
+void AuditSession::classify_fresh_violations(
+    std::uint32_t n_streams, const std::uint64_t* violations) {
+  const std::uint32_t n =
+      n_streams < audit_.streams() ? n_streams : audit_.streams();
+  bool fresh = false;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint64_t v = violations[s];
+    for (std::uint64_t k = prev_violations_[s]; k < v; ++k) {
+      audit_.on_violation(s);
+      fresh = true;
+    }
+    prev_violations_[s] = v;
+  }
+  // Always-sample override: a decision that burned budget makes the next
+  // one land in the flight recorder with full provenance.
+  if (fresh) sampler_.force_next();
+}
+
 void AuditSession::on_decision(DecisionRecord& rec) {
   rec.health = health_.load(std::memory_order_relaxed);
   rec.faults = faults_total();
   audit_.cycle_rules(rec.rules);
+  std::array<std::uint64_t, kAuditMaxStreams> v{};
   const std::uint32_t n =
       rec.n_streams < audit_.streams() ? rec.n_streams : audit_.streams();
-  for (std::uint32_t s = 0; s < n; ++s) {
-    const std::uint64_t v = rec.streams[s].violations;
-    for (std::uint64_t k = prev_violations_[s]; k < v; ++k) {
-      audit_.on_violation(s);
-    }
-    prev_violations_[s] = v;
-  }
+  for (std::uint32_t s = 0; s < n; ++s) v[s] = rec.streams[s].violations;
+  classify_fresh_violations(n, v.data());
   recorder_.record(rec);
   audit_.end_decision();
 }
 
+void AuditSession::on_decision_lite(std::uint32_t n_streams,
+                                    const std::uint64_t* violations,
+                                    std::uint64_t comparisons,
+                                    std::uint64_t losers) {
+  audit_.add_comparisons(comparisons);
+  audit_.note_cycle_losers(losers);
+  classify_fresh_violations(n_streams, violations);
+  audit_.end_decision();
+}
+
+void AuditSession::set_watchdog_context(std::string json_object) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  watchdog_context_ = std::move(json_object);
+}
+
 std::string AuditSession::to_json(const std::string& cause) const {
+  // Scale that turns a sampled tally into an estimate of the full one;
+  // 1.0 when the sampler never ran (standalone sessions, full audit).
+  const double scale = sampler_.scale();
+  const auto append_scaled = [&](std::string& s, std::uint64_t v) {
+    append_u64(s, static_cast<std::uint64_t>(static_cast<double>(v) * scale +
+                                             0.5));
+  };
+
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"ss-audit-v1\",\"cause\":\"";
+  out += "{\"schema\":\"ss-audit-v2\",\"cause\":\"";
   out += cause;
   out += "\",\"streams\":";
   append_u64(out, audit_.streams());
@@ -217,7 +292,27 @@ std::string AuditSession::to_json(const std::string& cause) const {
   append_u64(out, recorder_.recorded());
   out += ",\"comparisons\":";
   append_u64(out, audit_.comparisons());
+  out += ",\"comparisons_sampled\":";
+  append_u64(out, audit_.comparisons_sampled());
 
+  out += ",\"sampling\":{\"every\":";
+  append_u64(out, sampler_.every());
+  out += ",\"phase\":";
+  append_u64(out, sampler_.phase());
+  out += ",\"seed\":";
+  append_u64(out, sampler_.seed());
+  out += ",\"decisions\":";
+  append_u64(out, sampler_.decisions());
+  out += ",\"sampled\":";
+  append_u64(out, sampler_.sampled());
+  out += ",\"forced\":";
+  append_u64(out, sampler_.forced());
+  char scale_buf[40];
+  std::snprintf(scale_buf, sizeof scale_buf, ",\"scale\":%.6g}", scale);
+  out += scale_buf;
+
+  // "rules" carries the raw sampled tallies; "rules_est" the scaled
+  // estimates of the full-rate profile.  Identical when every == 1.
   out += ",\"rules\":{";
   bool first = true;
   for (std::size_t r = 0; r < kAuditRules; ++r) {
@@ -230,7 +325,27 @@ std::string AuditSession::to_json(const std::string& cause) const {
     out += "\":";
     append_u64(out, v);
   }
+  out += "},\"rules_est\":{";
+  first = true;
+  for (std::size_t r = 0; r < kAuditRules; ++r) {
+    const std::uint64_t v = audit_.rule_total(r);
+    if (v == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += audit_rule_name(r);
+    out += "\":";
+    append_scaled(out, v);
+  }
   out += "}";
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!watchdog_context_.empty()) {
+      out += ",\"watchdog\":";
+      out += watchdog_context_;
+    }
+  }
 
   out += ",\"health\":";
   append_u64(out, health_.load(std::memory_order_relaxed));

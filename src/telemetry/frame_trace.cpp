@@ -55,7 +55,14 @@ void FrameTrace::push(const Event& e) {
   const std::lock_guard<std::mutex> lock(mu_);
   ring_[head_] = e;
   head_ = (head_ + 1) % ring_.size();
-  if (count_ < ring_.size()) ++count_;
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    // The wrap silently evicted the oldest event: count it so the
+    // truncation is visible in the export and the metrics snapshot.
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add(1);
+  }
   ++recorded_;
 }
 
@@ -136,17 +143,31 @@ std::uint64_t FrameTrace::recorded() const {
   return recorded_;
 }
 
+std::uint64_t FrameTrace::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void FrameTrace::bind_registry(MetricsRegistry& reg) {
+  Counter& c = reg.counter("telemetry.trace.dropped_events",
+                           "frame-trace events lost to the ring wrap");
+  const std::lock_guard<std::mutex> lock(mu_);
+  dropped_counter_ = &c;
+}
+
 void FrameTrace::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   count_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 std::string FrameTrace::to_chrome_json() const {
   // Copy the retained window in chronological order, then render without
   // holding the lock.
   std::vector<Event> events;
+  std::uint64_t dropped = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     events.reserve(count_);
@@ -154,6 +175,7 @@ std::string FrameTrace::to_chrome_json() const {
     for (std::size_t i = 0; i < count_; ++i) {
       events.push_back(ring_[(start + i) % ring_.size()]);
     }
+    dropped = dropped_;
   }
 
   std::set<std::uint32_t> streams;
@@ -163,7 +185,14 @@ std::string FrameTrace::to_chrome_json() const {
 
   std::string out;
   out.reserve(events.size() * 160 + 1024);
-  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out += "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"dropped\":";
+  {
+    char nbuf[24];
+    std::snprintf(nbuf, sizeof nbuf, "%llu",
+                  static_cast<unsigned long long>(dropped));
+    out += nbuf;
+  }
+  out += "},\"traceEvents\":[\n";
   char buf[256];
 
   auto meta = [&](int pid, int tid, const char* what, const std::string& nm) {

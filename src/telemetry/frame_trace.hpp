@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace ss::telemetry {
 
 enum class PciDir : std::uint8_t { kWrite, kRead, kDma };
@@ -50,12 +52,20 @@ class FrameTrace {
                 std::uint32_t bytes);
   void drop(std::uint32_t stream, std::uint64_t seq, std::uint64_t ts_ns);
 
-  /// Events currently retained / total ever recorded.
+  /// Events currently retained / total ever recorded / overwritten by the
+  /// ring wrap (recorded - retained once the ring fills).
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
   void clear();
 
+  /// Mirror ring-wrap overwrites into `reg` as
+  /// telemetry.trace.dropped_events so a truncated trace is visible in
+  /// the metrics snapshot, not just in the export.  Call at attach time.
+  void bind_registry(MetricsRegistry& reg);
+
   /// Chrome trace-event JSON ("JSON Object Format": displayTimeUnit +
+  /// a metadata object carrying the wrap-dropped event count +
   /// traceEvents array).  Loadable in Perfetto and chrome://tracing.
   [[nodiscard]] std::string to_chrome_json() const;
 
@@ -89,6 +99,8 @@ class FrameTrace {
   std::size_t head_ = 0;       ///< next write position
   std::size_t count_ = 0;      ///< events currently retained
   std::uint64_t recorded_ = 0; ///< events ever recorded
+  std::uint64_t dropped_ = 0;  ///< events overwritten by the ring wrap
+  Counter* dropped_counter_ = nullptr;  ///< telemetry.trace.dropped_events
 };
 
 }  // namespace ss::telemetry

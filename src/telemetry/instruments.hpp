@@ -37,20 +37,32 @@ struct ChipMetrics {
 
   static ChipMetrics create(MetricsRegistry& reg) {
     ChipMetrics m;
-    m.decisions = &reg.counter("chip.decision_cycles");
-    m.idle_decisions = &reg.counter("chip.idle_decision_cycles");
-    m.grants = &reg.counter("chip.grants");
-    m.drops = &reg.counter("chip.drops");
-    m.circulations = &reg.counter("chip.circulations");
-    m.hw_cycles = &reg.counter("chip.hw_cycles");
-    m.load_cycles = &reg.counter("chip.phase.load_cycles");
-    m.schedule_cycles = &reg.counter("chip.phase.schedule_cycles");
-    m.update_cycles = &reg.counter("chip.phase.update_cycles");
-    m.output_cycles = &reg.counter("chip.phase.output_cycles");
-    m.net_passes = &reg.counter("chip.network.passes");
-    m.net_swaps = &reg.counter("chip.network.swaps");
-    m.net_comparisons = &reg.counter("chip.network.comparisons");
-    m.block_size = &reg.histogram("chip.block_size", 0.0, 33.0, 33);
+    m.decisions = &reg.counter("chip.decision_cycles",
+                               "completed decision cycles");
+    m.idle_decisions = &reg.counter("chip.idle_decision_cycles",
+                                    "decision cycles with no backlog");
+    m.grants = &reg.counter("chip.grants", "frames granted");
+    m.drops = &reg.counter("chip.drops", "late droppable heads discarded");
+    m.circulations =
+        &reg.counter("chip.circulations", "slot IDs circulated for the "
+                                          "winner window adjustment");
+    m.hw_cycles = &reg.counter("chip.hw_cycles", "hardware cycles consumed");
+    m.load_cycles =
+        &reg.counter("chip.phase.load_cycles", "FSM LOAD phase cycles");
+    m.schedule_cycles = &reg.counter("chip.phase.schedule_cycles",
+                                     "FSM SCHEDULE phase cycles");
+    m.update_cycles = &reg.counter("chip.phase.update_cycles",
+                                   "FSM PRIORITY_UPDATE phase cycles");
+    m.output_cycles =
+        &reg.counter("chip.phase.output_cycles", "FSM OUTPUT phase cycles");
+    m.net_passes =
+        &reg.counter("chip.network.passes", "shuffle network passes run");
+    m.net_swaps = &reg.counter("chip.network.swaps",
+                               "compare-exchange swaps executed");
+    m.net_comparisons = &reg.counter("chip.network.comparisons",
+                                     "comparator evaluations executed");
+    m.block_size = &reg.histogram("chip.block_size", 0.0, 33.0, 33, false,
+                                  "pending lanes per non-idle decision");
     return m;
   }
 };
@@ -65,11 +77,11 @@ struct PciMetrics {
 
   static PciMetrics create(MetricsRegistry& reg) {
     PciMetrics m;
-    m.pio_writes = &reg.counter("pci.pio_writes");
-    m.pio_reads = &reg.counter("pci.pio_reads");
-    m.dma_transfers = &reg.counter("pci.dma_transfers");
-    m.bytes = &reg.counter("pci.bytes");
-    m.busy_ns = &reg.counter("pci.busy_ns");
+    m.pio_writes = &reg.counter("pci.pio_writes", "programmed-IO writes");
+    m.pio_reads = &reg.counter("pci.pio_reads", "programmed-IO reads");
+    m.dma_transfers = &reg.counter("pci.dma_transfers", "DMA transfers");
+    m.bytes = &reg.counter("pci.bytes", "bytes moved across the bus");
+    m.busy_ns = &reg.counter("pci.busy_ns", "modeled bus occupancy, ns");
     return m;
   }
 };
@@ -82,8 +94,10 @@ struct SramMetrics {
 
   static SramMetrics create(MetricsRegistry& reg) {
     SramMetrics m;
-    m.ownership_switches = &reg.counter("sram.ownership_switches");
-    m.stall_ns = &reg.counter("sram.ownership_stall_ns");
+    m.ownership_switches = &reg.counter("sram.ownership_switches",
+                                        "host/FPGA bank ownership switches");
+    m.stall_ns = &reg.counter("sram.ownership_stall_ns",
+                              "arbitration stall time, ns");
     return m;
   }
 };
@@ -98,10 +112,12 @@ struct QueueMetrics {
 
   static QueueMetrics create(MetricsRegistry& reg) {
     QueueMetrics m;
-    m.enqueued = &reg.counter("qm.enqueued");
-    m.dequeued = &reg.counter("qm.dequeued");
-    m.ring_full = &reg.counter("qm.ring_full_pushes");
-    m.occupancy_hwm = &reg.gauge("qm.occupancy_high_water");
+    m.enqueued = &reg.counter("qm.enqueued", "frames accepted into rings");
+    m.dequeued = &reg.counter("qm.dequeued", "frames drained from rings");
+    m.ring_full = &reg.counter("qm.ring_full_pushes",
+                               "pushes rejected by a full ring");
+    m.occupancy_hwm = &reg.gauge("qm.occupancy_high_water",
+                                 "peak total ring occupancy");
     return m;
   }
 };
@@ -117,10 +133,12 @@ struct TxMetrics {
 
   static TxMetrics create(MetricsRegistry& reg, std::uint32_t streams) {
     TxMetrics m;
-    m.tx_frames = &reg.counter("te.tx_frames");
-    m.tx_bytes = &reg.counter("te.tx_bytes");
-    m.spurious = &reg.counter("te.spurious_schedules");
-    m.batch_size = &reg.histogram("te.batch_size", 0.0, 33.0, 33);
+    m.tx_frames = &reg.counter("te.tx_frames", "frames transmitted");
+    m.tx_bytes = &reg.counter("te.tx_bytes", "bytes transmitted");
+    m.spurious = &reg.counter("te.spurious_schedules",
+                              "grants with no queued frame");
+    m.batch_size = &reg.histogram("te.batch_size", 0.0, 33.0, 33, false,
+                                  "grant-burst sizes");
     m.per_stream_tx.reserve(streams);
     for (std::uint32_t i = 0; i < streams; ++i) {
       m.per_stream_tx.push_back(
@@ -142,18 +160,49 @@ struct EndsystemMetrics {
   Counter* dropped_late = nullptr;      ///< es.dropped_late
   Counter* reloads = nullptr;           ///< es.reloads_applied
   Histogram* reload_latency_ns = nullptr;  ///< es.reload_latency_ns
+  Histogram* frame_delay_us = nullptr;  ///< es.frame_delay_us
 
   static EndsystemMetrics create(MetricsRegistry& reg) {
     EndsystemMetrics m;
-    m.loop_iterations = &reg.counter("es.loop_iterations");
-    m.arrivals_delivered = &reg.counter("es.arrivals_delivered");
-    m.frames_completed = &reg.counter("es.frames_completed");
-    m.dropped_late = &reg.counter("es.dropped_late");
-    m.reloads = &reg.counter("es.reloads_applied");
+    m.loop_iterations = &reg.counter("es.loop_iterations",
+                                     "scheduler loop iterations");
+    m.arrivals_delivered = &reg.counter("es.arrivals_delivered",
+                                        "arrivals pushed into the pipeline");
+    m.frames_completed =
+        &reg.counter("es.frames_completed", "frames transmitted or dropped");
+    m.dropped_late = &reg.counter("es.dropped_late",
+                                  "late droppable frames discarded");
+    m.reloads = &reg.counter("es.reloads_applied",
+                             "admission reloads committed");
     // Mailbox commit latencies span sub-us (same-iteration pickup) to ms
     // (scheduler busy in a long drain) — log bins cover the range.
     m.reload_latency_ns =
-        &reg.histogram("es.reload_latency_ns", 100.0, 1e9, 256, true);
+        &reg.histogram("es.reload_latency_ns", 100.0, 1e9, 256, true,
+                       "admission-reload commit latency, ns");
+    // Arrival-to-departure delay per transmitted frame; the watchdog's
+    // delay-quantile-drift rule reads this histogram's p99.
+    m.frame_delay_us =
+        &reg.histogram("es.frame_delay_us", 0.1, 1e7, 128, true,
+                       "frame arrival-to-departure delay, microseconds");
+    return m;
+  }
+};
+
+/// pifo rank layer — SP-PIFO approximation quality as canonical names the
+/// watchdog inversion-excess rule reads.  The rank substrate itself stays
+/// registry-free; whichever harness cross-checks SpPifo against the exact
+/// PIFO oracle (bench/pifo_inversions, rank-equivalence campaigns) feeds
+/// these.
+struct RankMetrics {
+  Counter* pops = nullptr;        ///< rank.pops
+  Counter* inversions = nullptr;  ///< rank.inversions
+
+  static RankMetrics create(MetricsRegistry& reg) {
+    RankMetrics m;
+    m.pops = &reg.counter("rank.pops", "ranked-queue pops observed");
+    m.inversions = &reg.counter(
+        "rank.inversions",
+        "pops where a strictly smaller rank was still queued");
     return m;
   }
 };
@@ -174,15 +223,21 @@ struct RobustMetrics {
 
   static RobustMetrics create(MetricsRegistry& reg) {
     RobustMetrics m;
-    m.pci_faults = &reg.counter("robust.faults.pci");
-    m.sram_faults = &reg.counter("robust.faults.sram");
-    m.chip_faults = &reg.counter("robust.faults.chip");
-    m.retries = &reg.counter("robust.retries");
-    m.recoveries = &reg.counter("robust.recoveries");
-    m.retry_exhausted = &reg.counter("robust.retry_exhausted");
-    m.failovers = &reg.counter("robust.failovers");
-    m.backoff_ns = &reg.counter("robust.backoff_ns");
-    m.health = &reg.gauge("robust.health");
+    m.pci_faults = &reg.counter("robust.faults.pci", "injected PCI faults");
+    m.sram_faults = &reg.counter("robust.faults.sram", "injected SRAM faults");
+    m.chip_faults = &reg.counter("robust.faults.chip",
+                                 "injected decision-cycle stalls");
+    m.retries = &reg.counter("robust.retries", "transaction retries");
+    m.recoveries =
+        &reg.counter("robust.recoveries", "retries that then succeeded");
+    m.retry_exhausted = &reg.counter("robust.retry_exhausted",
+                                     "retry budgets exhausted");
+    m.failovers =
+        &reg.counter("robust.failovers", "failovers to the software path");
+    m.backoff_ns = &reg.counter("robust.backoff_ns", "backoff time spent, ns");
+    m.health = &reg.gauge("robust.health",
+                          "health FSM state (0 healthy, 1 degraded, "
+                          "2 failed over)");
     return m;
   }
 };

@@ -31,12 +31,31 @@ void json_escape_into(std::string& out, const std::string& s) {
   }
 }
 
-// Prometheus metric names cannot contain '.', our canonical separator.
+// Prometheus metric names cannot contain '.', our canonical separator —
+// every non-alphanumeric byte (including backslashes and newlines smuggled
+// into a registered name) maps to '_'.
 std::string prom_name(const std::string& name) {
   std::string out = "ss_";
   for (const char c : name) {
     out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c
                                                                      : '_');
+  }
+  return out;
+}
+
+// HELP text escaping per the exposition format: backslash and line feed
+// are the only escapes the format defines.
+std::string prom_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -129,15 +148,26 @@ void Histogram::reset() noexcept {
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
+void MetricsRegistry::note_help(const std::string& name,
+                                const std::string& help) {
+  if (help.empty()) return;
+  auto& slot = help_[name];
+  if (slot.empty()) slot = help;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
   const std::lock_guard<std::mutex> lock(mu_);
+  note_help(name, help);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
   const std::lock_guard<std::mutex> lock(mu_);
+  note_help(name, help);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -145,8 +175,10 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, std::size_t bins,
-                                      bool log_scale) {
+                                      bool log_scale,
+                                      const std::string& help) {
   const std::lock_guard<std::mutex> lock(mu_);
+  note_help(name, help);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(lo, hi, bins, log_scale);
   return *slot;
@@ -154,12 +186,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
 
 Snapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
+  const auto help_of = [this](const std::string& name) -> std::string {
+    const auto it = help_.find(name);
+    return it == help_.end() ? std::string{} : it->second;
+  };
   Snapshot snap;
   snap.samples.reserve(counters_.size() + gauges_.size() +
                        histograms_.size());
   for (const auto& [name, c] : counters_) {
     Sample s;
     s.name = name;
+    s.help = help_of(name);
     s.kind = MetricKind::kCounter;
     s.count = c->value();
     snap.samples.push_back(std::move(s));
@@ -167,6 +204,7 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) {
     Sample s;
     s.name = name;
+    s.help = help_of(name);
     s.kind = MetricKind::kGauge;
     s.gauge = g->value();
     snap.samples.push_back(std::move(s));
@@ -174,6 +212,7 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     Sample s;
     s.name = name;
+    s.help = help_of(name);
     s.kind = MetricKind::kHistogram;
     s.count = h->count();
     s.sum = h->sum();
@@ -254,6 +293,9 @@ std::string Snapshot::to_prometheus() const {
   char buf[96];
   for (const Sample& s : samples) {
     const std::string n = prom_name(s.name);
+    if (!s.help.empty()) {
+      out += "# HELP " + n + " " + prom_help(s.help) + "\n";
+    }
     switch (s.kind) {
       case MetricKind::kCounter:
         out += "# TYPE " + n + " counter\n" + n;

@@ -160,6 +160,7 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 /// One metric's value at snapshot time.
 struct Sample {
   std::string name;
+  std::string help;  ///< description registered at create() time ("" = none)
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t count = 0;  ///< counter value / histogram observation count
   std::int64_t gauge = 0;
@@ -174,8 +175,10 @@ struct Snapshot {
   ///  "histograms":{"name":{"count":..,"sum":..,"p50":..,...}}} — one line.
   [[nodiscard]] std::string to_json() const;
 
-  /// Prometheus text exposition: `# TYPE` lines plus one sample per line
-  /// (histograms as _count/_sum/quantile-labeled gauge lines).
+  /// Prometheus text exposition: `# HELP` (when a description was
+  /// registered; newlines/backslashes escaped per the exposition format)
+  /// and `# TYPE` lines plus one sample per line (histograms as
+  /// _count/_sum/quantile-labeled gauge lines).
   [[nodiscard]] std::string to_prometheus() const;
 };
 
@@ -190,12 +193,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// `help` is an optional human description carried into snapshots and
+  /// emitted as the Prometheus `# HELP` line; the first non-empty
+  /// registration wins (like the metric itself).
+  Counter& counter(const std::string& name, const std::string& help = {});
+  Gauge& gauge(const std::string& name, const std::string& help = {});
   /// Re-requesting an existing histogram name returns the existing
   /// instance (the bin layout of the first registration wins).
   Histogram& histogram(const std::string& name, double lo, double hi,
-                       std::size_t bins, bool log_scale = false);
+                       std::size_t bins, bool log_scale = false,
+                       const std::string& help = {});
 
   [[nodiscard]] Snapshot snapshot() const;
   [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
@@ -210,10 +217,13 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const;
 
  private:
+  void note_help(const std::string& name, const std::string& help);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace ss::telemetry

@@ -1,0 +1,211 @@
+#include "telemetry/watchdog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace ss::telemetry {
+
+namespace {
+
+std::string fmt_ctx(const char* rule, const char* detail, double value,
+                    double threshold, std::size_t window_polls) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"rule\":\"%s\",\"detail\":\"%s\",\"value\":%.6g,"
+                "\"threshold\":%.6g,\"window_polls\":%zu}",
+                rule, detail, value, threshold, window_polls);
+  return buf;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(MetricsRegistry& reg, AuditSession* session,
+                   WatchdogConfig cfg)
+    : reg_(reg),
+      session_(session),
+      cfg_(cfg),
+      polls_counter_(&reg.counter("watchdog.polls",
+                                  "metric snapshots taken by the watchdog")),
+      fired_counter_(&reg.counter(
+          "watchdog.fired", "watchdog rules fired (flight-recorder dumps)")) {
+  if (cfg_.window < 2) cfg_.window = 2;
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run_thread(); });
+  running_ = true;
+}
+
+void Watchdog::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  running_ = false;
+  // Final sweep: a short run may end inside the first poll interval with
+  // the anomaly only visible in the closing window.
+  evaluate_once();
+}
+
+void Watchdog::run_thread() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(cfg_.poll_interval);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    evaluate_once();
+  }
+}
+
+Watchdog::Poll Watchdog::read_registry() const {
+  const Snapshot snap = reg_.snapshot();
+  const auto find = [&](const char* name) -> const Sample* {
+    for (const Sample& s : snap.samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const auto count_of = [&](const char* name) -> std::uint64_t {
+    const Sample* s = find(name);
+    return s != nullptr ? s->count : 0;
+  };
+
+  Poll p;
+  if (const Sample* d = find("es.frame_delay_us")) p.delay_p99_us = d->p99;
+  p.grants = count_of("chip.grants");
+  p.decisions = count_of("chip.decision_cycles");
+  p.enqueued = count_of("qm.enqueued");
+  p.dequeued = count_of("qm.dequeued");
+  p.retries = count_of("robust.retries");
+  p.inversions = count_of("rank.inversions");
+  p.pops = count_of("rank.pops");
+  for (std::size_t c = 0; c < kBurnCauses; ++c) {
+    p.burn[c] =
+        count_of((std::string("audit.burn.") + burn_cause_name(c)).c_str());
+  }
+  return p;
+}
+
+std::optional<std::string> Watchdog::evaluate_once() {
+  const Poll p = read_registry();
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  polls_counter_->add(1);
+  const std::lock_guard<std::mutex> lock(mu_);
+  window_.push_back(p);
+  while (window_.size() > cfg_.window) window_.pop_front();
+  return evaluate_locked();
+}
+
+std::optional<std::string> Watchdog::evaluate_locked() {
+  if (window_.size() < 2) return std::nullopt;
+  const Poll& first = window_.front();
+  const Poll& last = window_.back();
+  const std::size_t n = window_.size();
+  const auto suppressed = [&](const char* rule) {
+    return std::find(fired_rules_.begin(), fired_rules_.end(), rule) !=
+           fired_rules_.end();
+  };
+
+  // burn_rate_spike: any cause's exact burn counter jumped this window.
+  if (cfg_.burn_spike > 0 && !suppressed("burn_rate_spike")) {
+    for (std::size_t c = 0; c < kBurnCauses; ++c) {
+      const std::uint64_t d = last.burn[c] - first.burn[c];
+      if (d >= cfg_.burn_spike) {
+        fire("burn_rate_spike",
+             fmt_ctx("burn_rate_spike", burn_cause_name(c),
+                     static_cast<double>(d),
+                     static_cast<double>(cfg_.burn_spike), n));
+        return "burn_rate_spike";
+      }
+    }
+  }
+
+  // grant_rate_stall: decisions tick, backlog exists, no grant emerges.
+  if (cfg_.stall_min_decisions > 0 && !suppressed("grant_rate_stall")) {
+    const std::uint64_t decisions = last.decisions - first.decisions;
+    const std::uint64_t backlog =
+        last.enqueued > last.dequeued ? last.enqueued - last.dequeued : 0;
+    if (decisions >= cfg_.stall_min_decisions && backlog > 0 &&
+        last.grants == first.grants) {
+      fire("grant_rate_stall",
+           fmt_ctx("grant_rate_stall", "decisions_without_grant",
+                   static_cast<double>(decisions),
+                   static_cast<double>(cfg_.stall_min_decisions), n));
+      return "grant_rate_stall";
+    }
+  }
+
+  // retry_surge: recovery layer suddenly busy.
+  if (cfg_.retry_surge > 0 && !suppressed("retry_surge")) {
+    const std::uint64_t d = last.retries - first.retries;
+    if (d >= cfg_.retry_surge) {
+      fire("retry_surge",
+           fmt_ctx("retry_surge", "retries", static_cast<double>(d),
+                   static_cast<double>(cfg_.retry_surge), n));
+      return "retry_surge";
+    }
+  }
+
+  // delay_quantile_drift: latest p99 leaves the window's median behind.
+  if (cfg_.delay_drift_factor > 0.0 && !suppressed("delay_quantile_drift")) {
+    std::vector<double> p99s;
+    p99s.reserve(n);
+    for (const Poll& w : window_) p99s.push_back(w.delay_p99_us);
+    std::sort(p99s.begin(), p99s.end());
+    const double median = p99s[p99s.size() / 2];
+    if (last.delay_p99_us >= cfg_.delay_floor_us && median > 0.0 &&
+        last.delay_p99_us >= cfg_.delay_drift_factor * median) {
+      fire("delay_quantile_drift",
+           fmt_ctx("delay_quantile_drift", "p99_us", last.delay_p99_us,
+                   cfg_.delay_drift_factor * median, n));
+      return "delay_quantile_drift";
+    }
+  }
+
+  // inversion_excess: the SP-PIFO approximation degrading under load.
+  if (cfg_.inversion_excess_pct > 0.0 && !suppressed("inversion_excess")) {
+    const std::uint64_t pops = last.pops - first.pops;
+    const std::uint64_t inv = last.inversions - first.inversions;
+    if (pops >= cfg_.inversion_min_pops) {
+      const double pct =
+          100.0 * static_cast<double>(inv) / static_cast<double>(pops);
+      if (pct >= cfg_.inversion_excess_pct) {
+        fire("inversion_excess",
+             fmt_ctx("inversion_excess", "inversions_per_100_pops", pct,
+                     cfg_.inversion_excess_pct, n));
+        return "inversion_excess";
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+void Watchdog::fire(const std::string& rule, const std::string& context) {
+  fired_rules_.push_back(rule);
+  last_rule_ = rule;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  fired_counter_->add(1);
+  if (session_ != nullptr) {
+    session_->force_sample();
+    session_->set_watchdog_context(context);
+    session_->dump("watchdog:" + rule);
+  }
+}
+
+std::uint64_t Watchdog::polls() const noexcept {
+  return polls_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Watchdog::fired() const noexcept {
+  return fired_.load(std::memory_order_relaxed);
+}
+
+std::string Watchdog::last_rule() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_rule_;
+}
+
+}  // namespace ss::telemetry

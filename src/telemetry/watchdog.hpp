@@ -1,0 +1,130 @@
+// watchdog.hpp — anomaly watchdog: rolling-window rules over metric
+// snapshots that fire the flight recorder.
+//
+// PR 5 made the black box dump on failover; this layer makes it dump on
+// *anomaly*.  A Watchdog polls a MetricsRegistry from a monitor thread,
+// keeps a short rolling window of the readings, and evaluates five rules
+// over the window:
+//
+//   delay_quantile_drift  es.frame_delay_us p99 exceeds a factor of the
+//                         window's median p99 (and an absolute floor)
+//   burn_rate_spike       any audit.burn.<cause> counter grew by more
+//                         than a threshold across the window
+//   grant_rate_stall      chip decision cycles kept ticking over the
+//                         window, the host rings hold a backlog
+//                         (qm.enqueued - qm.dequeued > 0), yet
+//                         chip.grants did not move
+//   retry_surge           robust.retries grew by more than a threshold
+//                         across the window
+//   inversion_excess      rank.inversions per 100 rank.pops exceeded a
+//                         bound (the SP-PIFO approximation degrading)
+//
+// A firing rule triggers AuditSession::dump with cause
+// "watchdog:<rule>", after force-sampling the next decision and
+// attaching a window-stats context object that lands in the ss-audit-v2
+// document under "watchdog" — the dump says not just *that* the box
+// tripped but which rule, on what value, against what threshold.  Each
+// rule fires at most once per run (no dump storms); firings are counted
+// in watchdog.fired, polls in watchdog.polls.
+//
+// Metrics a rule needs that the registry does not carry simply disable
+// that rule (reads default to zero / empty) — the watchdog never
+// misfires on absent instrumentation.
+//
+// Concurrency: start()/stop() own the monitor thread; evaluate_once() is
+// also public so tests (and end-of-run sweeps) can drive the rules
+// deterministically.  All shared state is mutex-guarded; registry reads
+// go through snapshot(), which is the registry's lock-free-reader
+// contract.  stop() runs one final evaluation before joining so a spike
+// in the last window of a short run is still caught.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "telemetry/audit.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ss::telemetry {
+
+struct WatchdogConfig {
+  std::chrono::milliseconds poll_interval{5};
+  std::size_t window = 4;  ///< polls per rolling window (>= 2 to evaluate)
+
+  // Rule thresholds; 0 (or 0.0) disables the rule.
+  double delay_drift_factor = 4.0;  ///< p99 vs rolling median p99
+  double delay_floor_us = 50.0;     ///< ignore drift below this p99
+  std::uint64_t burn_spike = 50;    ///< per-cause burn growth per window
+  std::uint64_t stall_min_decisions = 64;  ///< window decisions w/o a grant
+  std::uint64_t retry_surge = 32;          ///< retry growth per window
+  double inversion_excess_pct = 25.0;      ///< inversions per 100 pops
+  std::uint64_t inversion_min_pops = 200;  ///< pops before the rule arms
+};
+
+class Watchdog {
+ public:
+  /// `session` may be null: rules still evaluate and count firings, but
+  /// nothing dumps.
+  Watchdog(MetricsRegistry& reg, AuditSession* session,
+           WatchdogConfig cfg = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawn / join the monitor thread.  stop() performs one final
+  /// evaluation before joining and is idempotent.
+  void start();
+  void stop();
+
+  /// One poll + rule evaluation; returns the rule that fired (first
+  /// match in the order above), if any.  Thread-safe.
+  std::optional<std::string> evaluate_once();
+
+  [[nodiscard]] std::uint64_t polls() const noexcept;
+  [[nodiscard]] std::uint64_t fired() const noexcept;
+  [[nodiscard]] std::string last_rule() const;
+
+ private:
+  struct Poll {
+    double delay_p99_us = 0.0;
+    std::uint64_t grants = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t inversions = 0;
+    std::uint64_t pops = 0;
+    std::array<std::uint64_t, kBurnCauses> burn{};
+  };
+
+  Poll read_registry() const;
+  std::optional<std::string> evaluate_locked();
+  void fire(const std::string& rule, const std::string& context);
+  void run_thread();
+
+  MetricsRegistry& reg_;
+  AuditSession* session_;
+  WatchdogConfig cfg_;
+  Counter* polls_counter_;
+  Counter* fired_counter_;
+
+  mutable std::mutex mu_;  ///< guards window_/fired_rules_/last_rule_
+  std::deque<Poll> window_;
+  std::deque<std::string> fired_rules_;  ///< once-per-run suppression
+  std::string last_rule_;
+  std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> fired_{0};
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+}  // namespace ss::telemetry

@@ -152,11 +152,14 @@ TEST(AuditProvenance, ProfilesCountComparisons) {
   audit.bind_registry(reg);
 
   // Stream 0 beats 1 on deadline twice, 2 beats 3 on id tie-break once.
+  // The exact comparison count commits at the decision boundary.
   audit.on_comparison(0, 1, 1);
   audit.on_comparison(0, 1, 1);
   audit.on_comparison(2, 3, 6);
+  audit.end_decision();
 
   EXPECT_EQ(audit.comparisons(), 3u);
+  EXPECT_EQ(audit.comparisons_sampled(), 3u);
   EXPECT_EQ(audit.rule_total(1), 2u);
   EXPECT_EQ(audit.rule_total(6), 1u);
   EXPECT_EQ(audit.wins(0, 1), 2u);
@@ -403,7 +406,7 @@ TEST(AuditFailoverDump, LastDecisionMatchesOracle) {
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string doc = buf.str();
-  EXPECT_NE(doc.find("\"schema\":\"ss-audit-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"ss-audit-v2\""), std::string::npos);
   EXPECT_NE(doc.find("\"cause\":\"failover\""), std::string::npos);
   EXPECT_NE(doc.find("\"ring\":["), std::string::npos);
 
@@ -485,7 +488,7 @@ TEST(AuditStress, LiveExportRacesThreadedRun) {
   std::thread monitor([&] {
     while (!done.load(std::memory_order_acquire)) {
       const std::string j = session.to_json("live");
-      ASSERT_NE(j.find("ss-audit-v1"), std::string::npos);
+      ASSERT_NE(j.find("ss-audit-v2"), std::string::npos);
       (void)session.recorder().entries();
       (void)session.audit().comparisons();
       exports.fetch_add(1, std::memory_order_relaxed);

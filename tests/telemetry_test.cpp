@@ -233,6 +233,66 @@ TEST(FrameTraceTest, RingBoundsRetentionButCountsEverything) {
   EXPECT_EQ(ft.size(), 0u);
 }
 
+// A wrapped ring is a truncated timeline; the truncation must be visible
+// in three places — the dropped() accessor, the export's metadata object,
+// and (when bound) the telemetry.trace.dropped_events counter — so nobody
+// reads a partial trace as a complete one.
+TEST(FrameTraceTest, WrapDroppedEventsAreAccountedEverywhere) {
+  MetricsRegistry reg;
+  telemetry::FrameTrace ft(8);
+  ft.bind_registry(reg);
+  for (std::uint64_t i = 0; i < 20; ++i) ft.arrival(0, i, i * 1000);
+  EXPECT_EQ(ft.recorded(), 20u);
+  EXPECT_EQ(ft.dropped(), 12u) << "20 recorded - 8 retained";
+  EXPECT_EQ(reg.counter("telemetry.trace.dropped_events").value(), 12u);
+  const std::string j = ft.to_chrome_json();
+  EXPECT_NE(j.find("\"metadata\":{\"dropped\":12"), std::string::npos);
+
+  // An unwrapped trace reports zero everywhere.
+  telemetry::FrameTrace small(8);
+  for (std::uint64_t i = 0; i < 5; ++i) small.arrival(0, i, i * 1000);
+  EXPECT_EQ(small.dropped(), 0u);
+  EXPECT_NE(small.to_chrome_json().find("\"metadata\":{\"dropped\":0"),
+            std::string::npos);
+
+  ft.clear();
+  EXPECT_EQ(ft.dropped(), 0u) << "clear resets the wrap accounting";
+}
+
+// Prometheus exposition: registered help strings surface as `# HELP`
+// lines (name-mangled to the ss_ namespace, newlines and backslashes
+// escaped per the text format), and metrics registered without help get
+// no HELP line at all.
+TEST(TelemetryPrometheus, HelpLinesEscapedAndOptional) {
+  MetricsRegistry reg;
+  reg.counter("chip.grants", "frames granted by the chip");
+  reg.counter("chip.drops");  // no help registered
+  reg.gauge("qm.depth", "line one\nline two \\ backslash");
+  reg.histogram("es.frame_delay_us", 1.0, 1e6, 16, true,
+                "arrival-to-transmit delay");
+  const std::string prom = reg.snapshot().to_prometheus();
+
+  EXPECT_NE(prom.find("# HELP ss_chip_grants frames granted by the chip\n"
+                      "# TYPE ss_chip_grants counter\n"),
+            std::string::npos)
+      << "HELP line must immediately precede the TYPE line";
+  EXPECT_EQ(prom.find("# HELP ss_chip_drops"), std::string::npos)
+      << "no registered help -> no HELP line";
+  EXPECT_NE(prom.find("# TYPE ss_chip_drops counter"), std::string::npos);
+  EXPECT_NE(
+      prom.find("# HELP ss_qm_depth line one\\nline two \\\\ backslash\n"),
+      std::string::npos)
+      << "newlines/backslashes must be escaped, not emitted raw";
+  EXPECT_NE(prom.find("# HELP ss_es_frame_delay_us arrival-to-transmit"),
+            std::string::npos);
+
+  // Help registration is first-writer-wins and idempotent per name.
+  reg.counter("chip.grants", "a different string");
+  EXPECT_NE(reg.snapshot().to_prometheus().find(
+                "# HELP ss_chip_grants frames granted by the chip"),
+            std::string::npos);
+}
+
 TEST(FrameTraceTest, ChromeJsonHasTracksAndLifecycleSpans) {
   telemetry::FrameTrace ft;
   // One frame's full life on stream 2: arrive, enqueue, cross PCI, get a
