@@ -1,5 +1,6 @@
 #include "core/endsystem.hpp"
 
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -180,6 +181,18 @@ EndsystemReport Endsystem::run(
   // no per-cycle allocation once the vectors reach the block size.
   std::vector<queueing::BlockGrant> burst;
   std::vector<queueing::TxRecord> burst_records;
+  hw::DecisionOutcome out;  // grant/block/drop capacity reused per cycle
+  // Drainable-stream mask: bit i stays set while stream i may still
+  // deliver frames — undelivered frames remain AND the ring has space.
+  // A failed produce() clears the bit (ring full) until a transmit/drop
+  // consumes a frame (the only way space reappears); cursor exhaustion
+  // clears it for good.  The per-decision delivery scan then walks only
+  // the set bits instead of all N streams — at steady state (every ring
+  // full) that is the one or two streams the last grant burst freed.
+  std::uint64_t drainable = 0;
+  for (std::uint32_t i = 0; i < streams_.size(); ++i) {
+    if (!frames[i].empty()) drainable |= std::uint64_t{1} << i;
+  }
   // Frame-lifecycle bookkeeping: per-stream FIFO position of the next
   // frame to leave the ring (transmit or drop), matching arrival seq.
   SS_TELEM(telemetry::FrameTrace* const ft = cfg_.frame_trace;
@@ -199,14 +212,21 @@ EndsystemReport Endsystem::run(
     // via fixed-size batch accounting.
     {
       SS_PROF(cfg_.profiler, telemetry::ProfStage::kQueueDrain);
-      for (std::uint32_t i = 0; i < streams_.size(); ++i) {
+      // Streaming-unit runs keep the full per-stream scan (the watermark
+      // refill machinery must run even for streams whose ring is full);
+      // the fixed-batch path walks only the drainable bits.
+      std::uint64_t scan =
+          streaming_ ? (std::uint64_t{1} << streams_.size()) - 1 : drainable;
+      for (; scan != 0; scan &= scan - 1) {
+        const auto i = static_cast<std::uint32_t>(std::countr_zero(scan));
         while (cursor[i] < frames[i].size() &&
                frames[i][cursor[i]].arrival_ns <= now_ns) {
           const queueing::Frame& f = frames[i][cursor[i]];
           if (!qm_.produce(i, f)) {
-            // Ring full: retry next cycle.  Note the overflow so a window
-            // violation committed this cycle is attributed to it.
+            // Ring full: retry once a frame leaves.  Note the overflow so
+            // a window violation committed this cycle is attributed to it.
             SS_TELEM(if (cfg_.audit) cfg_.audit->audit().note_overflow(i));
+            drainable &= ~(std::uint64_t{1} << i);
             break;
           }
           SS_TELEM(if (em) em->arrivals_delivered->add(1);
@@ -235,6 +255,9 @@ EndsystemReport Endsystem::run(
             });
           }
         }
+        if (cursor[i] >= frames[i].size()) {
+          drainable &= ~(std::uint64_t{1} << i);
+        }
         if (streaming_) {
           // Watermark-driven refill; the scheduler only sees requests whose
           // offsets physically reached the card queue.
@@ -252,14 +275,19 @@ EndsystemReport Endsystem::run(
       }
     }
 
-    const hw::DecisionOutcome out =
-        guard_ ? guard_->run_decision_cycle() : chip_->run_decision_cycle();
+    if (guard_) {
+      guard_->run_decision_cycle(out);
+    } else {
+      chip_->run_decision_cycle(out);
+    }
+    rep.committed_decisions += static_cast<std::uint64_t>(!out.idle);
 
     // Droppable slots that discarded a late head on the card: the systems
     // software discards the matching host frame (it never reaches the
     // link, but it is complete for accounting purposes).
     for (const hw::SlotId s : out.drops) {
       if (qm_.consume(s)) {
+        drainable |= std::uint64_t{1} << s;
         ++rep.dropped_late;
         ++transmitted;
         SS_TELEM(if (em) {
@@ -322,6 +350,7 @@ EndsystemReport Endsystem::run(
                }
              });
     for (const queueing::TxRecord& rec : burst_records) {
+      drainable |= std::uint64_t{1} << rec.stream;
       monitor_->record(rec);
       SS_TELEM(if (em) {
         em->frame_delay_us->observe(static_cast<double>(rec.delay_ns()) /

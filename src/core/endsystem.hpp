@@ -99,6 +99,11 @@ struct EndsystemReport {
   double host_seconds = 0.0;      ///< measured wall time of the drain loop
   std::uint64_t pci_ns = 0;       ///< modeled PCI exchange time
   std::uint64_t decision_cycles = 0;
+  /// Decision cycles that committed a grant (non-idle).  The per-decision
+  /// cost denominator: idle cycles only advance vtime and run none of the
+  /// LOAD/SCHEDULE/PRIORITY_UPDATE datapath, so averaging over them
+  /// understates the real decision cost whenever the drain loop idles.
+  std::uint64_t committed_decisions = 0;
   double pps_excl_pci = 0.0;
   double pps_incl_pci = 0.0;
   std::uint64_t spurious_schedules = 0;

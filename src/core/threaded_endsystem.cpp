@@ -134,6 +134,7 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
   std::uint64_t transmitted = 0;
   std::vector<queueing::BlockGrant> burst;
   std::vector<queueing::TxRecord> burst_records;
+  hw::DecisionOutcome out;  // grant/block/drop capacity reused per cycle
   while (transmitted < total) {
     SS_TELEM(if (em) em->loop_iterations->add(1));
     // Commit any control-plane re-LOADs between decision cycles.  The
@@ -187,8 +188,11 @@ ThreadedReport ThreadedEndsystem::run(std::uint64_t frames_per_stream) {
         ++announced[i];
       }
     }
-    const hw::DecisionOutcome out =
-        guard_ ? guard_->run_decision_cycle() : chip_->run_decision_cycle();
+    if (guard_) {
+      guard_->run_decision_cycle(out);
+    } else {
+      chip_->run_decision_cycle(out);
+    }
     for (const hw::SlotId s : out.drops) {
       if (qm_.consume(s)) {
         ++consumed[s];

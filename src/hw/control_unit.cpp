@@ -27,6 +27,41 @@ unsigned ControlUnit::sustained_cycles_per_decision() const {
   return timing_.pipelined_io ? std::max(io, loop) : io + loop;
 }
 
+ControlUnit::Action ControlUnit::advance_to_apply() {
+  // Only valid at a decision boundary — exactly where the tick loop would
+  // start its LOAD burst.
+  assert(state_ == FsmState::kIdle ||
+         (state_ == FsmState::kLoad && phase_ == 0));
+  // L load cycles + P schedule passes + the apply cycle itself.
+  hw_cycles_ += slots_ * timing_.load_cycles_per_slot + passes_ + 1;
+  state_ = timing_.bypass_update ? FsmState::kOutput : FsmState::kUpdate;
+  phase_ = 1;
+  return Action::kUpdateApply;
+}
+
+void ControlUnit::finish_decision() {
+  assert(phase_ == 1 && (state_ == FsmState::kUpdate ||
+                         (state_ == FsmState::kOutput &&
+                          timing_.bypass_update)));
+  // Settle + writeback + the boundary cycle, exactly as tick() charges
+  // them: non-bypass (U-1) settles + (O-1) outputs + done; bypass rode
+  // the apply on the first output cycle, leaving (O-2) outputs + done.
+  hw_cycles_ += timing_.output_cycles - 1 +
+                (timing_.bypass_update ? 0 : timing_.update_cycles);
+  ++decision_cycles_;
+  state_ = FsmState::kLoad;
+  phase_ = 0;
+}
+
+ControlUnit::PhaseCycles ControlUnit::phase_cycles() const {
+  PhaseCycles pc;
+  pc.load = slots_ * timing_.load_cycles_per_slot;
+  pc.sched = passes_;
+  pc.upd = timing_.bypass_update ? 1 : timing_.update_cycles;
+  pc.outp = timing_.output_cycles - (timing_.bypass_update ? 2 : 1);
+  return pc;
+}
+
 ControlUnit::Action ControlUnit::tick() {
   ++hw_cycles_;
   switch (state_) {

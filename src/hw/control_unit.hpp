@@ -58,6 +58,32 @@ class ControlUnit {
   /// Advance one hardware cycle and return the datapath action.
   Action tick();
 
+  /// Closed-form fast path: advance the FSM from a decision boundary
+  /// (kIdle, or kLoad at phase 0) straight to the UPDATE-apply cycle,
+  /// charging exactly the hardware cycles the tick loop would have — the
+  /// LOAD burst, every SCHEDULE pass and the apply cycle itself.  The
+  /// returned action is always kUpdateApply; the datapath runs the whole
+  /// network decision plus register updates at that point (this is what
+  /// lets the SIMD stage kernel evaluate all passes in one burst).
+  Action advance_to_apply();
+
+  /// Closed-form twin of the remaining tick()s after advance_to_apply():
+  /// charges the UPDATE-settle and OUTPUT cycles and closes the decision
+  /// boundary.  tick() and the fast-path pair produce bit-identical
+  /// hw_cycles / decision_cycles / state traces at every boundary (pinned
+  /// by ControlUnitTest.FastPathMatchesTickLoop).
+  void finish_decision();
+
+  /// Per-phase cycle charges of one full decision under the current
+  /// timing — load, schedule, update, output; sums to the non-idle
+  /// decision cost.  Matches the per-action tallies the tick loop yields
+  /// (the boundary cycle is accounted to output, the apply cycle to
+  /// update — or to output when bypass_update rides it on the writeback).
+  struct PhaseCycles {
+    unsigned load, sched, upd, outp;
+  };
+  [[nodiscard]] PhaseCycles phase_cycles() const;
+
   [[nodiscard]] FsmState state() const { return state_; }
   [[nodiscard]] std::uint64_t hw_cycles() const { return hw_cycles_; }
   [[nodiscard]] std::uint64_t decision_cycles() const {

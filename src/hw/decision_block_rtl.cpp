@@ -9,7 +9,7 @@ namespace {
 bool serial16_less(std::uint16_t a, std::uint16_t b) {
   const std::uint16_t d = static_cast<std::uint16_t>(b - a);
   if (d == 0) return false;
-  if (d == 0x8000u) return a > b;
+  if (d == 0x8000u) return a < b;  // antipode: lower raw wins (see Serial<>)
   return d < 0x8000u;
 }
 

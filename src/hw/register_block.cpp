@@ -109,11 +109,7 @@ bool RegisterBlock::service_update(std::uint64_t now, bool circulated) {
   return met;
 }
 
-RegisterBlock::MissResult RegisterBlock::miss_update(std::uint64_t now) {
-  if (pending_ == 0) return {};
-  if (cfg_.mode == SlotMode::kStaticPrio || cfg_.mode == SlotMode::kFairTag) {
-    return {};  // no deadline semantics in these modes
-  }
+RegisterBlock::MissResult RegisterBlock::miss_update_slow(std::uint64_t now) {
   if (!deadline_expired(now)) return {};
   ++counters_.missed_deadlines;
   loser_window_adjust();

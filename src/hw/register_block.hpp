@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "hw/fields.hpp"
+#include "hw/simd_kernel.hpp"
 
 namespace ss::hw {
 
@@ -71,6 +72,36 @@ class RegisterBlock {
   /// Attribute word currently driven onto the shuffle network.
   [[nodiscard]] AttrWord attrs() const;
 
+  /// Drive this slot's attribute bus into the SoA register file — the
+  /// same 54 bits attrs() materializes, written straight into the packed
+  /// per-field lanes the SIMD decision kernel consumes.  Returns the
+  /// pending bit instead of read-modify-writing soa.pending_mask so a
+  /// caller publishing all N slots can accumulate the mask in a register
+  /// (the per-lane RMW forms an N-deep store dependency chain otherwise)
+  /// and store it once.
+  [[nodiscard]] bool publish(AttrSoA& soa, unsigned lane) const {
+    soa.deadline[lane] = deadline_.raw();
+    soa.arrival[lane] = arrival_.raw();
+    soa.loss_num[lane] = xp_;
+    soa.loss_den[lane] = yp_;
+    soa.id[lane] = id_;
+    return pending_ > 0;
+  }
+
+  /// Direct-store twin of publish(): drive this slot's attribute bus
+  /// straight into the SIMD lane file (the 16-bit-widened view the
+  /// decision kernel consumes), skipping the AttrSoA gather + widen
+  /// round-trip the chip's LOAD phase would otherwise pay every decision.
+  void publish_lanes(simd::LaneRegs& lr, unsigned lane) const {
+    lr.deadline[lane] = deadline_.raw();
+    lr.arrival[lane] = arrival_.raw();
+    lr.loss_num[lane] = xp_;
+    lr.loss_den[lane] = yp_;
+    lr.id[lane] = id_;
+    lr.pend[lane] =
+        static_cast<std::uint16_t>(0u - static_cast<unsigned>(pending_ > 0));
+  }
+
   /// PRIORITY_UPDATE when this slot's frame was granted this decision
   /// cycle.  `circulated` — this slot's ID was the one circulated through
   /// the network (it receives the winner window adjustment; in block mode
@@ -90,8 +121,16 @@ class RegisterBlock {
 
   /// PRIORITY_UPDATE miss path: called every decision cycle for slots that
   /// were NOT granted; applies the loser adjustment iff the head-of-line
-  /// deadline has expired at vtime `now`.
-  MissResult miss_update(std::uint64_t now);
+  /// deadline has expired at vtime `now`.  The no-deadline-semantics exits
+  /// are inline — the caller runs this for every losing slot every cycle,
+  /// and fair-queuing/static-priority slots never take the miss path.
+  MissResult miss_update(std::uint64_t now) {
+    if (pending_ == 0 || cfg_.mode == SlotMode::kStaticPrio ||
+        cfg_.mode == SlotMode::kFairTag) {
+      return {};
+    }
+    return miss_update_slow(now);
+  }
 
   [[nodiscard]] const SlotCounters& counters() const { return counters_; }
   [[nodiscard]] const SlotConfig& config() const { return cfg_; }
@@ -123,6 +162,7 @@ class RegisterBlock {
   }
 
  private:
+  MissResult miss_update_slow(std::uint64_t now);
   void winner_window_adjust();
   void loser_window_adjust();
   void reset_window_if_complete();

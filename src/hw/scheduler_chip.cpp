@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 
 #include "telemetry/audit.hpp"
@@ -23,7 +24,7 @@ ControlTiming effective_timing(const ChipConfig& cfg) {
 SchedulerChip::SchedulerChip(const ChipConfig& cfg)
     : cfg_(cfg),
       slots_(cfg.slots),
-      network_(cfg.slots, cfg.schedule, cfg.cmp_mode),
+      network_(cfg.slots, cfg.schedule, cfg.cmp_mode, cfg.kernel),
       control_(cfg.slots, schedule_passes(cfg.schedule, cfg.slots),
                effective_timing(cfg)),
       tag_fifos_(cfg.slots) {
@@ -33,7 +34,15 @@ SchedulerChip::SchedulerChip(const ChipConfig& cfg)
 void SchedulerChip::load_slot(SlotId slot, const SlotConfig& cfg) {
   assert(slot < slots_.size());
   slots_[slot].load(slot, cfg);
+  pend_mask_ &= ~(1u << slot);  // load resets the backlog
+  dirty_mask_ |= 1u << slot;
   tag_fifos_[slot].clear();
+  miss_path_needed_ = false;
+  for (const RegisterBlock& rb : slots_) {
+    miss_path_needed_ = miss_path_needed_ ||
+                        rb.config().mode == SlotMode::kDwcs ||
+                        rb.config().mode == SlotMode::kEdf;
+  }
 }
 
 void SchedulerChip::push_request(SlotId slot) {
@@ -43,6 +52,8 @@ void SchedulerChip::push_request(SlotId slot) {
 void SchedulerChip::push_request(SlotId slot, Arrival arrival) {
   assert(slot < slots_.size());
   slots_[slot].push_request(arrival);
+  pend_mask_ |= 1u << slot;
+  dirty_mask_ |= 1u << slot;
 }
 
 void SchedulerChip::push_tagged_request(SlotId slot, Deadline tag,
@@ -54,13 +65,20 @@ void SchedulerChip::push_tagged_request(SlotId slot, Deadline tag,
   if (slots_[slot].backlog() == 0 && tag_fifos_[slot].empty()) {
     slots_[slot].set_deadline(tag);
   } else {
-    tag_fifos_[slot].push_back(tag);
+    tag_fifos_[slot].push(tag);
   }
   slots_[slot].push_request(arrival);
+  pend_mask_ |= 1u << slot;
+  dirty_mask_ |= 1u << slot;
 }
 
-DecisionOutcome SchedulerChip::execute_decision() {
-  DecisionOutcome out;
+void SchedulerChip::execute_decision(DecisionOutcome& out) {
+  out.idle = false;
+  out.circulated.reset();
+  out.grants.clear();
+  out.block.clear();
+  out.drops.clear();
+  out.hw_cycles = 0;
 
   TraceRecord trace;
   if (tracer_) {
@@ -68,24 +86,48 @@ DecisionOutcome SchedulerChip::execute_decision() {
     trace.vtime_start = vtime_;
   }
 
-  // LOAD: Register Base blocks drive their attribute words onto the lanes.
-  std::vector<AttrWord> attrs;
-  attrs.reserve(slots_.size());
-  bool any_pending = false;
-  for (const RegisterBlock& rb : slots_) {
-    attrs.push_back(rb.attrs());
-    any_pending = any_pending || rb.backlog() > 0;
-  }
-  if (!any_pending) {
+  // Pre-decision pendingness, decided before anything touches the lane
+  // file: an idle cycle must leave the network's registers exactly as the
+  // previous decision sorted them (last_block() materializes lazily, so
+  // clobbering them here would corrupt a later read).  Also kept for the
+  // audit planes — loser attribution is judged on what contended THIS
+  // decision.
+  const unsigned n = static_cast<unsigned>(slots_.size());
+  const std::uint32_t pend_mask = pend_mask_;
+  const std::uint32_t pending0 = pend_mask;
+  if (pending0 == 0) {
     out.idle = true;
     SS_TELEM(if (metrics_) metrics_->idle_decisions->add(1));
     if (tracer_) {
       trace.idle = true;
       tracer_->record(std::move(trace));
     }
-    return out;
+    return;
   }
-  if (tracer_) trace.loaded = attrs;
+
+  // LOAD: Register Base blocks drive their attribute buses straight into
+  // the network's SIMD lane file (16-bit SoA lanes; the kernel reads them
+  // in place, the tracer materializes AttrWords only when attached).
+  simd::LaneRegs& lanes = network_.lane_file();
+  if (lane_map_valid_ && network_.lanes_resident()) {
+    // Incremental LOAD: the lane file still holds the previous decision's
+    // sorted state, so only slots whose attribute bus changed since
+    // (dirty) need their lane patched — through the inverse permutation
+    // that decision left behind.
+    for (std::uint32_t m = dirty_mask_; m != 0; m &= m - 1) {
+      const auto s = static_cast<unsigned>(std::countr_zero(m));
+      slots_[s].publish_lanes(lanes, lane_of_[s]);
+    }
+  } else {
+    for (unsigned s = 0; s < n; ++s) {
+      slots_[s].publish_lanes(lanes, s);
+    }
+  }
+  dirty_mask_ = 0;
+  if (tracer_) {
+    trace.loaded.reserve(n);
+    for (unsigned s = 0; s < n; ++s) trace.loaded.push_back(slots_[s].attrs());
+  }
 
   // Sampling gate, decided before the SCHEDULE passes so the comparison
   // hot path already knows whether this decision carries full provenance.
@@ -94,7 +136,7 @@ DecisionOutcome SchedulerChip::execute_decision() {
            network_.set_audit_live(audit_sampled));
 
   // SCHEDULE: log2(N) (or schedule-specific) network passes.
-  network_.load(attrs);
+  network_.load_lanes(pend_mask);
   SS_TELEM(const std::uint64_t swaps_before = network_.total_swaps();
            const std::uint64_t cmps_before = network_.total_comparisons();
            const std::uint64_t pend_before =
@@ -108,13 +150,33 @@ DecisionOutcome SchedulerChip::execute_decision() {
     metrics_->net_swaps->add(network_.total_swaps() - swaps_before);
     metrics_->net_comparisons->add(network_.total_comparisons() - cmps_before);
   });
-  last_block_.assign(network_.lanes().begin(), network_.lanes().end());
+  last_block_stale_ = true;
 
-  // Grant selection.
+  // Record this decision's inverse lane permutation for the next cycle's
+  // incremental LOAD.  Only meaningful while the lane registers stay
+  // resident (the scalar/audited path materializes them back to AttrWords)
+  // and the ids form a permutation — duplicate ids (unconfigured chips)
+  // would alias map entries, so they fall back to the full republish.
+  if (network_.lanes_resident()) {
+    std::uint32_t seen = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint16_t id = lanes.id[i];
+      lane_of_[id] = static_cast<std::uint8_t>(i);
+      seen |= 1u << id;
+    }
+    const std::uint32_t full =
+        n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1u);
+    lane_map_valid_ = (seen == full);
+  } else {
+    lane_map_valid_ = false;
+  }
+
+  // Grant selection (IDs read straight off the sorted lane registers; the
+  // AttrWord view only materializes for the tracer / last_block() API).
   if (!cfg_.block_mode) {
     // WR / max-finding: the tournament leaves the winner in lane 0; the
     // pending-only rule guarantees it is backlogged when any slot is.
-    const SlotId w = network_.winner().id;
+    const SlotId w = network_.winner_id();
     out.circulated = w;
     out.grants.push_back({w, vtime_, false});
   } else {
@@ -122,15 +184,8 @@ DecisionOutcome SchedulerChip::execute_decision() {
     // head in max-first mode, from the tail in min-first mode.  Up to
     // batch_depth of them are granted one frame each this cycle (0 = the
     // whole block); the rest stay backlogged and re-enter the next sort.
-    std::vector<SlotId> pending_lanes;
-    for (const AttrWord& w : network_.lanes()) {
-      if (w.pending) pending_lanes.push_back(w.id);
-    }
-    if (cfg_.min_first) {
-      out.block.assign(pending_lanes.rbegin(), pending_lanes.rend());
-    } else {
-      out.block = pending_lanes;
-    }
+    network_.block_ids(out.block);
+    if (cfg_.min_first) std::reverse(out.block.begin(), out.block.end());
     const std::size_t burst =
         cfg_.batch_depth == 0
             ? out.block.size()
@@ -144,26 +199,36 @@ DecisionOutcome SchedulerChip::execute_decision() {
   // PRIORITY_UPDATE: granted slots apply the service path (the circulated
   // one additionally gets the winner window adjustment); every other slot
   // concurrently runs the local deadline-miss check.
-  std::vector<bool> granted(slots_.size(), false);
+  std::uint32_t granted = 0;
   for (Grant& g : out.grants) {
-    granted[g.slot] = true;
+    granted |= 1u << g.slot;
     const bool circulated = out.circulated && *out.circulated == g.slot;
     g.met_deadline = slots_[g.slot].service_update(g.emit_vtime, circulated);
+    dirty_mask_ |= 1u << g.slot;
+    if (slots_[g.slot].backlog() == 0) pend_mask_ &= ~(1u << g.slot);
     ++frames_granted_;
     // Fair-queuing slots: load the next packet's service tag.
     if (slots_[g.slot].config().mode == SlotMode::kFairTag) {
       auto& fifo = tag_fifos_[g.slot];
       if (!fifo.empty()) {
-        slots_[g.slot].set_deadline(fifo.front());
-        fifo.erase(fifo.begin());
+        slots_[g.slot].set_deadline(fifo.pop());
       }
     }
   }
-  const std::uint64_t cycle_end = vtime_ + out.grants.size();
-  for (unsigned s = 0; s < slots_.size(); ++s) {
-    if (granted[s]) continue;
-    if (slots_[s].miss_update(cycle_end).dropped) {
-      out.drops.push_back(static_cast<SlotId>(s));
+  if (miss_path_needed_) {
+    const std::uint64_t cycle_end = vtime_ + out.grants.size();
+    for (unsigned s = 0; s < n; ++s) {
+      if ((granted >> s) & 1u) continue;
+      const RegisterBlock::MissResult mr = slots_[s].miss_update(cycle_end);
+      if (mr.missed) {
+        // The loser adjustment touched the published loss window (and a
+        // drop may have emptied the backlog).
+        dirty_mask_ |= 1u << s;
+        if (slots_[s].backlog() == 0) pend_mask_ &= ~(1u << s);
+      }
+      if (mr.dropped) {
+        out.drops.push_back(static_cast<SlotId>(s));
+      }
     }
   }
 
@@ -179,7 +244,7 @@ DecisionOutcome SchedulerChip::execute_decision() {
   });
 
   if (tracer_) {
-    trace.block = last_block_;
+    trace.block = last_block();
     trace.circulated = out.circulated;
     for (const Grant& g : out.grants) trace.grants.push_back(g.slot);
     trace.drops = out.drops;
@@ -193,15 +258,16 @@ DecisionOutcome SchedulerChip::execute_decision() {
   // violation counters so the exact burn attribution keeps flowing.
   SS_TELEM(if (audit_ != nullptr && !audit_sampled) {
     std::array<std::uint64_t, telemetry::kAuditMaxStreams> vio{};
-    const auto n_slots = static_cast<std::uint32_t>(slots_.size());
     std::uint64_t losers = 0;
-    for (std::uint32_t s = 0; s < n_slots; ++s) {
+    for (std::uint32_t s = 0; s < n; ++s) {
       vio[s] = slots_[s].counters().violations;
       // Contended and not served: the lost-tiebreak context the sampled
       // path gets per-comparison, at mask granularity.
-      if (attrs[s].pending && !granted[s]) losers |= std::uint64_t{1} << s;
+      if (((pending0 >> s) & 1u) && !((granted >> s) & 1u)) {
+        losers |= std::uint64_t{1} << s;
+      }
     }
-    audit_->on_decision_lite(n_slots, vio.data(),
+    audit_->on_decision_lite(n, vio.data(),
                              network_.total_pending_comparisons() -
                                  pend_before,
                              losers);
@@ -221,8 +287,8 @@ DecisionOutcome SchedulerChip::execute_decision() {
     for (std::size_t i = 0; i < ng; ++i) rec.grants[i] = out.grants[i].slot;
     rec.n_streams = static_cast<std::uint8_t>(slots_.size());
     std::uint8_t losers = 0;
-    for (unsigned s = 0; s < slots_.size(); ++s) {
-      if (attrs[s].pending && !granted[s]) {
+    for (unsigned s = 0; s < n; ++s) {
+      if (((pending0 >> s) & 1u) && !((granted >> s) & 1u)) {
         rec.losers[losers++] = static_cast<std::uint8_t>(s);
       }
       const RegisterBlock& rb = slots_[s];
@@ -237,7 +303,6 @@ DecisionOutcome SchedulerChip::execute_decision() {
     rec.n_losers = losers;
     audit_->on_decision(rec);
   });
-  return out;
 }
 
 void SchedulerChip::attach_audit(telemetry::AuditSession* a) {
@@ -250,47 +315,42 @@ bool SchedulerChip::try_run_decision_cycle(DecisionOutcome& out) {
     const FaultDecision d = faults_->on_transaction(FaultSite::kChipDecision);
     if (d.fault) return false;  // stalled before any datapath activity
   }
-  out = run_decision_cycle();
+  run_decision_cycle(out);
   return true;
 }
 
-DecisionOutcome SchedulerChip::run_decision_cycle() {
+void SchedulerChip::run_decision_cycle(DecisionOutcome& out) {
   SS_PROF(profiler_, telemetry::ProfStage::kChipDecision);
-  // Tick the Control & Steering FSM through one full decision; the
-  // datapath work happens at the UPDATE-apply boundary.  (The network
-  // passes were already executed functionally inside execute_decision();
-  // the per-pass actions keep the hardware-cycle accounting faithful.)
-  DecisionOutcome out;
-  bool executed = false;
+  // Drive the Control & Steering FSM through one full decision in closed
+  // form: advance_to_apply() charges the LOAD burst and every SCHEDULE
+  // pass (the datapath evaluates them all at once — with the SIMD stage
+  // kernel, literally), execute_decision() runs at the UPDATE-apply
+  // boundary exactly as in the tick loop, finish_decision() charges the
+  // settle/writeback tail.  The per-decision hw_cycles, decision counter
+  // and FSM state at the apply point are bit-identical to tick()ing
+  // (pinned by ControlUnitTest.FastPathMatchesTickLoop).
   const std::uint64_t start_cycles = control_.hw_cycles();
-  SS_TELEM(std::uint64_t load_c = 0, sched_c = 0, upd_c = 0, outp_c = 0);
-  for (;;) {
-    const ControlUnit::Action a = control_.tick();
-    SS_TELEM(switch (a) {
-      case ControlUnit::Action::kLoadCycle: ++load_c; break;
-      case ControlUnit::Action::kSchedulePass: ++sched_c; break;
-      case ControlUnit::Action::kUpdateApply:
-      case ControlUnit::Action::kUpdateSettle: ++upd_c; break;
-      case ControlUnit::Action::kOutputCycle: ++outp_c; break;
-      case ControlUnit::Action::kDecisionDone: break;
-    });
-    if (a == ControlUnit::Action::kUpdateApply && !executed) {
-      out = execute_decision();
-      executed = true;
-    }
-    if (a == ControlUnit::Action::kDecisionDone) break;
-  }
-  assert(executed);  // the FSM emits exactly one kUpdateApply per decision
+  const ControlUnit::Action a = control_.advance_to_apply();
+  assert(a == ControlUnit::Action::kUpdateApply);
+  (void)a;
+  execute_decision(out);
+  control_.finish_decision();
   if (out.idle) vtime_ += 1;  // an idle decision cycle still burns a packet-time
   out.hw_cycles = control_.hw_cycles() - start_cycles;
   SS_TELEM(if (metrics_) {
+    const ControlUnit::PhaseCycles pc = control_.phase_cycles();
     metrics_->decisions->add(1);
     metrics_->hw_cycles->add(out.hw_cycles);
-    metrics_->load_cycles->add(load_c);
-    metrics_->schedule_cycles->add(sched_c);
-    metrics_->update_cycles->add(upd_c);
-    metrics_->output_cycles->add(outp_c);
+    metrics_->load_cycles->add(pc.load);
+    metrics_->schedule_cycles->add(pc.sched);
+    metrics_->update_cycles->add(pc.upd);
+    metrics_->output_cycles->add(pc.outp);
   });
+}
+
+DecisionOutcome SchedulerChip::run_decision_cycle() {
+  DecisionOutcome out;
+  run_decision_cycle(out);
   return out;
 }
 

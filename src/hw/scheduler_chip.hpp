@@ -59,6 +59,10 @@ struct ChipConfig {
   /// commits in a single cycle (timing-only: results are bit-identical).
   bool compute_ahead = false;
   ControlTiming timing{};
+  /// Decision-kernel selection for the shuffle network (kAuto = SS_SIMD
+  /// env + CPU dispatch; kReference forces the per-pair scalar oracle —
+  /// the bench's baseline leg and the differential referee use it).
+  simd::KernelChoice kernel = simd::KernelChoice::kAuto;
 };
 
 /// One granted frame within a decision cycle.
@@ -105,6 +109,12 @@ class SchedulerChip {
   /// Run one complete decision cycle (ticks the FSM until the boundary).
   DecisionOutcome run_decision_cycle();
 
+  /// Allocation-free variant: reuses `out`'s grant/block/drop capacity
+  /// across decision cycles.  The hot loops (endsystem drain, bench,
+  /// differential campaigns) call this; the by-value overload above wraps
+  /// it.  `out` is fully overwritten.
+  void run_decision_cycle(DecisionOutcome& out);
+
   /// Fallible variant: an injected decision-cycle stall fails the attempt
   /// *before* any state mutation — vtime, counters and lane contents are
   /// untouched, so the caller may simply retry.  Returns false on a stall
@@ -127,7 +137,13 @@ class SchedulerChip {
 
   /// The block produced by the most recent non-idle decision cycle, in
   /// lane order (lane 0 = highest priority).  Empty before the first one.
+  /// Gathered lazily from the network's lane registers — the decision hot
+  /// path never pays for the AttrWord copy.
   [[nodiscard]] const std::vector<AttrWord>& last_block() const {
+    if (last_block_stale_) {
+      last_block_.assign(network_.lanes().begin(), network_.lanes().end());
+      last_block_stale_ = false;
+    }
     return last_block_;
   }
 
@@ -177,17 +193,61 @@ class SchedulerChip {
   }
 
  private:
-  DecisionOutcome execute_decision();
+  void execute_decision(DecisionOutcome& out);
 
   ChipConfig cfg_;
   std::vector<RegisterBlock> slots_;
   ShuffleNetwork network_;
   ControlUnit control_;
+  /// Any slot with deadline semantics (kDwcs / kEdf)?  Fair-queuing and
+  /// static-priority slots never take the miss path, so an all-bypass
+  /// configuration skips the per-cycle loser scan outright — the
+  /// unified-architecture insight (Section 2) applied to the hot loop.
+  /// Starts true: an unconfigured slot defaults to kDwcs, and load_slot
+  /// recomputes over all slots.
+  bool miss_path_needed_ = true;
+  /// Inverse lane permutation of the most recent sorted decision
+  /// (lane_of_[slot id] = lane index), valid only while the network's lane
+  /// registers still hold that decision's state and the ids formed a
+  /// permutation.  Lets LOAD republish just the slots whose attribute bus
+  /// changed since — in steady state the granted slot, not all N.
+  std::uint8_t lane_of_[kMaxSlots] = {};
+  bool lane_map_valid_ = false;
+  /// Chip-level mirrors of per-slot state, maintained at the mutation call
+  /// sites (every Register Base mutation flows through a SchedulerChip
+  /// method): bit s of pend_mask_ == slots_[s].backlog() > 0, bit s of
+  /// dirty_mask_ == slot s's attribute bus changed since its last publish.
+  /// They replace two N-object scans per decision cycle with register
+  /// reads — the hardware's wired-OR request lines, kept in software.
+  std::uint32_t pend_mask_ = 0;
+  std::uint32_t dirty_mask_ = 0xFFFFFFFFu;
   std::uint64_t vtime_ = 0;
   std::uint64_t frames_granted_ = 0;
-  std::vector<AttrWord> last_block_;
+  mutable std::vector<AttrWord> last_block_;
+  mutable bool last_block_stale_ = false;
   // Fair-queuing per-slot tag queues (head tag drives the deadline field).
-  std::vector<std::vector<Deadline>> tag_fifos_;
+  // Head-indexed: pop advances a cursor instead of memmoving the vector
+  // (the grant path pops one tag per fair-queued frame), with amortized
+  // prefix compaction so storage stays proportional to the live queue.
+  struct TagFifo {
+    std::vector<Deadline> buf;
+    std::size_t head = 0;
+    [[nodiscard]] bool empty() const { return head == buf.size(); }
+    void clear() {
+      buf.clear();
+      head = 0;
+    }
+    void push(Deadline d) { buf.push_back(d); }
+    Deadline pop() {
+      const Deadline d = buf[head++];
+      if (head == buf.size() || (head >= 64 && head * 2 >= buf.size())) {
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      return d;
+    }
+  };
+  std::vector<TagFifo> tag_fifos_;
   Tracer* tracer_ = nullptr;
   telemetry::ChipMetrics* metrics_ = nullptr;
   FaultInjector* faults_ = nullptr;

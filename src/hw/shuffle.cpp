@@ -33,9 +33,14 @@ unsigned schedule_passes(SortSchedule s, unsigned n) {
 }
 
 ShuffleNetwork::ShuffleNetwork(unsigned slots, SortSchedule schedule,
-                               ComparisonMode mode)
+                               ComparisonMode mode,
+                               simd::KernelChoice kernel)
     : slots_(slots), mode_(mode), lanes_(slots) {
   assert(is_pow2(slots) && slots >= 2 && slots <= kMaxSlots);
+  // kAuto defers to the process-wide SS_SIMD + CPU dispatch; an explicit
+  // choice (tests, the bench's scalar baseline leg) is resolved directly.
+  kernel_ = (kernel == simd::KernelChoice::kAuto) ? simd::default_kernel()
+                                                  : simd::resolve(kernel);
   build_schedule(schedule);
   total_passes_ = static_cast<unsigned>(schedule_pairs_.size());
 }
@@ -92,6 +97,47 @@ void ShuffleNetwork::build_schedule(SortSchedule s) {
       break;
     }
   }
+
+  // Lower each pass for the vector kernel: the generic pair list for the
+  // SWAR fallback, plus a butterfly descriptor (single power-of-two
+  // stride, pair-symmetric direction lanes) when the pass has the
+  // i <-> i^stride shape every perfect-shuffle and bitonic pass has.
+  plan_.clear();
+  plan_.reserve(schedule_pairs_.size());
+  total_pairs_ = 0;
+  for (const auto& pairs : schedule_pairs_) {
+    simd::PassPlan pp;
+    pp.pairs.reserve(pairs.size());
+    for (const PairSpec& p : pairs) {
+      pp.pairs.push_back({static_cast<std::uint16_t>(p.lo),
+                          static_cast<std::uint16_t>(p.hi),
+                          static_cast<std::uint16_t>(p.descending ? 1 : 0)});
+    }
+    if (pairs.size() == slots_ / 2 && !pairs.empty()) {
+      const unsigned stride = pairs[0].lo ^ pairs[0].hi;
+      bool butterfly = is_pow2(stride);
+      for (const PairSpec& p : pairs) {
+        if ((p.lo ^ p.hi) != stride || (p.lo & stride) != 0) {
+          butterfly = false;
+          break;
+        }
+      }
+      if (butterfly) {
+        pp.butterfly = true;
+        pp.stride = stride;
+        for (const PairSpec& p : pairs) {
+          const std::uint16_t d = p.descending ? 0xFFFFu : 0u;
+          pp.desc[p.lo] = d;
+          pp.desc[p.hi] = d;
+          if (p.descending) {
+            pp.desc_bits |= (1u << p.lo) | (1u << p.hi);
+          }
+        }
+      }
+    }
+    total_pairs_ += pairs.size();
+    plan_.push_back(std::move(pp));
+  }
 }
 
 void ShuffleNetwork::load(std::span<const AttrWord> words) {
@@ -105,11 +151,48 @@ void ShuffleNetwork::load(std::span<const AttrWord> words) {
   // flag), so the all-backlogged fast path — every pair has a pending
   // operand — holds for the whole decision.
   all_pending_ = all_pending;
+  soa_loaded_ = false;
   pass_ = 0;
+}
+
+void ShuffleNetwork::load(const AttrSoA& soa) {
+  const std::uint32_t full =
+      slots_ == 32 ? 0xFFFFFFFFu : ((1u << slots_) - 1u);
+  all_pending_ = (soa.pending_mask & full) == full;
+  regs_.load(soa, slots_);
+  soa_loaded_ = true;
+  pass_ = 0;
+}
+
+void ShuffleNetwork::materialize_lanes() const {
+  for (unsigned i = 0; i < slots_; ++i) lanes_[i] = regs_.get(i);
+  soa_loaded_ = false;
+}
+
+void ShuffleNetwork::block_ids(std::vector<SlotId>& out) const {
+  if (soa_loaded_) {
+    // Branchless compaction: append every lane's id, advance the cursor
+    // only past pending ones, then trim.  No per-push capacity check and
+    // no data-dependent branch in the loop.
+    const std::size_t base = out.size();
+    out.resize(base + slots_);
+    SlotId* const dst = out.data() + base;
+    unsigned k = 0;
+    for (unsigned i = 0; i < slots_; ++i) {
+      dst[k] = static_cast<SlotId>(regs_.id[i]);
+      k += static_cast<unsigned>(regs_.pend[i] != 0);
+    }
+    out.resize(base + k);
+  } else {
+    for (unsigned i = 0; i < slots_; ++i) {
+      if (lanes_[i].pending) out.push_back(lanes_[i].id);
+    }
+  }
 }
 
 unsigned ShuffleNetwork::step() {
   assert(pass_ < total_passes_);
+  if (soa_loaded_) materialize_lanes();
   const auto& pairs = schedule_pairs_[pass_];
   unsigned swaps = 0;
   // Pending-comparison tally: O(1) on the all-backlogged fast path
@@ -146,6 +229,32 @@ unsigned ShuffleNetwork::step() {
 }
 
 void ShuffleNetwork::run_all() {
+  // Whole-decision fast path: evaluate every pass with the branch-free
+  // stage kernel.  Only taken when (a) a kernel is selected, (b) the
+  // decision starts from pass 0 (partial step()ed cycles keep scalar
+  // semantics for the steering tests) and (c) no live audit hook — the
+  // audit plane attributes a Rule to every pending comparison, which is
+  // per-pair provenance the vector kernel does not produce; sampled
+  // decisions therefore recirculate through the reference comparators.
+  if (kernel_ != simd::Kernel::kReference && pass_ == 0 &&
+      total_passes_ > 0 && !audit_live_) {
+    if (!soa_loaded_) {
+      AttrSoA soa;
+      for (unsigned i = 0; i < slots_; ++i) soa.set(i, lanes_[i]);
+      regs_.load(soa, slots_);
+    }
+    const simd::KernelStats st =
+        simd::run_passes(regs_, slots_, plan_, mode_, kernel_);
+    total_swaps_ += st.swaps;
+    total_comparisons_ += total_pairs_;
+    SS_TELEM(pending_comparisons_ += st.pending_pairs);
+    pass_ = total_passes_;
+    // The lane registers now hold the sorted state; lanes_ refreshes
+    // lazily on the next lanes()/winner() access, and the grant path
+    // reads winner_id()/block_ids() off the registers directly.
+    soa_loaded_ = true;
+    return;
+  }
   while (!done()) step();
 }
 

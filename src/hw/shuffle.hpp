@@ -29,6 +29,7 @@
 
 #include "hw/decision_block.hpp"
 #include "hw/fields.hpp"
+#include "hw/simd_kernel.hpp"
 
 namespace ss::telemetry {
 class DecisionAudit;
@@ -60,10 +61,39 @@ struct PairSpec {
 /// their attribute buses.
 class ShuffleNetwork {
  public:
-  ShuffleNetwork(unsigned slots, SortSchedule schedule, ComparisonMode mode);
+  ShuffleNetwork(unsigned slots, SortSchedule schedule, ComparisonMode mode,
+                 simd::KernelChoice kernel = simd::KernelChoice::kAuto);
 
   /// Drive slot attribute words onto the lanes (lane i <- words[i]).
   void load(std::span<const AttrWord> words);
+
+  /// Drive the SoA register file onto the lanes without materializing
+  /// AttrWords first.  The lanes() / winner() views are refreshed when
+  /// the decision cycle completes (or on the first scalar step()).
+  void load(const AttrSoA& soa);
+
+  /// Direct-store LOAD path, the fastest: the Register Base blocks write
+  /// their attribute buses straight into this lane file
+  /// (RegisterBlock::publish_lanes), then the chip seals the decision
+  /// with load_lanes().  Skips even the widening pass of
+  /// load(const AttrSoA&).
+  [[nodiscard]] simd::LaneRegs& lane_file() { return regs_; }
+
+  /// True while the lane registers (not the AttrWord mirror) hold the
+  /// authoritative lane state — i.e. nothing has materialized them back
+  /// since the last register-resident decision.  The chip's incremental
+  /// LOAD path requires this: it patches individual lanes in place.
+  [[nodiscard]] bool lanes_resident() const { return soa_loaded_; }
+
+  /// Seal a lane_file() publish.  `pending_mask` holds the accumulated
+  /// per-lane pending bits (bit i == lane i backlogged).
+  void load_lanes(std::uint32_t pending_mask) {
+    const std::uint32_t full =
+        slots_ == 32 ? 0xFFFFFFFFu : ((1u << slots_) - 1u);
+    all_pending_ = (pending_mask & full) == full;
+    soa_loaded_ = true;
+    pass_ = 0;
+  }
 
   /// Run one pass (one hardware cycle of the SCHEDULE state).  Returns the
   /// number of decision blocks that swapped their operands this pass (used
@@ -81,11 +111,26 @@ class ShuffleNetwork {
   [[nodiscard]] unsigned slots() const { return slots_; }
 
   /// Lane contents after the executed passes.  With the BA configuration
-  /// this is the *block*: lane 0 holds the max-priority stream.
-  [[nodiscard]] std::span<const AttrWord> lanes() const { return lanes_; }
+  /// this is the *block*: lane 0 holds the max-priority stream.  When a
+  /// kernel decision ran on the lane registers, the AttrWord view is
+  /// gathered lazily on first access.
+  [[nodiscard]] std::span<const AttrWord> lanes() const {
+    if (soa_loaded_) materialize_lanes();
+    return lanes_;
+  }
 
   /// Max-finding result (lane 0).  Valid once done().
-  [[nodiscard]] const AttrWord& winner() const { return lanes_[0]; }
+  [[nodiscard]] const AttrWord& winner() const { return lanes()[0]; }
+
+  /// Max-finding result ID straight from the lane registers — the WR
+  /// grant path, with no AttrWord materialization.
+  [[nodiscard]] SlotId winner_id() const {
+    return soa_loaded_ ? static_cast<SlotId>(regs_.id[0]) : lanes_[0].id;
+  }
+
+  /// Append the IDs of the backlogged lanes in lane order (the BA grant
+  /// *block*), read straight from the lane registers.
+  void block_ids(std::vector<SlotId>& out) const;
 
   /// The pairings used for a given pass (exposed for the steering-logic
   /// tests: the mux programming must be a perfect matching every pass).
@@ -129,20 +174,39 @@ class ShuffleNetwork {
   /// to live so direct users get the full-rate behavior.
   void set_audit_live(bool live) { audit_live_ = live && audit_ != nullptr; }
 
+  /// The decision kernel this network resolved to (SS_SIMD / CPU aware).
+  /// kReference is the per-pair hw::decide() path; kSwar / kAvx2 run the
+  /// branch-free stage kernel when run_all() executes a whole decision
+  /// cycle without a live audit hook (sampled decisions always take the
+  /// reference path so per-comparison rule provenance is preserved).
+  [[nodiscard]] simd::Kernel kernel() const { return kernel_; }
+
  private:
   void build_schedule(SortSchedule s);
+  /// Gather the lane registers back into the AttrWord view after a
+  /// kernel-run decision (or an SoA load followed by scalar stepping).
+  /// Const because it only refreshes the lazily-maintained AttrWord
+  /// mirror of the lane registers (lanes_ / soa_loaded_ are mutable).
+  void materialize_lanes() const;
 
   unsigned slots_;
   ComparisonMode mode_;
+  simd::Kernel kernel_ = simd::Kernel::kReference;
   unsigned total_passes_ = 0;
   unsigned pass_ = 0;
   std::uint64_t total_swaps_ = 0;
   std::uint64_t total_comparisons_ = 0;
   std::uint64_t pending_comparisons_ = 0;
+  std::uint64_t total_pairs_ = 0;  ///< comparisons per full decision cycle
   bool all_pending_ = false;  ///< every loaded lane backlogged (pass-invariant)
   bool audit_live_ = false;   ///< per-decision comparison-callback gate
-  std::vector<AttrWord> lanes_;
+  /// Lane registers hold newer state than lanes_ (mutable pair: lanes_ is
+  /// a lazily-refreshed view of regs_, updated from const accessors).
+  mutable bool soa_loaded_ = false;
+  mutable std::vector<AttrWord> lanes_;
   std::vector<std::vector<PairSpec>> schedule_pairs_;  // [pass][block]
+  std::vector<simd::PassPlan> plan_;  ///< vector-lowered schedule_pairs_
+  simd::LaneRegs regs_;               ///< SoA lane registers (kernel state)
   telemetry::DecisionAudit* audit_ = nullptr;
 };
 

@@ -1,0 +1,131 @@
+// simd_kernel.hpp — branch-free vector evaluation of the Table-2 cascade.
+//
+// The paper's Decision blocks resolve a whole shuffle stage of pairwise
+// comparisons in ONE hardware cycle because all N/2 comparators are
+// physically parallel.  This kernel reproduces that width in software:
+// the per-slot attributes live in the SoA register file (hw::AttrSoA),
+// get widened into 16-bit lanes (LaneRegs), and one compare-exchange pass
+// of the shuffle schedule executes as a short burst of AVX2 instructions
+// — every rule of Table 2 evaluated concurrently as lane masks, the
+// verdict selected by mask blending, never a branch per pair.
+//
+// Three implementations share the exact decision semantics of
+// hw::decide() (the scalar oracle stays the differential referee):
+//   * kAvx512 — 32 lanes per __m512i at the full 32-slot width: one
+//     vpermw partner shuffle per field, cascade rules straight into
+//     k-masks.  Compiled only when the toolchain supports -mavx512bw and
+//     selected only when the CPU reports AVX-512BW at runtime.
+//   * kAvx2 — 16 lanes per __m256i; a 32-slot butterfly pass is ~2 vector
+//     bursts.  Compiled only when the toolchain supports -mavx2 and
+//     selected only when the CPU reports AVX2 at runtime.
+//   * kSwar — portable branch-free scalar fallback (mask-select instead
+//     of branches), used for non-x86 hosts, non-butterfly pairings
+//     (odd-even transposition) and sub-vector slot counts.
+// kReference keeps the original per-pair hw::decide() path; it is what
+// SS_SIMD=REF forces and what the differential campaigns referee against.
+//
+// Runtime selection: SS_SIMD environment variable —
+//   unset / AUTO  -> widest kernel this binary AND CPU support
+//                    (AVX-512BW, then AVX2, then SWAR);
+//   OFF / SWAR    -> forced branch-free scalar fallback;
+//   REF           -> forced per-pair reference comparator (pre-SIMD path);
+//   AVX512        -> AVX-512 if available, degrading to AVX2 then SWAR;
+//   ON / AVX2     -> AVX2 if available, SWAR otherwise (never upgrades —
+//                    the differential legs pin the exact kernel they ask
+//                    for).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/decision_block.hpp"
+#include "hw/fields.hpp"
+
+namespace ss::hw::simd {
+
+/// Concrete kernel implementations (post-dispatch).
+enum class Kernel : std::uint8_t { kReference, kSwar, kAvx2, kAvx512 };
+
+/// Configuration-time request (ChipConfig / ShuffleNetwork constructor).
+enum class KernelChoice : std::uint8_t {
+  kAuto, kReference, kSwar, kAvx2, kAvx512
+};
+
+[[nodiscard]] const char* kernel_name(Kernel k);
+
+/// True iff the binary carries the AVX2 kernel AND this CPU executes it.
+[[nodiscard]] bool avx2_supported();
+
+/// True iff the binary carries the AVX-512 kernel AND this CPU executes it.
+[[nodiscard]] bool avx512_supported();
+
+/// Parse an SS_SIMD-style value ("OFF", "SWAR", "REF", "AVX2", "AUTO",
+/// case-insensitive; nullptr/empty = AUTO).  Exposed for tests.
+[[nodiscard]] KernelChoice parse_choice(const char* value);
+
+/// Resolve a choice against CPU support (kAuto/kAvx2 degrade to kSwar
+/// when AVX2 is unavailable).
+[[nodiscard]] Kernel resolve(KernelChoice c);
+
+/// The process default: SS_SIMD env + CPU detection, computed once.
+[[nodiscard]] Kernel default_kernel();
+
+/// Vector lane registers: every attribute field widened to one 16-bit
+/// lane per slot so a 16-slot field fits one __m256i.  `pend` lanes are
+/// saturated masks (0 / 0xFFFF) so pendingness composes with the other
+/// rule masks without a widening step per pass.
+struct LaneRegs {
+  alignas(32) std::uint16_t deadline[kMaxSlots] = {};
+  alignas(32) std::uint16_t arrival[kMaxSlots] = {};
+  alignas(32) std::uint16_t loss_num[kMaxSlots] = {};
+  alignas(32) std::uint16_t loss_den[kMaxSlots] = {};
+  alignas(32) std::uint16_t id[kMaxSlots] = {};
+  alignas(32) std::uint16_t pend[kMaxSlots] = {};
+
+  /// Widen the SoA register file into the lane registers.
+  void load(const AttrSoA& soa, unsigned n);
+  /// Gather one (possibly permuted) lane back into the AoS view.
+  [[nodiscard]] AttrWord get(unsigned lane) const;
+};
+
+/// One pass of a schedule, pre-lowered for vector execution by the
+/// steering logic (ShuffleNetwork::build_schedule).
+struct PassPlan {
+  /// Butterfly passes pair lane i with lane i^stride — every perfect-
+  /// shuffle and bitonic pass has this shape and vectorizes; odd-even
+  /// transposition does not and runs on the SWAR fallback.
+  bool butterfly = false;
+  unsigned stride = 0;
+  /// Per-lane comparator direction, pair-symmetric (0 / 0xFFFF).
+  alignas(32) std::uint16_t desc[kMaxSlots] = {};
+  /// The same directions as a lane bitmask (bit i == desc[i] != 0) — the
+  /// k-mask form the AVX-512 kernel consumes without a per-pass load.
+  std::uint32_t desc_bits = 0;
+  /// Generic pairing, always populated (the SWAR path and non-butterfly
+  /// schedules iterate it).
+  struct Pair {
+    std::uint16_t lo, hi;
+    std::uint16_t desc;  ///< 0 or 1
+  };
+  std::vector<Pair> pairs;
+};
+
+struct KernelStats {
+  std::uint64_t swaps = 0;          ///< compare-exchanges that swapped
+  std::uint64_t pending_pairs = 0;  ///< pairs with >=1 pending operand
+};
+
+/// Branch-free scalar (SWAR) decision for one pair: bit-identical to
+/// hw::decide(a, b, mode).a_wins.  Exposed for the crosscheck tests.
+[[nodiscard]] bool pair_a_wins_swar(const AttrWord& a, const AttrWord& b,
+                                    ComparisonMode mode);
+
+/// Run every pass of `plan` over the lane registers with kernel `k`
+/// (kAvx2 falls back to SWAR per pass where a pass is not vectorizable).
+/// Counter semantics match the scalar ShuffleNetwork::step() exactly.
+KernelStats run_passes(LaneRegs& regs, unsigned n,
+                       std::span<const PassPlan> plan, ComparisonMode mode,
+                       Kernel k);
+
+}  // namespace ss::hw::simd

@@ -106,10 +106,13 @@ void GuardedScheduler::force_failover() {
   });
 }
 
-hw::DecisionOutcome GuardedScheduler::shadow_decide() {
+void GuardedScheduler::shadow_decide(hw::DecisionOutcome& out) {
   const dwcs::SwDecision sd = shadow_.run_decision_cycle();
-  hw::DecisionOutcome out;
   out.idle = sd.idle;
+  out.circulated.reset();
+  out.grants.clear();
+  out.block.clear();
+  out.drops.clear();
   if (sd.circulated) {
     out.circulated = static_cast<hw::SlotId>(*sd.circulated);
   }
@@ -129,11 +132,16 @@ hw::DecisionOutcome GuardedScheduler::shadow_decide() {
     out.drops.push_back(static_cast<hw::SlotId>(d));
   }
   out.hw_cycles = 0;  // software path: no FPGA cycles burned
-  return out;
 }
 
 hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
-  if (failed_over_) return shadow_decide();
+  hw::DecisionOutcome out;
+  run_decision_cycle(out);
+  return out;
+}
+
+void GuardedScheduler::run_decision_cycle(hw::DecisionOutcome& out) {
+  if (failed_over_) return shadow_decide(out);
 
   // Publish the current health FSM state so the decision record committed
   // this cycle carries it.
@@ -150,14 +158,13 @@ hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
     overhead_ += hand.elapsed;
     if (!hand.ok) {
       force_failover();
-      return shadow_decide();
+      return shadow_decide(out);
     }
   }
 
   // 2. The decision cycle itself.  A stalled attempt mutates no chip
   //    state, so retrying is safe; exhaustion here means the shadow can
   //    serve this very cycle (it has not stepped yet).
-  hw::DecisionOutcome out;
   const RetryResult dec =
       with_retry(opt_.recovery, stats_, &health_, metrics_, [&] {
         return hw::FallibleNanos{chip_.try_run_decision_cycle(out), Nanos{0}};
@@ -165,7 +172,7 @@ hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
   overhead_ += dec.elapsed;
   if (!dec.ok) {
     force_failover();
-    return shadow_decide();
+    return shadow_decide(out);
   }
 
   // 3. Lockstep mirror: the shadow executes the same cycle so a later
@@ -183,7 +190,7 @@ hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
     overhead_ += back.elapsed;
     if (!back.ok) {
       force_failover();
-      return out;
+      return;
     }
     for (std::size_t g = 0; g < out.grants.size(); ++g) {
       const RetryResult rd =
@@ -195,11 +202,10 @@ hw::DecisionOutcome GuardedScheduler::run_decision_cycle() {
       overhead_ += rd.elapsed;
       if (!rd.ok) {
         force_failover();
-        return out;
+        return;
       }
     }
   }
-  return out;
 }
 
 std::uint64_t GuardedScheduler::vtime() const {

@@ -67,6 +67,10 @@ class GuardedScheduler {
   /// separate block readout) and hw_cycles is 0.
   hw::DecisionOutcome run_decision_cycle();
 
+  /// Allocation-free variant (`out` fully overwritten) — mirrors the
+  /// chip's reuse overload for the endsystem hot loop.
+  void run_decision_cycle(hw::DecisionOutcome& out);
+
   /// Abandon the hardware path now (operator-initiated failover, or the
   /// legacy inject_fault_at_grant contract).
   void force_failover();
@@ -100,7 +104,7 @@ class GuardedScheduler {
   void attach_audit(telemetry::AuditSession* a);
 
  private:
-  hw::DecisionOutcome shadow_decide();
+  void shadow_decide(hw::DecisionOutcome& out);
 
   hw::SchedulerChip& chip_;
   FaultPlan* plan_;

@@ -77,6 +77,7 @@ PipelineRun run_block_pipeline(const Scenario& sc, unsigned batch_depth) {
   std::uint64_t global_tag_clock = 0;
   std::vector<queueing::BlockGrant> burst;
   std::vector<queueing::TxRecord> burst_records;
+  hw::DecisionOutcome out;  // reused across kDecide events
 
   for (const Event& e : sc.events) {
     switch (e.kind) {
@@ -123,7 +124,7 @@ PipelineRun run_block_pipeline(const Scenario& sc, unsigned batch_depth) {
         break;
 
       case EventKind::kDecide: {
-        const hw::DecisionOutcome out = chip.run_decision_cycle();
+        chip.run_decision_cycle(out);
         ++run.decisions;
         for (const hw::SlotId s : out.drops) {
           if (const auto f = qm.consume(s)) {

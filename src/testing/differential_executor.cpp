@@ -187,6 +187,8 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
   };
 
   // --- event loop --------------------------------------------------------
+  hw::DecisionOutcome h;  // reused across kDecide events (no per-decision
+                          // allocation once capacities settle)
   for (std::size_t ei = 0; ei < sc.events.size() && !res.diverged; ++ei) {
     const Event& e = sc.events[ei];
     switch (e.kind) {
@@ -251,8 +253,11 @@ RunResult DifferentialExecutor::run(const Scenario& sc) const {
       }
 
       case EventKind::kDecide: {
-        const hw::DecisionOutcome h =
-            guard ? guard->run_decision_cycle() : chip.run_decision_cycle();
+        if (guard) {
+          guard->run_decision_cycle(h);
+        } else {
+          chip.run_decision_cycle(h);
+        }
         dwcs::SwDecision s = oracle.run_decision_cycle();
         ++res.decisions;
         res.grants += h.grants.size();

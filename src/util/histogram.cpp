@@ -40,11 +40,30 @@ void Histogram::add(double x) {
   }
   std::size_t bin;
   if (log_) {
+    // Same-bin fast path: consecutive latency samples usually differ by
+    // far less than one (~2%-wide) bin, so test against the cached bin's
+    // conservatively shrunken value range before paying std::log.  The
+    // margins keep the test strictly inside the bin, so a hit provably
+    // agrees with the floor-division below — samples in the margin
+    // slivers just take the exact slow path.  Bit-identical results.
+    if (x >= cache_lo_ && x < cache_hi_) {
+      ++counts_[cache_bin_];
+      return;
+    }
     bin = static_cast<std::size_t>((std::log(x) - log_lo_) / log_bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+    constexpr double kMargin = 1e-9;
+    cache_bin_ = bin;
+    cache_lo_ = std::exp(log_lo_ + static_cast<double>(bin) *
+                                       log_bin_width_) *
+                (1.0 + kMargin);
+    cache_hi_ = std::exp(log_lo_ + static_cast<double>(bin + 1) *
+                                       log_bin_width_) *
+                (1.0 - kMargin);
   } else {
     bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
   }
-  bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
   ++counts_[bin];
 }
 

@@ -50,6 +50,11 @@ class Histogram {
   double lo_, hi_, bin_width_;
   bool log_ = false;
   double log_lo_ = 0.0, log_bin_width_ = 0.0;
+  /// Same-bin fast-path cache for log-spaced add(): a conservatively
+  /// shrunken value range known to map to cache_bin_ (empty until the
+  /// first slow-path add).  See Histogram::add.
+  double cache_lo_ = 1.0, cache_hi_ = 0.0;
+  std::size_t cache_bin_ = 0;
   std::vector<std::uint64_t> counts_;
   std::uint64_t under_ = 0, over_ = 0, total_ = 0;
 };

@@ -66,12 +66,17 @@ class Serial {
 
   /// Wrap-aware strict ordering.  `a < b` iff b is ahead of a by less than
   /// half the number space.  Values exactly half apart are incomparable in
-  /// RFC 1982; we break the tie deterministically (a < b iff a.raw > b.raw)
-  /// so the hardware sort stays a total order.
+  /// RFC 1982; we break the tie deterministically so the hardware sort
+  /// stays a total order: the operand with the LOWER raw value wins (is
+  /// "earlier").  Lower-raw-wins is the unique tie-break consistent with
+  /// the 64-bit unwrapped software oracle whenever the two live values sit
+  /// in the same wrap epoch, which is what the differential campaigns
+  /// compare against.  (The previous higher-raw-wins break inverted the
+  /// oracle's order at exactly the antipode — the wrap-compare bugfix.)
   friend constexpr bool operator<(Serial a, Serial b) {
     const storage d = a.distance_to(b);
     if (d == 0) return false;
-    if (d == kHalf) return a.v_ > b.v_;  // deterministic tie-break
+    if (d == kHalf) return a.v_ < b.v_;  // deterministic tie-break
     return d < kHalf;
   }
   friend constexpr bool operator>(Serial a, Serial b) { return b < a; }

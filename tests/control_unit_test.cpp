@@ -120,5 +120,36 @@ TEST(ControlUnit, ControlAreaMatchesPaper) {
   EXPECT_EQ(ControlUnit::kSlices, 22u);
 }
 
+TEST(ControlUnitTest, FastPathMatchesTickLoop) {
+  // The closed-form pair advance_to_apply()/finish_decision() — what the
+  // SIMD whole-decision path charges — must be bit-identical to the tick
+  // loop in hw_cycles, decision_cycles and boundary state, for every
+  // timing shape and across back-to-back decisions.
+  for (const unsigned slots : {2u, 4u, 8u, 32u}) {
+    for (const unsigned passes : {1u, 2u, 5u, 15u}) {
+      for (const bool bypass : {false, true}) {
+        for (const bool pipelined : {false, true}) {
+          ControlTiming t;
+          t.bypass_update = bypass;
+          t.pipelined_io = pipelined;
+          ControlUnit ticked(slots, passes, t);
+          ControlUnit fast(slots, passes, t);
+          for (int d = 0; d < 4; ++d) {
+            run_one_decision(ticked);
+            EXPECT_EQ(fast.advance_to_apply(), Action::kUpdateApply);
+            fast.finish_decision();
+            ASSERT_EQ(fast.hw_cycles(), ticked.hw_cycles())
+                << "slots=" << slots << " passes=" << passes
+                << " bypass=" << bypass << " pipelined=" << pipelined
+                << " decision=" << d;
+            ASSERT_EQ(fast.decision_cycles(), ticked.decision_cycles());
+            ASSERT_EQ(fast.state(), ticked.state());
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ss::hw

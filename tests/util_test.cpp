@@ -64,6 +64,29 @@ TEST(Serial, HalfSpaceTieBreakIsDeterministicAndAntisymmetric) {
   EXPECT_NE(ab, ba);  // exactly one direction wins
 }
 
+// Regression (wrap-compare bugfix): at the exact half-range antipode
+// (forward distance 0x8000) the tie-break must be lower-raw-wins, the
+// only choice consistent with the 64-bit unwrapped oracle when both
+// values live in the same wrap epoch.  The pre-fix higher-raw-wins break
+// made Serial16{0} < Serial16{0x8000} false — this test enumerates every
+// boundary pair and fails against that implementation.
+TEST(Serial, HalfSpaceAntipodeLowerRawWins) {
+  for (std::uint32_t x = 0; x < 0x8000u; ++x) {
+    const Serial16 lo{x}, hi{x + 0x8000u};
+    ASSERT_TRUE(lo < hi) << "x=" << x;
+    ASSERT_FALSE(hi < lo) << "x=" << x;
+    // Same epoch, unwrapped: x precedes x + 0x8000.  The serial order
+    // must agree at the antipode exactly like everywhere else in-epoch.
+    ASSERT_EQ(lo < hi, x < x + 0x8000u) << "x=" << x;
+  }
+  // The law is width-independent: check the 8-bit loss-field width too.
+  for (std::uint32_t x = 0; x < 0x80u; ++x) {
+    const Serial8 lo{x}, hi{x + 0x80u};
+    ASSERT_TRUE(lo < hi) << "x=" << x;
+    ASSERT_FALSE(hi < lo) << "x=" << x;
+  }
+}
+
 TEST(Serial, EightBitWidth) {
   Serial8 a{250}, b{5};
   EXPECT_TRUE(a < b);  // wraps: 250 -> 5 is +11 forward
