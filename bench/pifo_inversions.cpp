@@ -209,7 +209,7 @@ Row run_cell(const Distribution& dist, pifo::PifoBackend& backend,
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
-                std::uint64_t ops, bool quick) {
+                std::uint64_t ops, bool quick, double duration_s) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -219,6 +219,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   std::fprintf(f, "  \"bench\": \"pifo_inversions\",\n");
   std::fprintf(f, "  \"version\": 1,\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"env\": %s,\n", bench::env_json(duration_s).c_str());
   std::fprintf(f, "  \"ops\": %llu,\n", static_cast<unsigned long long>(ops));
   std::fprintf(f, "  \"capacity\": %zu,\n", kCapacity);
   std::fprintf(f, "  \"rows\": [\n");
@@ -252,6 +253,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t ops = 40000;
   std::string out = "BENCH_pifo.json";
   bool quick = false;
@@ -317,7 +319,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out, rows, ops, quick);
+  write_json(out, rows, ops, quick, bench::elapsed_s(t0));
 
   // The claims the artifact backs: exact substrates are inversion-free
   // (zero inverted pops, zero excess over the shared baseline) under

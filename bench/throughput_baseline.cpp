@@ -30,6 +30,7 @@
 #include "bench_common.hpp"
 #include "core/endsystem.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/watchdog.hpp"
 
 namespace {
@@ -178,7 +179,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
                 const SpeedupRow& su, const OverheadRow& oh,
                 const OverheadRow& ah, const OverheadRow& sh,
                 const OverheadRow& ph, std::uint64_t frames_per_stream,
-                bool quick) {
+                bool quick, double duration_s) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -188,6 +189,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   std::fprintf(f, "  \"bench\": \"throughput_baseline\",\n");
   std::fprintf(f, "  \"version\": 2,\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"env\": %s,\n", ss::bench::env_json(duration_s).c_str());
   std::fprintf(f, "  \"frames_per_stream\": %llu,\n",
                static_cast<unsigned long long>(frames_per_stream));
   std::fprintf(f, "  \"link_gbps\": 1.0,\n");
@@ -233,9 +235,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 
 int main(int argc, char** argv) {
   using namespace ss;
+  const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t frames_per_stream = 20000;
   std::string out = "BENCH_throughput.json";
-  std::string metrics_out, trace_out, profile_out;
+  std::string metrics_out, trace_out, profile_out, timeseries_out;
   bool quick = false;
   unsigned reps_override = 0;
   for (int i = 1; i < argc; ++i) {
@@ -256,11 +259,14 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (a == "--profile-out" && i + 1 < argc) {
       profile_out = argv[++i];
+    } else if (a == "--timeseries-out" && i + 1 < argc) {
+      timeseries_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: throughput_baseline [--quick] [--frames N] "
                    "[--reps N] [--out FILE] [--metrics-json FILE] "
-                   "[--trace-out FILE] [--profile-out FILE]\n");
+                   "[--trace-out FILE] [--profile-out FILE] "
+                   "[--timeseries-out FILE]\n");
       return 2;
     }
   }
@@ -323,6 +329,11 @@ int main(int argc, char** argv) {
   {
     telemetry::MetricsRegistry registry;
     telemetry::FrameTrace frame_trace;
+    // --timeseries-out attaches the interval sampler to the "on" leg's
+    // registry, so the artifact shows metric rates evolving across the
+    // interleaved overhead reps.
+    telemetry::TimeSeries timeseries(registry);
+    if (!timeseries_out.empty()) timeseries.start();
     measure_overhead(
         oh, reps,
         [&] {
@@ -334,6 +345,15 @@ int main(int argc, char** argv) {
                            frames_per_stream, &registry,
                            trace_out.empty() ? nullptr : &frame_trace);
         });
+    if (!timeseries_out.empty()) {
+      timeseries.stop();
+      if (!timeseries.write_json(timeseries_out)) {
+        std::fprintf(stderr, "cannot open %s\n", timeseries_out.c_str());
+        return 2;
+      }
+      std::printf("time-series -> %s (%zu intervals)\n",
+                  timeseries_out.c_str(), timeseries.size());
+    }
     std::printf("pps off=%.0f  on=%.0f  overhead=%.2f%%  (best of %u)\n",
                 oh.pps_off, oh.pps_on, oh.overhead_pct, reps);
     if (!metrics_out.empty()) {
@@ -444,7 +464,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out, rows, su, oh, ah, sh, ph, frames_per_stream, quick);
+  write_json(out, rows, su, oh, ah, sh, ph, frames_per_stream, quick,
+             bench::elapsed_s(t0));
 
   // The claim the artifact backs: at >=16 streams, batched draining beats
   // winner-only (batch_depth=1) packet rates.

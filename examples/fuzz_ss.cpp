@@ -38,6 +38,7 @@
 #include <iostream>
 #include <string>
 
+#include "telemetry/timeseries.hpp"
 #include "testing/differential_executor.hpp"
 #include "testing/rank_equivalence.hpp"
 #include "testing/shrinker.hpp"
@@ -62,6 +63,7 @@ struct Args {
   std::string metrics_json;  // write the run's metrics snapshot here
   std::string trace_out;     // write chip Chrome trace-event JSON here
   std::string audit_out;     // write the ss-audit-v2 black-box dump here
+  std::string timeseries_out;  // write the ss-timeseries-v1 rings here
   // Audit sampling period (1 = every decision).  The fuzzer keeps full
   // audit by default — it is a correctness tool, not a production loop —
   // but the flag lets campaigns measure the sampled configuration.
@@ -91,13 +93,20 @@ DifferentialExecutor::Options exec_options(
   return opt;
 }
 
-void print_divergence_context(const RunResult& r, const Args& args) {
+void print_divergence_context(const RunResult& r, const Args& args,
+                              const ss::telemetry::TimeSeries* ts) {
   if (!r.chip_trace_tail.empty()) {
     std::cout << "  chip trace (last decision cycles before divergence):\n"
               << r.chip_trace_tail;
   }
   if (!r.metrics_json.empty()) {
     std::cout << "  metrics: " << r.metrics_json << '\n';
+  }
+  if (ts != nullptr && ts->size() > 0) {
+    // One interval per scenario (manually sampled): the rate context
+    // around the diverging scenario, not just end-of-campaign totals.
+    std::cout << "  time-series tail (one interval per scenario):\n"
+              << ts->tail_text(8);
   }
   if (!r.audit_json.empty() && !args.audit_out.empty()) {
     std::cout << "  audit dump (cause \"divergence\") -> " << args.audit_out
@@ -140,9 +149,10 @@ int usage() {
       "               [--explore-batch] [--explore-rank]\n"
       "               [--metrics-json FILE]\n"
       "               [--trace-out FILE] [--audit-out FILE]\n"
-      "               [--sample-every N]\n"
+      "               [--timeseries-out FILE] [--sample-every N]\n"
       "       fuzz_ss --replay FILE [--metrics-json FILE] [--trace-out FILE]\n"
-      "               [--audit-out FILE] [--sample-every N]\n";
+      "               [--audit-out FILE] [--timeseries-out FILE]\n"
+      "               [--sample-every N]\n";
   return 2;
 }
 
@@ -160,9 +170,11 @@ int replay_mode(const Args& args) {
   ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
   audit.set_dump_path(args.audit_out);
   audit.set_sampling(args.sample_every);
+  ss::telemetry::TimeSeries ts(reg);
   const DifferentialExecutor ex(exec_options(
       args, &reg, args.audit_out.empty() ? nullptr : &audit));
   const RunResult r = ex.run(tf.scenario);
+  ts.sample_once();  // one interval: the whole replay
   std::cout << "replay ";
   print_point(tf.scenario);
   std::cout << "\n  decisions=" << r.decisions << " grants=" << r.grants
@@ -180,10 +192,14 @@ int replay_mode(const Args& args) {
       !write_text_file(args.trace_out, r.chip_trace_chrome_json)) {
     return 2;
   }
+  if (!args.timeseries_out.empty() && !ts.write_json(args.timeseries_out)) {
+    std::cerr << "fuzz_ss: cannot open " << args.timeseries_out << '\n';
+    return 2;
+  }
   if (r.diverged) {
     std::cout << "  DIVERGENCE at event " << r.event_index << " (decision "
               << r.decision_cycle << "): " << r.detail << '\n';
-    print_divergence_context(r, args);
+    print_divergence_context(r, args, &ts);
     return 1;
   }
   if (!args.audit_out.empty() && !audit.dumped()) audit.dump("on_demand");
@@ -212,6 +228,10 @@ int fuzz_mode(const Args& args) {
   ss::telemetry::AuditSession audit(ss::telemetry::kAuditMaxStreams);
   audit.set_dump_path(args.audit_out);
   audit.set_sampling(args.sample_every);
+  // Sampled manually, one interval per scenario: the campaign's rate
+  // history with scenario granularity, and on divergence the tail shows
+  // which scenarios around the failure were doing what.
+  ss::telemetry::TimeSeries ts(reg);
   const DifferentialExecutor ex(exec_options(
       args, &reg, args.audit_out.empty() ? nullptr : &audit));
 
@@ -243,6 +263,11 @@ int fuzz_mode(const Args& args) {
         !write_text_file(args.trace_out, last_chrome_trace)) {
       return false;
     }
+    if (!args.timeseries_out.empty() &&
+        !ts.write_json(args.timeseries_out)) {
+      std::cerr << "fuzz_ss: cannot open " << args.timeseries_out << '\n';
+      return false;
+    }
     return true;
   };
   for (std::uint64_t k = 0;; ++k) {
@@ -255,6 +280,7 @@ int fuzz_mode(const Args& args) {
     Scenario sc = fuzzer.next();
     sc.inject_fault_at_grant = args.inject_fault;
     const RunResult r = ex.run(sc);
+    ts.sample_once();  // one interval per scenario
     total_decisions += r.decisions;
     total_grants += r.grants;
     total_faults += r.faults_injected;
@@ -287,7 +313,7 @@ int fuzz_mode(const Args& args) {
     if (r.diverged) {
       std::cout << "DIVERGENCE at event " << r.event_index << " (decision "
                 << r.decision_cycle << "): " << r.detail << '\n';
-      print_divergence_context(r, args);
+      print_divergence_context(r, args, &ts);
       std::cout << "shrinking...\n";
       const ShrinkResult s = shrink(sc, ex);
       const std::string repro = "fuzz_failure_seed" +
@@ -367,6 +393,9 @@ int main(int argc, char** argv) {
     } else if (a == "--audit-out") {
       if (i + 1 >= argc) return usage();
       args.audit_out = argv[++i];
+    } else if (a == "--timeseries-out") {
+      if (i + 1 >= argc) return usage();
+      args.timeseries_out = argv[++i];
     } else if (a == "--sample-every") {
       if (i + 1 >= argc) return usage();
       args.sample_every =

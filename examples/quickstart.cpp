@@ -32,14 +32,18 @@
 // decisions at the failover point.
 //
 // Observability quickstart:
-//   quickstart --profile-out prof.json --watchdog
+//   quickstart --profile-out prof.json --watchdog --timeseries-out ts.json
 // attaches the hot-path self-profiler (per-stage wall time as a
-// flamegraph-style `ss-profile-v1` JSON) and the anomaly watchdog (a
-// monitor thread whose rolling-window rules fire the flight recorder
-// with cause "watchdog:<rule>").
+// flamegraph-style `ss-profile-v1` JSON), the anomaly watchdog (rolling-
+// window rules that fire the flight recorder with cause
+// "watchdog:<rule>"), and the continuous-telemetry sampler
+// (`ss-timeseries-v1`: per-interval counter rates and windowed histogram
+// percentiles; the watchdog evaluates over the same rings).  Merge the
+// exports into one page with `ss_cli report`.
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +51,7 @@
 #include "hw/scheduler_chip.hpp"
 #include "robust/fault_plan.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/watchdog.hpp"
 #include "util/sim_time.hpp"
 
@@ -59,6 +64,7 @@ int run_instrumented_pipeline(const std::string& metrics_path,
                               const std::string& trace_path,
                               std::string audit_path,
                               const std::string& profile_path,
+                              const std::string& timeseries_path,
                               bool watchdog_on, unsigned sample_every,
                               const ss::robust::FaultProfile& faults) {
   using namespace ss;
@@ -88,8 +94,13 @@ int run_instrumented_pipeline(const std::string& metrics_path,
   cfg.faults = faults;
   core::Endsystem es(cfg);
 
-  telemetry::Watchdog watchdog(registry, cfg.audit);
-  if (watchdog_on) watchdog.start();
+  // One interval sampler serves both consumers: the watchdog's rolling
+  // rules and the --timeseries-out export read the same rings.
+  telemetry::TimeSeries timeseries(registry);
+  std::optional<telemetry::Watchdog> watchdog;
+  if (watchdog_on) watchdog.emplace(timeseries, cfg.audit);
+  const bool sampling = watchdog_on || !timeseries_path.empty();
+  if (sampling) timeseries.start();
 
   const double ptime_ns = packet_time_ns(1500, cfg.link_gbps);
   const double weights[4] = {1.0, 1.0, 2.0, 4.0};
@@ -102,13 +113,15 @@ int run_instrumented_pipeline(const std::string& metrics_path,
     es.add_stream(r, std::make_unique<queueing::CbrGen>(interval), 1500);
   }
   const auto rep = es.run(std::vector<std::uint64_t>{500, 500, 1000, 2000});
+  if (sampling) {
+    timeseries.stop();  // takes the closing-window sample (final sweep)
+  }
   if (watchdog_on) {
-    watchdog.stop();  // runs one final rule evaluation before joining
     std::printf("watchdog: %llu polls, %llu rule firings%s%s\n",
-                static_cast<unsigned long long>(watchdog.polls()),
-                static_cast<unsigned long long>(watchdog.fired()),
-                watchdog.fired() > 0 ? ", last rule " : "",
-                watchdog.fired() > 0 ? watchdog.last_rule().c_str() : "");
+                static_cast<unsigned long long>(watchdog->polls()),
+                static_cast<unsigned long long>(watchdog->fired()),
+                watchdog->fired() > 0 ? ", last rule " : "",
+                watchdog->fired() > 0 ? watchdog->last_rule().c_str() : "");
   }
 
   if (!metrics_path.empty()) {
@@ -124,6 +137,18 @@ int run_instrumented_pipeline(const std::string& metrics_path,
     std::fclose(f);
     std::printf("metrics snapshot (%zu metrics) -> %s\n", registry.size(),
                 metrics_path.c_str());
+  }
+  if (!timeseries_path.empty()) {
+    if (!timeseries.write_json(timeseries_path)) {
+      std::fprintf(stderr, "quickstart: cannot open %s\n",
+                   timeseries_path.c_str());
+      return 1;
+    }
+    std::printf("time series: %zu interval(s) at %lld ms cadence -> %s\n",
+                timeseries.size(),
+                static_cast<long long>(
+                    timeseries.config().poll_interval.count()),
+                timeseries_path.c_str());
   }
   if (!trace_path.empty()) {
     if (!frame_trace.write_chrome_json(trace_path)) {
@@ -183,6 +208,7 @@ int main(int argc, char** argv) {
   using namespace ss::hw;
 
   std::string metrics_path, trace_path, audit_path, profile_path;
+  std::string timeseries_path;
   bool watchdog_on = false;
   unsigned sample_every = 64;  // production default; <= 1 audits everything
   ss::robust::FaultProfile faults;
@@ -195,6 +221,8 @@ int main(int argc, char** argv) {
       audit_path = argv[++i];
     } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
       profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries-out") == 0 && i + 1 < argc) {
+      timeseries_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sample-every") == 0 && i + 1 < argc) {
       sample_every =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
@@ -213,16 +241,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: quickstart [--metrics-json FILE] [--trace-out "
                    "FILE] [--audit-out FILE] [--profile-out FILE] "
-                   "[--sample-every N] [--watchdog] [--fault-seed S] "
-                   "[--inject-fault K]\n");
+                   "[--timeseries-out FILE] [--sample-every N] [--watchdog] "
+                   "[--fault-seed S] [--inject-fault K]\n");
       return 2;
     }
   }
   if (!metrics_path.empty() || !trace_path.empty() || !audit_path.empty() ||
-      !profile_path.empty() || watchdog_on || faults.enabled()) {
+      !profile_path.empty() || !timeseries_path.empty() || watchdog_on ||
+      faults.enabled()) {
     return run_instrumented_pipeline(metrics_path, trace_path, audit_path,
-                                     profile_path, watchdog_on, sample_every,
-                                     faults);
+                                     profile_path, timeseries_path,
+                                     watchdog_on, sample_every, faults);
   }
 
   // 1. Configure the fabric: 4 stream-slots, DWCS comparators, winner-only

@@ -28,6 +28,8 @@
 #include "hw/scheduler_chip.hpp"
 #include "hw/trace.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/watchdog.hpp"
 #include "util/sim_time.hpp"
 
@@ -143,7 +145,7 @@ int cmd_trace() {
 int cmd_run(unsigned streams, std::uint64_t frames,
             const std::string& metrics_path, const std::string& trace_path,
             const std::string& audit_path, const std::string& profile_path,
-            unsigned sample_every) {
+            const std::string& timeseries_path, unsigned sample_every) {
   using namespace ss;
   if (streams < 2 || streams > 32 || (streams & (streams - 1)) != 0) {
     std::fprintf(stderr, "run: streams must be a power of two in 2..32\n");
@@ -177,7 +179,10 @@ int cmd_run(unsigned streams, std::uint64_t frames,
                       ptime_ns * static_cast<double>(streams))),
                   1500);
   }
+  telemetry::TimeSeries timeseries(registry);
+  if (!timeseries_path.empty()) timeseries.start();
   const auto rep = es.run(frames);
+  if (!timeseries_path.empty()) timeseries.stop();  // closing-window sample
 
   std::printf("run: %u streams x %llu frames -> %llu transmitted in %llu "
               "decision cycles (%.3e pps excl PCI)\n",
@@ -216,6 +221,14 @@ int cmd_run(unsigned streams, std::uint64_t frames,
     }
     std::printf("stage profile (ss-profile-v1, %s clock) -> %s\n",
                 telemetry::Profiler::clock_name(), profile_path.c_str());
+  }
+  if (!timeseries_path.empty()) {
+    if (!timeseries.write_json(timeseries_path)) {
+      std::fprintf(stderr, "run: cannot open %s\n", timeseries_path.c_str());
+      return 1;
+    }
+    std::printf("time series (ss-timeseries-v1, %zu intervals) -> %s\n",
+                timeseries.size(), timeseries_path.c_str());
   }
   if (!audit_path.empty()) {
     if (!audit.dumped()) audit.dump("on_demand");
@@ -304,6 +317,42 @@ int cmd_audit(unsigned streams, std::uint64_t frames,
   return 0;
 }
 
+/// `report`: merge a run's export documents into one ss-report-v1 page.
+int cmd_report(const ss::telemetry::ReportInputs& in,
+               const std::string& json_out) {
+  const ss::telemetry::Report rep = ss::telemetry::build_report(in);
+  if (!rep.any_input) {
+    std::fprintf(stderr,
+                 "report: no readable input documents (check paths and "
+                 "schemas)\n");
+    return 2;
+  }
+  if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    if (!f) {
+      std::fprintf(stderr, "report: cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    f << rep.json << '\n';
+    std::printf("%s", rep.text.c_str());
+    std::printf("\nss-report-v1 -> %s\n", json_out.c_str());
+  } else {
+    std::printf("%s", rep.text.c_str());
+  }
+  return 0;
+}
+
+/// `benchdiff`: the perf-regression keeper — exit 1 when the candidate
+/// artifact regressed beyond tolerance, 2 when the pair is not
+/// comparable, 0 when clean.
+int cmd_benchdiff(const std::string& baseline, const std::string& candidate,
+                  const ss::telemetry::BenchDiffOptions& opts) {
+  const auto res = ss::telemetry::bench_diff(baseline, candidate, opts);
+  std::printf("%s", res.text.c_str());
+  if (!res.comparable) return 2;
+  return res.regressions > 0 ? 1 : 0;
+}
+
 void usage() {
   std::puts("usage: ss_cli solve <streams> <frame_bytes> <gbps>");
   std::puts("       ss_cli admit <spec-file|->");
@@ -311,10 +360,17 @@ void usage() {
   std::puts("       ss_cli trace");
   std::puts("       ss_cli run <streams> <frames> [--metrics-json FILE]");
   std::puts("                  [--trace-out FILE] [--audit-out FILE]");
-  std::puts("                  [--profile-out FILE] [--sample-every N]");
+  std::puts("                  [--profile-out FILE] [--timeseries-out FILE]");
+  std::puts("                  [--sample-every N]");
   std::puts("       ss_cli audit <streams> <frames> [--out FILE]");
   std::puts("                  [--fault-seed S] [--sample-every N]");
   std::puts("                  [--watchdog] [--overload]");
+  std::puts("       ss_cli report [--metrics FILE] [--audit FILE]");
+  std::puts("                  [--profile FILE] [--timeseries FILE]");
+  std::puts("                  [--json-out FILE]");
+  std::puts("       ss_cli benchdiff <baseline.json> <candidate.json>");
+  std::puts("                  [--rate-tol PCT] [--cycles-tol PCT]");
+  std::puts("                  [--absolute]");
 }
 
 }  // namespace
@@ -345,6 +401,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace") return cmd_trace();
   if (cmd == "run" && argc >= 4) {
     std::string metrics_path, trace_path, audit_path, profile_path;
+    std::string timeseries_path;
     unsigned sample_every = 64;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
@@ -356,6 +413,8 @@ int main(int argc, char** argv) {
         audit_path = argv[++i];
       } else if (a == "--profile-out" && i + 1 < argc) {
         profile_path = argv[++i];
+      } else if (a == "--timeseries-out" && i + 1 < argc) {
+        timeseries_path = argv[++i];
       } else if (a == "--sample-every" && i + 1 < argc) {
         sample_every = static_cast<unsigned>(std::atoi(argv[++i]));
       } else {
@@ -366,7 +425,46 @@ int main(int argc, char** argv) {
     return cmd_run(static_cast<unsigned>(std::atoi(argv[2])),
                    static_cast<std::uint64_t>(std::atoll(argv[3])),
                    metrics_path, trace_path, audit_path, profile_path,
-                   sample_every);
+                   timeseries_path, sample_every);
+  }
+  if (cmd == "report") {
+    ss::telemetry::ReportInputs in;
+    std::string json_out;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--metrics" && i + 1 < argc) {
+        in.metrics_path = argv[++i];
+      } else if (a == "--audit" && i + 1 < argc) {
+        in.audit_path = argv[++i];
+      } else if (a == "--profile" && i + 1 < argc) {
+        in.profile_path = argv[++i];
+      } else if (a == "--timeseries" && i + 1 < argc) {
+        in.timeseries_path = argv[++i];
+      } else if (a == "--json-out" && i + 1 < argc) {
+        json_out = argv[++i];
+      } else {
+        usage();
+        return 1;
+      }
+    }
+    return cmd_report(in, json_out);
+  }
+  if (cmd == "benchdiff" && argc >= 4) {
+    ss::telemetry::BenchDiffOptions opts;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--rate-tol" && i + 1 < argc) {
+        opts.rate_tolerance_pct = std::atof(argv[++i]);
+      } else if (a == "--cycles-tol" && i + 1 < argc) {
+        opts.cycles_tolerance_pct = std::atof(argv[++i]);
+      } else if (a == "--absolute") {
+        opts.absolute = true;
+      } else {
+        usage();
+        return 1;
+      }
+    }
+    return cmd_benchdiff(argv[2], argv[3], opts);
   }
   if (cmd == "audit" && argc >= 4) {
     std::string out_path;

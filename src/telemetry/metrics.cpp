@@ -109,35 +109,45 @@ double Histogram::bin_lo(std::size_t b) const noexcept {
   return log_ ? std::exp(log_lo_ + t) : lo_ + t;
 }
 
-double Histogram::quantile(double p) const {
-  // Copy the bins once so the walk sees one coherent set even while
-  // observe() keeps running.
-  std::vector<std::uint64_t> c(counts_.size());
+double Histogram::quantile_from_bins(const std::vector<double>& edges,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double p, bool log_scale) {
+  if (counts.empty() || edges.size() != counts.size() + 1) return 0.0;
   std::uint64_t total = 0;
-  for (std::size_t b = 0; b < counts_.size(); ++b) {
-    c[b] = counts_[b].v.load(std::memory_order_relaxed);
-    total += c[b];
-  }
+  for (const std::uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(total);
   std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < c.size(); ++b) {
-    if (c[b] == 0) continue;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
     const auto before = static_cast<double>(cum);
-    cum += c[b];
+    cum += counts[b];
     if (static_cast<double>(cum) >= rank) {
-      const double frac =
-          std::clamp((rank - before) / static_cast<double>(c[b]), 0.0, 1.0);
-      if (log_) {
-        const double llo = std::log(bin_lo(b));
-        const double lhi = std::log(bin_hi(b));
+      const double frac = std::clamp(
+          (rank - before) / static_cast<double>(counts[b]), 0.0, 1.0);
+      if (log_scale) {
+        const double llo = std::log(edges[b]);
+        const double lhi = std::log(edges[b + 1]);
         return std::exp(llo + frac * (lhi - llo));
       }
-      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+      return edges[b] + frac * (edges[b + 1] - edges[b]);
     }
   }
-  return bin_hi(c.size() - 1);
+  return edges[counts.size()];
+}
+
+double Histogram::quantile(double p) const {
+  // Copy the bins once so the walk sees one coherent set even while
+  // observe() keeps running.
+  std::vector<std::uint64_t> c(counts_.size());
+  std::vector<double> edges(counts_.size() + 1);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    c[b] = counts_[b].v.load(std::memory_order_relaxed);
+    edges[b] = bin_lo(b);
+  }
+  edges[counts_.size()] = bin_lo(counts_.size());
+  return quantile_from_bins(edges, c, p, log_);
 }
 
 void Histogram::reset() noexcept {
@@ -216,9 +226,21 @@ Snapshot MetricsRegistry::snapshot() const {
     s.kind = MetricKind::kHistogram;
     s.count = h->count();
     s.sum = h->sum();
-    s.p50 = h->quantile(50.0);
-    s.p90 = h->quantile(90.0);
-    s.p99 = h->quantile(99.0);
+    s.hist_log = h->log_scale();
+    const std::size_t nb = h->bins();
+    s.bin_edges.resize(nb + 1);
+    s.bin_counts.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      s.bin_edges[b] = h->bin_lo(b);
+      s.bin_counts[b] = h->bin_count(b);
+    }
+    s.bin_edges[nb] = h->bin_lo(nb);
+    s.p50 = Histogram::quantile_from_bins(s.bin_edges, s.bin_counts, 50.0,
+                                          s.hist_log);
+    s.p90 = Histogram::quantile_from_bins(s.bin_edges, s.bin_counts, 90.0,
+                                          s.hist_log);
+    s.p99 = Histogram::quantile_from_bins(s.bin_edges, s.bin_counts, 99.0,
+                                          s.hist_log);
     snap.samples.push_back(std::move(s));
   }
   std::sort(snap.samples.begin(), snap.samples.end(),
@@ -309,21 +331,40 @@ std::string Snapshot::to_prometheus() const {
                       static_cast<long long>(s.gauge));
         out += buf;
         break;
-      case MetricKind::kHistogram:
-        out += "# TYPE " + n + " summary\n";
-        out += n + "{quantile=\"0.5\"} ";
-        append_double(out, s.p50);
-        out += "\n" + n + "{quantile=\"0.9\"} ";
-        append_double(out, s.p90);
-        out += "\n" + n + "{quantile=\"0.99\"} ";
-        append_double(out, s.p99);
-        out += "\n" + n + "_sum ";
+      case MetricKind::kHistogram: {
+        // Real Prometheus histogram exposition: cumulative `_bucket`
+        // lines per upper edge plus the mandatory `+Inf` bucket, then
+        // `_sum`/`_count`.  (Earlier versions exported a summary with
+        // quantile labels — standard scrapers saw no distribution at
+        // all; the bins were JSON-only.)  Out-of-range observations
+        // clamp into the edge bins at observe() time, so the `+Inf`
+        // bucket equals the total count by construction.
+        out += "# TYPE " + n + " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < s.bin_counts.size(); ++b) {
+          cum += s.bin_counts[b];
+          out += n + "_bucket{le=\"";
+          append_double(out, s.bin_edges[b + 1]);
+          std::snprintf(buf, sizeof buf, "\"} %llu\n",
+                        static_cast<unsigned long long>(cum));
+          out += buf;
+        }
+        // The snapshot reads bins and the total count non-atomically, so
+        // a racing observe() can leave the copied total one behind the
+        // bins; cap keeps the exposition internally monotonic.
+        const std::uint64_t inf = std::max(cum, s.count);
+        out += n + "_bucket{le=\"+Inf\"} ";
+        std::snprintf(buf, sizeof buf, "%llu\n",
+                      static_cast<unsigned long long>(inf));
+        out += buf;
+        out += n + "_sum ";
         append_double(out, s.sum);
         out += "\n" + n + "_count ";
         std::snprintf(buf, sizeof buf, "%llu\n",
-                      static_cast<unsigned long long>(s.count));
+                      static_cast<unsigned long long>(inf));
         out += buf;
         break;
+      }
     }
   }
   return out;

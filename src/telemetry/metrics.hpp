@@ -139,6 +139,17 @@ class Histogram {
   /// Streaming quantile estimate, p in [0, 100].  0 when empty.
   [[nodiscard]] double quantile(double p) const;
 
+  [[nodiscard]] bool log_scale() const noexcept { return log_; }
+
+  /// Quantile from an explicit bin set (`edges` size B+1, `counts` size
+  /// B): the one interpolation definition shared by quantile(), the
+  /// Prometheus bucket export and the time-series interval (bin-delta)
+  /// percentiles, so a "windowed p99" means the same thing everywhere.
+  /// p in [0, 100]; 0 when the counts sum to zero.
+  static double quantile_from_bins(const std::vector<double>& edges,
+                                   const std::vector<std::uint64_t>& counts,
+                                   double p, bool log_scale);
+
   void reset() noexcept;
 
  private:
@@ -166,6 +177,13 @@ struct Sample {
   std::int64_t gauge = 0;
   double sum = 0.0;         ///< histogram sum
   double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  /// Histogram bin layout (histograms only): B+1 edges, B counts, and the
+  /// spacing flag interpolation needs.  One coherent copy per snapshot so
+  /// downstream consumers (the Prometheus `_bucket` lines, the time-series
+  /// interval sampler's bin deltas) never race the live bins.
+  bool hist_log = false;
+  std::vector<double> bin_edges;
+  std::vector<std::uint64_t> bin_counts;
 };
 
 struct Snapshot {
@@ -178,7 +196,8 @@ struct Snapshot {
   /// Prometheus text exposition: `# HELP` (when a description was
   /// registered; newlines/backslashes escaped per the exposition format)
   /// and `# TYPE` lines plus one sample per line (histograms as
-  /// _count/_sum/quantile-labeled gauge lines).
+  /// cumulative `_bucket{le="..."}` lines per upper bin edge, the
+  /// mandatory `+Inf` bucket, then `_sum`/`_count`).
   [[nodiscard]] std::string to_prometheus() const;
 };
 

@@ -1,0 +1,673 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ss::telemetry {
+
+namespace {
+
+using ss::util::JsonValue;
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+// Re-serialize a parsed subtree (the audit document's watchdog context
+// object is carried into the report verbatim).
+void dump_json(std::string& out, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: {
+      const double d = v.as_num();
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        out += std::to_string(static_cast<long long>(d));
+      } else {
+        append_double(out, d);
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      out.push_back('"');
+      json_escape_into(out, v.as_str());
+      out.push_back('"');
+      break;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& e : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_json(out, e);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        json_escape_into(out, k);
+        out += "\":";
+        dump_json(out, e);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+/// Eight-level unicode sparkline scaled by the series max.
+std::string sparkline(const std::vector<double>& v) {
+  static const char* kLevels[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  double max = 0.0;
+  for (const double x : v) max = std::max(max, x);
+  std::string out;
+  for (const double x : v) {
+    int lvl = 0;
+    if (max > 0.0 && x > 0.0) {
+      lvl = static_cast<int>(x / max * 7.0 + 0.5);
+      lvl = std::clamp(lvl, 0, 7);
+    }
+    out += kLevels[lvl];
+  }
+  return out;
+}
+
+/// Load `path` and require its "schema" field to be `schema`; nullopt on
+/// missing file, parse error, or schema mismatch.
+std::optional<JsonValue> load_doc(const std::string& path,
+                                  const char* schema) {
+  if (path.empty()) return std::nullopt;
+  auto doc = ss::util::parse_json_file(path);
+  if (!doc || doc->str_at("schema") != schema) return std::nullopt;
+  return doc;
+}
+
+std::vector<double> num_array(const JsonValue* v) {
+  std::vector<double> out;
+  if (v != nullptr && v->is_array()) {
+    out.reserve(v->as_array().size());
+    for (const JsonValue& e : v->as_array()) out.push_back(e.as_num());
+  }
+  return out;
+}
+
+char* fmt(char* buf, std::size_t n, const char* f, ...)
+    __attribute__((format(printf, 3, 4)));
+char* fmt(char* buf, std::size_t n, const char* f, ...) {
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, n, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+Report build_report(const ReportInputs& in) {
+  const auto metrics = load_doc(in.metrics_path, "ss-metrics-v1");
+  const auto audit = load_doc(in.audit_path, "ss-audit-v2");
+  const auto profile = load_doc(in.profile_path, "ss-profile-v1");
+  const auto ts = load_doc(in.timeseries_path, "ss-timeseries-v1");
+
+  Report rep;
+  rep.any_input = metrics || audit || profile || ts;
+
+  // ---- Gather ----------------------------------------------------------
+
+  // Counter rate series (time-series doc): name -> {cum, mean/max rate,
+  // rate vector for the sparkline}.  Kept for counters that moved.
+  struct RateRow {
+    std::string name;
+    double cum = 0.0, mean = 0.0, max = 0.0;
+    std::vector<double> rates;
+  };
+  std::vector<RateRow> rates;
+  std::vector<double> t_ns;
+  std::vector<std::uint64_t> firing_t_ns;
+  if (ts) {
+    t_ns = num_array(ts->find("t_ns"));
+    if (const JsonValue* cs = ts->find("counters"); cs && cs->is_object()) {
+      for (const auto& [name, series] : cs->as_object()) {
+        RateRow row;
+        row.name = name;
+        row.rates = num_array(series.find("rate_per_s"));
+        const std::vector<double> cum = num_array(series.find("cum"));
+        row.cum = cum.empty() ? 0.0 : cum.back();
+        double sum = 0.0;
+        for (const double r : row.rates) {
+          sum += r;
+          row.max = std::max(row.max, r);
+        }
+        row.mean = row.rates.empty() ? 0.0 : sum / row.rates.size();
+        if (row.max > 0.0) rates.push_back(std::move(row));
+        // Watchdog firings localized to their interval.
+        if (name == "watchdog.fired") {
+          const std::vector<double> delta = num_array(series.find("delta"));
+          for (std::size_t k = 0; k < delta.size() && k < t_ns.size(); ++k) {
+            if (delta[k] > 0.0) {
+              firing_t_ns.push_back(static_cast<std::uint64_t>(t_ns[k]));
+            }
+          }
+        }
+      }
+    }
+    std::sort(rates.begin(), rates.end(),
+              [](const RateRow& a, const RateRow& b) { return a.cum > b.cum; });
+    if (rates.size() > 8) rates.resize(8);  // top movers only
+  }
+
+  // Delay (and any other) histograms from the metrics doc.
+  struct DelayRow {
+    std::string name;
+    double count = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0;
+    std::vector<double> interval_p99;  // from the time-series doc
+  };
+  std::vector<DelayRow> delays;
+  if (metrics) {
+    if (const JsonValue* hs = metrics->find("histograms");
+        hs && hs->is_object()) {
+      for (const auto& [name, h] : hs->as_object()) {
+        if (h.num_at("count") <= 0.0) continue;
+        DelayRow row;
+        row.name = name;
+        row.count = h.num_at("count");
+        row.p50 = h.num_at("p50");
+        row.p90 = h.num_at("p90");
+        row.p99 = h.num_at("p99");
+        if (ts) {
+          if (const JsonValue* th = ts->find("histograms");
+              th && th->is_object()) {
+            if (const JsonValue* series = th->find(name)) {
+              row.interval_p99 = num_array(series->find("p99"));
+            }
+          }
+        }
+        delays.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Burn attribution: audit stream_profiles summed per cause, falling
+  // back to the registry's audit.burn.* counters.
+  std::map<std::string, double> burn;
+  if (audit) {
+    if (const JsonValue* profiles = audit->find("stream_profiles");
+        profiles && profiles->is_array()) {
+      for (const JsonValue& sp : profiles->as_array()) {
+        if (const JsonValue* b = sp.find("burn"); b && b->is_object()) {
+          for (const auto& [cause, n] : b->as_object()) {
+            burn[cause] += n.as_num();
+          }
+        }
+      }
+    }
+  }
+  if (burn.empty() && metrics) {
+    if (const JsonValue* cs = metrics->find("counters");
+        cs && cs->is_object()) {
+      for (const auto& [name, n] : cs->as_object()) {
+        if (name.rfind("audit.burn.", 0) == 0 && n.as_num() > 0.0) {
+          burn[name.substr(sizeof "audit.burn." - 1)] += n.as_num();
+        }
+      }
+    }
+  }
+  std::vector<std::pair<std::string, double>> burn_rows(burn.begin(),
+                                                        burn.end());
+  std::sort(burn_rows.begin(), burn_rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Profiler stages by share.
+  struct StageRow {
+    std::string name, parent;
+    double share_pct = 0.0, self_ns = 0.0, count = 0.0;
+  };
+  std::vector<StageRow> stages;
+  double profile_total_ns = 0.0;
+  if (profile) {
+    profile_total_ns = profile->num_at("total_ns");
+    if (const JsonValue* ss = profile->find("stages"); ss && ss->is_array()) {
+      for (const JsonValue& st : ss->as_array()) {
+        stages.push_back({st.str_at("name"), st.str_at("parent"),
+                          st.num_at("share_pct"), st.num_at("self_ns"),
+                          st.num_at("count")});
+      }
+    }
+    std::sort(stages.begin(), stages.end(), [](const auto& a, const auto& b) {
+      return a.share_pct > b.share_pct;
+    });
+  }
+
+  // Watchdog totals + firing context.
+  double wd_polls = 0.0, wd_fired = 0.0;
+  if (metrics) {
+    if (const JsonValue* cs = metrics->find("counters");
+        cs && cs->is_object()) {
+      wd_polls = cs->num_at("watchdog.polls");
+      wd_fired = cs->num_at("watchdog.fired");
+    }
+  }
+  const JsonValue* wd_ctx = audit ? audit->find("watchdog") : nullptr;
+
+  // ---- ss-report-v1 JSON ----------------------------------------------
+
+  std::string j;
+  j.reserve(2048);
+  j += "{\"schema\":\"ss-report-v1\",\"inputs\":{\"metrics\":";
+  j += metrics ? "true" : "false";
+  j += ",\"audit\":";
+  j += audit ? "true" : "false";
+  j += ",\"profile\":";
+  j += profile ? "true" : "false";
+  j += ",\"timeseries\":";
+  j += ts ? "true" : "false";
+  j += "}";
+
+  j += ",\"run\":{\"duration_ns\":";
+  j += std::to_string(
+      t_ns.empty() ? 0LL : static_cast<long long>(t_ns.back()));
+  j += ",\"intervals\":";
+  j += std::to_string(
+      ts ? static_cast<long long>(ts->num_at("intervals")) : 0LL);
+  j += ",\"interval_ns\":";
+  j += std::to_string(
+      ts ? static_cast<long long>(ts->num_at("interval_ns")) : 0LL);
+  j += "}";
+
+  j += ",\"rates\":[";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (i != 0) j.push_back(',');
+    j += "{\"name\":\"";
+    json_escape_into(j, rates[i].name);
+    j += "\",\"cum\":";
+    j += std::to_string(static_cast<long long>(rates[i].cum));
+    j += ",\"mean_per_s\":";
+    append_double(j, rates[i].mean);
+    j += ",\"max_per_s\":";
+    append_double(j, rates[i].max);
+    j += "}";
+  }
+  j += "]";
+
+  j += ",\"delay\":[";
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    if (i != 0) j.push_back(',');
+    j += "{\"name\":\"";
+    json_escape_into(j, delays[i].name);
+    j += "\",\"count\":";
+    j += std::to_string(static_cast<long long>(delays[i].count));
+    j += ",\"p50\":";
+    append_double(j, delays[i].p50);
+    j += ",\"p90\":";
+    append_double(j, delays[i].p90);
+    j += ",\"p99\":";
+    append_double(j, delays[i].p99);
+    j += "}";
+  }
+  j += "]";
+
+  j += ",\"burn\":{\"total\":";
+  double burn_total = 0.0;
+  for (const auto& [cause, n] : burn_rows) burn_total += n;
+  j += std::to_string(static_cast<long long>(burn_total));
+  j += ",\"causes\":[";
+  for (std::size_t i = 0; i < burn_rows.size(); ++i) {
+    if (i != 0) j.push_back(',');
+    j += "{\"cause\":\"";
+    json_escape_into(j, burn_rows[i].first);
+    j += "\",\"count\":";
+    j += std::to_string(static_cast<long long>(burn_rows[i].second));
+    j += "}";
+  }
+  j += "]}";
+
+  j += ",\"profile\":{\"total_ns\":";
+  append_double(j, profile_total_ns);
+  j += ",\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i != 0) j.push_back(',');
+    j += "{\"name\":\"";
+    json_escape_into(j, stages[i].name);
+    j += "\",\"share_pct\":";
+    append_double(j, stages[i].share_pct);
+    j += ",\"self_ns\":";
+    append_double(j, stages[i].self_ns);
+    j += "}";
+  }
+  j += "]}";
+
+  j += ",\"watchdog\":{\"polls\":";
+  j += std::to_string(static_cast<long long>(wd_polls));
+  j += ",\"fired\":";
+  j += std::to_string(static_cast<long long>(wd_fired));
+  j += ",\"firing_t_ns\":[";
+  for (std::size_t i = 0; i < firing_t_ns.size(); ++i) {
+    if (i != 0) j.push_back(',');
+    j += std::to_string(firing_t_ns[i]);
+  }
+  j += "],\"context\":";
+  if (wd_ctx != nullptr) {
+    dump_json(j, *wd_ctx);
+  } else {
+    j += "null";
+  }
+  j += "}";
+
+  j += ",\"audit\":";
+  if (audit) {
+    j += "{\"cause\":\"";
+    json_escape_into(j, audit->str_at("cause"));
+    j += "\",\"decisions\":";
+    j += std::to_string(static_cast<long long>(audit->num_at("decisions")));
+    j += ",\"comparisons\":";
+    j += std::to_string(static_cast<long long>(audit->num_at("comparisons")));
+    j += ",\"health\":";
+    j += std::to_string(static_cast<long long>(audit->num_at("health")));
+    j += "}";
+  } else {
+    j += "null";
+  }
+  j += "}";
+  rep.json = std::move(j);
+
+  // ---- Human rendering -------------------------------------------------
+
+  std::string t;
+  char buf[256];
+  t += "ShareStreams run report\n";
+  t += "=======================\n";
+  t += fmt(buf, sizeof buf, "inputs: metrics %s  audit %s  profile %s  timeseries %s\n",
+           metrics ? "yes" : "-", audit ? "yes" : "-", profile ? "yes" : "-",
+           ts ? "yes" : "-");
+  if (ts) {
+    t += fmt(buf, sizeof buf,
+             "run: %.3f ms wall, %lld interval(s) sampled (%.1f ms cadence)\n",
+             (t_ns.empty() ? 0.0 : t_ns.back()) / 1e6,
+             static_cast<long long>(ts->num_at("intervals")),
+             ts->num_at("interval_ns") / 1e6);
+  }
+  if (!rates.empty()) {
+    t += "\nrates (per second over the retained intervals):\n";
+    for (const RateRow& r : rates) {
+      t += fmt(buf, sizeof buf, "  %-24s %s  mean %.4g  max %.4g\n",
+               r.name.c_str(), sparkline(r.rates).c_str(), r.mean, r.max);
+    }
+  }
+  if (!delays.empty()) {
+    t += "\nlatency histograms:\n";
+    for (const DelayRow& d : delays) {
+      t += fmt(buf, sizeof buf,
+               "  %-24s n=%lld p50 %.4g  p90 %.4g  p99 %.4g\n",
+               d.name.c_str(), static_cast<long long>(d.count), d.p50, d.p90,
+               d.p99);
+      if (!d.interval_p99.empty()) {
+        t += fmt(buf, sizeof buf, "  %-24s %s  (interval p99)\n", "",
+                 sparkline(d.interval_p99).c_str());
+      }
+    }
+  }
+  if (!burn_rows.empty()) {
+    t += "\ntop burn causes (violations attributed):\n";
+    for (const auto& [cause, n] : burn_rows) {
+      t += fmt(buf, sizeof buf, "  %-24s %lld\n", cause.c_str(),
+               static_cast<long long>(n));
+    }
+  }
+  if (profile) {
+    t += fmt(buf, sizeof buf, "\nprofiler (%.3f ms root wall time):\n",
+             profile_total_ns / 1e6);
+    for (const StageRow& s : stages) {
+      const int bars = std::clamp(static_cast<int>(s.share_pct / 4.0), 0, 25);
+      t += fmt(buf, sizeof buf, "  %-18s %5.1f%% %s\n", s.name.c_str(),
+               s.share_pct, std::string(bars, '#').c_str());
+    }
+  }
+  if (metrics || wd_ctx != nullptr) {
+    t += fmt(buf, sizeof buf, "\nwatchdog: %lld poll(s), %lld fired\n",
+             static_cast<long long>(wd_polls),
+             static_cast<long long>(wd_fired));
+    if (wd_ctx != nullptr) {
+      t += fmt(buf, sizeof buf,
+               "  %s detail=%s value=%.6g threshold=%.6g window_polls=%lld\n",
+               wd_ctx->str_at("rule").c_str(),
+               wd_ctx->str_at("detail").c_str(), wd_ctx->num_at("value"),
+               wd_ctx->num_at("threshold"),
+               static_cast<long long>(wd_ctx->num_at("window_polls")));
+    }
+    for (const std::uint64_t at : firing_t_ns) {
+      t += fmt(buf, sizeof buf, "  fired inside interval ending t=%.3f ms\n",
+               static_cast<double>(at) / 1e6);
+    }
+  }
+  if (audit) {
+    t += fmt(buf, sizeof buf,
+             "\naudit: cause=%s decisions=%lld comparisons=%lld health=%lld\n",
+             audit->str_at("cause").c_str(),
+             static_cast<long long>(audit->num_at("decisions")),
+             static_cast<long long>(audit->num_at("comparisons")),
+             static_cast<long long>(audit->num_at("health")));
+  }
+  rep.text = std::move(t);
+  return rep;
+}
+
+// ---- benchdiff ---------------------------------------------------------
+
+namespace {
+
+struct Cmp {
+  std::string row, metric;
+  double base = 0.0, cand = 0.0;
+  double limit_pct = 0.0;  ///< allowed change in the bad direction
+  bool higher_is_worse = false;
+  bool regressed = false;
+};
+
+void judge(std::vector<Cmp>& out, std::string row, std::string metric,
+           double base, double cand, double limit_pct, bool higher_is_worse) {
+  Cmp c{std::move(row), std::move(metric), base, cand, limit_pct,
+        higher_is_worse, false};
+  if (base > 0.0) {
+    const double change = (cand - base) / base * 100.0;
+    c.regressed = higher_is_worse ? change > limit_pct : change < -limit_pct;
+  } else {
+    // Zero baseline: any appearance in the bad direction regresses
+    // (exact-invariant style metrics); improvements never do.
+    c.regressed = higher_is_worse && cand > 0.0;
+  }
+  out.push_back(std::move(c));
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+BenchDiffResult bench_diff(const std::string& baseline_path,
+                           const std::string& candidate_path,
+                           const BenchDiffOptions& opts) {
+  BenchDiffResult res;
+  const auto base = ss::util::parse_json_file(baseline_path);
+  const auto cand = ss::util::parse_json_file(candidate_path);
+  char buf[256];
+  if (!base || !cand) {
+    res.text = fmt(buf, sizeof buf, "benchdiff: cannot parse %s\n",
+                   (!base ? baseline_path : candidate_path).c_str());
+    return res;
+  }
+  const std::string bench = base->str_at("bench");
+  if (bench.empty() || bench != cand->str_at("bench")) {
+    res.text = fmt(buf, sizeof buf,
+                   "benchdiff: bench types differ (\"%s\" vs \"%s\")\n",
+                   bench.c_str(), cand->str_at("bench").c_str());
+    return res;
+  }
+  res.comparable = true;
+
+  std::string t;
+  t += fmt(buf, sizeof buf, "benchdiff: %s\n", bench.c_str());
+  t += fmt(buf, sizeof buf, "  baseline:  %s\n", baseline_path.c_str());
+  t += fmt(buf, sizeof buf, "  candidate: %s\n", candidate_path.c_str());
+
+  std::vector<Cmp> cmps;
+  const auto rows_of = [](const JsonValue& doc) {
+    std::map<std::string, const JsonValue*> out;
+    if (const JsonValue* rows = doc.find("rows"); rows && rows->is_array()) {
+      for (const JsonValue& r : rows->as_array()) {
+        std::string key;
+        if (r.find("mode") != nullptr) {  // throughput row
+          key = r.str_at("mode") + "/d" +
+                std::to_string(static_cast<long long>(
+                    r.num_at("batch_depth"))) +
+                "/s" +
+                std::to_string(static_cast<long long>(r.num_at("streams")));
+        } else {  // pifo row
+          key = r.str_at("dist") + "/" + r.str_at("backend");
+        }
+        out[key] = &r;
+      }
+    }
+    return out;
+  };
+  const auto brows = rows_of(*base);
+  const auto crows = rows_of(*cand);
+
+  if (bench == "throughput_baseline") {
+    const bool same_depth =
+        base->num_at("frames_per_stream") == cand->num_at("frames_per_stream");
+    t += fmt(buf, sizeof buf,
+             "  mode: shape%s (pps normalized by artifact median; hw-model "
+             "metrics direct)\n",
+             opts.absolute ? "+absolute" : "");
+
+    // Shape normalization over the matched rows.
+    std::vector<double> bpps, cpps;
+    for (const auto& [key, br] : brows) {
+      const auto it = crows.find(key);
+      if (it == crows.end()) continue;
+      bpps.push_back(br->num_at("pps_excl_pci"));
+      cpps.push_back(it->second->num_at("pps_excl_pci"));
+    }
+    const double bmed = median_of(bpps), cmed = median_of(cpps);
+
+    for (const auto& [key, br] : brows) {
+      const auto it = crows.find(key);
+      if (it == crows.end()) {
+        t += fmt(buf, sizeof buf, "  [skip] %s missing in candidate\n",
+                 key.c_str());
+        continue;
+      }
+      const JsonValue* cr = it->second;
+      if (bmed > 0.0 && cmed > 0.0) {
+        judge(cmps, key, "pps_shape", br->num_at("pps_excl_pci") / bmed,
+              cr->num_at("pps_excl_pci") / cmed, opts.rate_tolerance_pct,
+              /*higher_is_worse=*/false);
+      }
+      if (opts.absolute) {
+        judge(cmps, key, "pps_excl_pci", br->num_at("pps_excl_pci"),
+              cr->num_at("pps_excl_pci"), opts.rate_tolerance_pct, false);
+      }
+      judge(cmps, key, "hw_cycles_per_decision",
+            br->num_at("hw_cycles_per_decision"),
+            cr->num_at("hw_cycles_per_decision"), opts.cycles_tolerance_pct,
+            /*higher_is_worse=*/true);
+      if (same_depth) {
+        judge(cmps, key, "frames_per_decision",
+              br->num_at("frames_per_decision"),
+              cr->num_at("frames_per_decision"), 1.0, false);
+      }
+    }
+    const JsonValue* bs = base->find("simd_speedup");
+    const JsonValue* cs = cand->find("simd_speedup");
+    if (bs != nullptr && cs != nullptr &&
+        bs->str_at("kernel") == cs->str_at("kernel") &&
+        !bs->str_at("kernel").empty()) {
+      judge(cmps, "simd", "speedup(" + bs->str_at("kernel") + ")",
+            bs->num_at("speedup"), cs->num_at("speedup"),
+            opts.rate_tolerance_pct, false);
+    } else if (bs != nullptr && cs != nullptr) {
+      t += fmt(buf, sizeof buf, "  [skip] simd kernels differ (%s vs %s)\n",
+               bs->str_at("kernel").c_str(), cs->str_at("kernel").c_str());
+    }
+  } else if (bench == "pifo_inversions") {
+    t += "  mode: hw-model metrics direct (machine-independent)\n";
+    const double bops = base->num_at("ops"), cops = cand->num_at("ops");
+    for (const auto& [key, br] : brows) {
+      const auto it = crows.find(key);
+      if (it == crows.end()) {
+        t += fmt(buf, sizeof buf, "  [skip] %s missing in candidate\n",
+                 key.c_str());
+        continue;
+      }
+      const JsonValue* cr = it->second;
+      const bool exact = key.find("exact-pifo") != std::string::npos;
+      if (exact) {
+        // Hard invariants: an exact substrate must never invert.
+        judge(cmps, key, "inverted_pops", 0.0, cr->num_at("inverted_pops"),
+              0.0, true);
+        judge(cmps, key, "pairwise_excess", 0.0,
+              cr->num_at("pairwise_excess"), 0.0, true);
+      } else {
+        judge(cmps, key, "inversion_rate_pct",
+              br->num_at("inversion_rate_pct"),
+              cr->num_at("inversion_rate_pct"), opts.cycles_tolerance_pct,
+              true);
+      }
+      if (bops > 0.0 && cops > 0.0) {
+        judge(cmps, key, "hw_cycles/op", br->num_at("hw_cycles") / bops,
+              cr->num_at("hw_cycles") / cops, opts.cycles_tolerance_pct,
+              true);
+      }
+      judge(cmps, key, "area_slices", br->num_at("area_slices"),
+            cr->num_at("area_slices"), opts.cycles_tolerance_pct, true);
+    }
+  } else {
+    res.comparable = false;
+    t += fmt(buf, sizeof buf, "  unknown bench type \"%s\"\n", bench.c_str());
+    res.text = std::move(t);
+    return res;
+  }
+
+  for (const Cmp& c : cmps) {
+    const double change =
+        c.base > 0.0 ? (c.cand - c.base) / c.base * 100.0 : 0.0;
+    t += fmt(buf, sizeof buf, "  [%s] %s %s %.6g -> %.6g (%+.1f%%, tol %s%g%%)\n",
+             c.regressed ? "REGRESS" : "ok", c.row.c_str(), c.metric.c_str(),
+             c.base, c.cand, change, c.higher_is_worse ? "+" : "-",
+             c.limit_pct);
+    if (c.regressed) ++res.regressions;
+  }
+  t += fmt(buf, sizeof buf, "  verdict: %d regression(s) across %zu check(s)\n",
+           res.regressions, cmps.size());
+  res.text = std::move(t);
+  return res;
+}
+
+}  // namespace ss::telemetry

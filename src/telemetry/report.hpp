@@ -1,0 +1,66 @@
+// report.hpp — unified run reports and the bench regression keeper.
+//
+// The observability planes each export one document (ss-metrics-v1,
+// ss-audit-v2, ss-profile-v1, ss-timeseries-v1) and understanding one
+// run means eyeballing four JSON lines.  `build_report` merges whichever
+// of the four exist into a single `ss-report-v1` document plus a
+// human-readable rendering: counter-rate sparklines over the sampled
+// intervals, top SLO burn causes, profiler flame shares, and watchdog
+// firings with their window context — the one page a run leaves behind.
+//
+// `bench_diff` is the perf-regression keeper: a noise-aware comparator
+// for two committed bench artifacts (BENCH_throughput.json or
+// BENCH_pifo.json).  Throughput numbers are machine-speed-dependent and
+// CI compares a --quick run on a runner against a full-depth baseline
+// from another machine, so rate metrics are compared in *shape mode* —
+// each row's pps normalized by its own artifact's median pps across the
+// matched rows, cancelling machine speed while catching any row that
+// regressed relative to its siblings.  Hardware-model counts
+// (hw_cycles_per_decision, pifo hw_cycles/ops, inversion rates) are
+// workload-deterministic and compared directly.  Exact-PIFO invariants
+// (zero inverted pops / pairwise excess) are hard gates.  `absolute`
+// adds direct pps comparison for same-machine artifact pairs.
+//
+// Both live in the telemetry library (not the CLI) so tests drive them
+// without process spawns; `ss_cli report` / `ss_cli benchdiff` are thin
+// argument shims.
+#pragma once
+
+#include <string>
+
+namespace ss::telemetry {
+
+/// Paths to the per-run export documents; any may be empty (skipped) or
+/// point at a missing/invalid file (noted in the report, not fatal).
+struct ReportInputs {
+  std::string metrics_path;     ///< ss-metrics-v1
+  std::string audit_path;       ///< ss-audit-v2
+  std::string profile_path;     ///< ss-profile-v1
+  std::string timeseries_path;  ///< ss-timeseries-v1
+};
+
+struct Report {
+  bool any_input = false;  ///< at least one document loaded
+  std::string json;        ///< single-line ss-report-v1 (docs/formats.md)
+  std::string text;        ///< human-readable rendering
+};
+
+Report build_report(const ReportInputs& in);
+
+struct BenchDiffOptions {
+  double rate_tolerance_pct = 10.0;    ///< shape-normalized pps drop allowed
+  double cycles_tolerance_pct = 10.0;  ///< hw-model metric growth allowed
+  bool absolute = false;  ///< also compare raw pps (same-machine pairs)
+};
+
+struct BenchDiffResult {
+  bool comparable = false;  ///< both parsed and are the same bench type
+  int regressions = 0;
+  std::string text;  ///< per-metric table + verdict
+};
+
+BenchDiffResult bench_diff(const std::string& baseline_path,
+                           const std::string& candidate_path,
+                           const BenchDiffOptions& opts = {});
+
+}  // namespace ss::telemetry

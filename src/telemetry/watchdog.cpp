@@ -22,87 +22,77 @@ std::string fmt_ctx(const char* rule, const char* detail, double value,
 
 Watchdog::Watchdog(MetricsRegistry& reg, AuditSession* session,
                    WatchdogConfig cfg)
-    : reg_(reg),
-      session_(session),
+    : session_(session),
       cfg_(cfg),
-      polls_counter_(&reg.counter("watchdog.polls",
-                                  "metric snapshots taken by the watchdog")),
-      fired_counter_(&reg.counter(
-          "watchdog.fired", "watchdog rules fired (flight-recorder dumps)")) {
-  if (cfg_.window < 2) cfg_.window = 2;
+      owned_ts_(std::make_unique<TimeSeries>(
+          reg, TimeSeriesConfig{cfg.poll_interval,
+                                std::max<std::size_t>(cfg.window, 2)})),
+      ts_(owned_ts_.get()) {
+  init();
 }
 
-Watchdog::~Watchdog() { stop(); }
+Watchdog::Watchdog(TimeSeries& ts, AuditSession* session, WatchdogConfig cfg)
+    : session_(session), cfg_(cfg), ts_(&ts) {
+  init();
+}
+
+void Watchdog::init() {
+  if (cfg_.window < 2) cfg_.window = 2;
+  polls_counter_ = &ts_->registry().counter(
+      "watchdog.polls", "metric snapshots taken by the watchdog");
+  fired_counter_ = &ts_->registry().counter(
+      "watchdog.fired", "watchdog rules fired (flight-recorder dumps)");
+  observer_token_ = ts_->add_observer([this] { observe(); });
+}
+
+Watchdog::~Watchdog() {
+  stop();
+  ts_->remove_observer(observer_token_);
+}
 
 void Watchdog::start() {
   if (running_) return;
-  stop_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { run_thread(); });
+  ts_->start();
   running_ = true;
 }
 
 void Watchdog::stop() {
   if (!running_) return;
-  stop_.store(true, std::memory_order_relaxed);
-  thread_.join();
+  // The backend's stop() joins the sampler and takes the closing-window
+  // sample, which runs one final evaluation through our observer — a
+  // short run ending inside the first poll interval is still swept.
+  ts_->stop();
   running_ = false;
-  // Final sweep: a short run may end inside the first poll interval with
-  // the anomaly only visible in the closing window.
-  evaluate_once();
-}
-
-void Watchdog::run_thread() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(cfg_.poll_interval);
-    if (stop_.load(std::memory_order_relaxed)) break;
-    evaluate_once();
-  }
-}
-
-Watchdog::Poll Watchdog::read_registry() const {
-  const Snapshot snap = reg_.snapshot();
-  const auto find = [&](const char* name) -> const Sample* {
-    for (const Sample& s : snap.samples) {
-      if (s.name == name) return &s;
-    }
-    return nullptr;
-  };
-  const auto count_of = [&](const char* name) -> std::uint64_t {
-    const Sample* s = find(name);
-    return s != nullptr ? s->count : 0;
-  };
-
-  Poll p;
-  if (const Sample* d = find("es.frame_delay_us")) p.delay_p99_us = d->p99;
-  p.grants = count_of("chip.grants");
-  p.decisions = count_of("chip.decision_cycles");
-  p.enqueued = count_of("qm.enqueued");
-  p.dequeued = count_of("qm.dequeued");
-  p.retries = count_of("robust.retries");
-  p.inversions = count_of("rank.inversions");
-  p.pops = count_of("rank.pops");
-  for (std::size_t c = 0; c < kBurnCauses; ++c) {
-    p.burn[c] =
-        count_of((std::string("audit.burn.") + burn_cause_name(c)).c_str());
-  }
-  return p;
 }
 
 std::optional<std::string> Watchdog::evaluate_once() {
-  const Poll p = read_registry();
+  ts_->sample_once();  // observer runs the rules on this thread
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_result_;
+}
+
+void Watchdog::observe() {
+  // The snapshot just appended was taken before this increment, so the
+  // ring's latest poll carries the pre-increment count (the historical
+  // deque implementation read, then counted — parity-pinned in tests).
   polls_.fetch_add(1, std::memory_order_relaxed);
   polls_counter_->add(1);
   const std::lock_guard<std::mutex> lock(mu_);
-  window_.push_back(p);
-  while (window_.size() > cfg_.window) window_.pop_front();
-  return evaluate_locked();
+  last_result_ = evaluate_locked();
 }
 
 std::optional<std::string> Watchdog::evaluate_locked() {
-  if (window_.size() < 2) return std::nullopt;
-  const Poll& first = window_.front();
-  const Poll& last = window_.back();
-  const std::size_t n = window_.size();
+  const std::size_t w = cfg_.window;
+  // Rings are lockstep, so every window() below returns the same n.
+  const std::vector<TsPoint> delay = ts_->window("es.frame_delay_us", w);
+  const std::size_t n = delay.size();
+  if (n < 2) return std::nullopt;
+  const auto span = [&](const char* name, std::uint64_t& first,
+                        std::uint64_t& last) {
+    const std::vector<TsPoint> v = ts_->window(name, w);
+    first = v.front().cum;
+    last = v.back().cum;
+  };
   const auto suppressed = [&](const char* rule) {
     return std::find(fired_rules_.begin(), fired_rules_.end(), rule) !=
            fired_rules_.end();
@@ -111,7 +101,10 @@ std::optional<std::string> Watchdog::evaluate_locked() {
   // burn_rate_spike: any cause's exact burn counter jumped this window.
   if (cfg_.burn_spike > 0 && !suppressed("burn_rate_spike")) {
     for (std::size_t c = 0; c < kBurnCauses; ++c) {
-      const std::uint64_t d = last.burn[c] - first.burn[c];
+      std::uint64_t first = 0, last = 0;
+      span((std::string("audit.burn.") + burn_cause_name(c)).c_str(), first,
+           last);
+      const std::uint64_t d = last - first;
       if (d >= cfg_.burn_spike) {
         fire("burn_rate_spike",
              fmt_ctx("burn_rate_spike", burn_cause_name(c),
@@ -124,11 +117,18 @@ std::optional<std::string> Watchdog::evaluate_locked() {
 
   // grant_rate_stall: decisions tick, backlog exists, no grant emerges.
   if (cfg_.stall_min_decisions > 0 && !suppressed("grant_rate_stall")) {
-    const std::uint64_t decisions = last.decisions - first.decisions;
+    std::uint64_t dec_first = 0, dec_last = 0, grants_first = 0,
+                  grants_last = 0, enq_first = 0, enq_last = 0, deq_first = 0,
+                  deq_last = 0;
+    span("chip.decision_cycles", dec_first, dec_last);
+    span("chip.grants", grants_first, grants_last);
+    span("qm.enqueued", enq_first, enq_last);
+    span("qm.dequeued", deq_first, deq_last);
+    const std::uint64_t decisions = dec_last - dec_first;
     const std::uint64_t backlog =
-        last.enqueued > last.dequeued ? last.enqueued - last.dequeued : 0;
+        enq_last > deq_last ? enq_last - deq_last : 0;
     if (decisions >= cfg_.stall_min_decisions && backlog > 0 &&
-        last.grants == first.grants) {
+        grants_last == grants_first) {
       fire("grant_rate_stall",
            fmt_ctx("grant_rate_stall", "decisions_without_grant",
                    static_cast<double>(decisions),
@@ -139,7 +139,9 @@ std::optional<std::string> Watchdog::evaluate_locked() {
 
   // retry_surge: recovery layer suddenly busy.
   if (cfg_.retry_surge > 0 && !suppressed("retry_surge")) {
-    const std::uint64_t d = last.retries - first.retries;
+    std::uint64_t first = 0, last = 0;
+    span("robust.retries", first, last);
+    const std::uint64_t d = last - first;
     if (d >= cfg_.retry_surge) {
       fire("retry_surge",
            fmt_ctx("retry_surge", "retries", static_cast<double>(d),
@@ -149,16 +151,19 @@ std::optional<std::string> Watchdog::evaluate_locked() {
   }
 
   // delay_quantile_drift: latest p99 leaves the window's median behind.
+  // Reads the *cumulative* estimate at each poll — the historical signal
+  // — not the interval percentile the time-series layer also carries.
   if (cfg_.delay_drift_factor > 0.0 && !suppressed("delay_quantile_drift")) {
     std::vector<double> p99s;
     p99s.reserve(n);
-    for (const Poll& w : window_) p99s.push_back(w.delay_p99_us);
+    for (const TsPoint& p : delay) p99s.push_back(p.cum_p99);
+    const double latest = p99s.back();
     std::sort(p99s.begin(), p99s.end());
     const double median = p99s[p99s.size() / 2];
-    if (last.delay_p99_us >= cfg_.delay_floor_us && median > 0.0 &&
-        last.delay_p99_us >= cfg_.delay_drift_factor * median) {
+    if (latest >= cfg_.delay_floor_us && median > 0.0 &&
+        latest >= cfg_.delay_drift_factor * median) {
       fire("delay_quantile_drift",
-           fmt_ctx("delay_quantile_drift", "p99_us", last.delay_p99_us,
+           fmt_ctx("delay_quantile_drift", "p99_us", latest,
                    cfg_.delay_drift_factor * median, n));
       return "delay_quantile_drift";
     }
@@ -166,8 +171,11 @@ std::optional<std::string> Watchdog::evaluate_locked() {
 
   // inversion_excess: the SP-PIFO approximation degrading under load.
   if (cfg_.inversion_excess_pct > 0.0 && !suppressed("inversion_excess")) {
-    const std::uint64_t pops = last.pops - first.pops;
-    const std::uint64_t inv = last.inversions - first.inversions;
+    std::uint64_t pops_first = 0, pops_last = 0, inv_first = 0, inv_last = 0;
+    span("rank.pops", pops_first, pops_last);
+    span("rank.inversions", inv_first, inv_last);
+    const std::uint64_t pops = pops_last - pops_first;
+    const std::uint64_t inv = inv_last - inv_first;
     if (pops >= cfg_.inversion_min_pops) {
       const double pct =
           100.0 * static_cast<double>(inv) / static_cast<double>(pops);

@@ -1,10 +1,11 @@
-// watchdog.hpp — anomaly watchdog: rolling-window rules over metric
-// snapshots that fire the flight recorder.
+// watchdog.hpp — anomaly watchdog: rolling-window rules over the shared
+// time-series backend that fire the flight recorder.
 //
 // PR 5 made the black box dump on failover; this layer makes it dump on
-// *anomaly*.  A Watchdog polls a MetricsRegistry from a monitor thread,
-// keeps a short rolling window of the readings, and evaluates five rules
-// over the window:
+// *anomaly*.  A Watchdog evaluates five rules over the last `window`
+// intervals of a TimeSeries (the tree's one definition of windowed
+// signals — it owns a private sampler when constructed from a bare
+// registry, or shares one you already run for --timeseries-out):
 //
 //   delay_quantile_drift  es.frame_delay_us p99 exceeds a factor of the
 //                         window's median p99 (and an absolute floor)
@@ -28,29 +29,31 @@
 // in watchdog.fired, polls in watchdog.polls.
 //
 // Metrics a rule needs that the registry does not carry simply disable
-// that rule (reads default to zero / empty) — the watchdog never
+// that rule (untracked series read as zero) — the watchdog never
 // misfires on absent instrumentation.
 //
-// Concurrency: start()/stop() own the monitor thread; evaluate_once() is
-// also public so tests (and end-of-run sweeps) can drive the rules
-// deterministically.  All shared state is mutex-guarded; registry reads
-// go through snapshot(), which is the registry's lock-free-reader
-// contract.  stop() runs one final evaluation before joining so a spike
-// in the last window of a short run is still caught.
+// Concurrency: the watchdog registers itself as a TimeSeries observer
+// and evaluates on the sampling thread after every appended interval.
+// start()/stop() drive the backend sampler (idempotent; stop() includes
+// the backend's closing-window sample, so a spike in the last window of
+// a short run is still caught).  evaluate_once() forces one sample +
+// evaluation for deterministic test driving.  When sharing a backend,
+// the Watchdog must be destroyed before the TimeSeries stops being
+// sampled — its destructor detaches the observer.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 
 #include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace ss::telemetry {
 
@@ -70,60 +73,53 @@ struct WatchdogConfig {
 
 class Watchdog {
  public:
-  /// `session` may be null: rules still evaluate and count firings, but
-  /// nothing dumps.
+  /// Own a private TimeSeries over `reg` (poll_interval/window sized from
+  /// `cfg`).  `session` may be null: rules still evaluate and count
+  /// firings, but nothing dumps.
   Watchdog(MetricsRegistry& reg, AuditSession* session,
            WatchdogConfig cfg = {});
+  /// Evaluate over a TimeSeries you run (and export) yourself — one
+  /// sampler, two consumers.  cfg.poll_interval is ignored (the backend's
+  /// cadence rules); the rolling window is min(cfg.window, ts capacity).
+  Watchdog(TimeSeries& ts, AuditSession* session, WatchdogConfig cfg = {});
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
-  /// Spawn / join the monitor thread.  stop() performs one final
-  /// evaluation before joining and is idempotent.
+  /// Start / stop the backend sampler.  stop() performs the backend's
+  /// closing-window sample (one final evaluation) and is idempotent.
   void start();
   void stop();
 
-  /// One poll + rule evaluation; returns the rule that fired (first
-  /// match in the order above), if any.  Thread-safe.
+  /// Force one backend sample + rule evaluation; returns the rule that
+  /// fired (first match in the order above), if any.  Thread-safe.
   std::optional<std::string> evaluate_once();
 
   [[nodiscard]] std::uint64_t polls() const noexcept;
   [[nodiscard]] std::uint64_t fired() const noexcept;
   [[nodiscard]] std::string last_rule() const;
+  [[nodiscard]] TimeSeries& timeseries() noexcept { return *ts_; }
 
  private:
-  struct Poll {
-    double delay_p99_us = 0.0;
-    std::uint64_t grants = 0;
-    std::uint64_t decisions = 0;
-    std::uint64_t enqueued = 0;
-    std::uint64_t dequeued = 0;
-    std::uint64_t retries = 0;
-    std::uint64_t inversions = 0;
-    std::uint64_t pops = 0;
-    std::array<std::uint64_t, kBurnCauses> burn{};
-  };
-
-  Poll read_registry() const;
+  void init();
+  void observe();  ///< TimeSeries observer: count the poll, run the rules
   std::optional<std::string> evaluate_locked();
   void fire(const std::string& rule, const std::string& context);
-  void run_thread();
 
-  MetricsRegistry& reg_;
   AuditSession* session_;
   WatchdogConfig cfg_;
-  Counter* polls_counter_;
-  Counter* fired_counter_;
+  std::unique_ptr<TimeSeries> owned_ts_;  ///< null when sharing a backend
+  TimeSeries* ts_;
+  std::size_t observer_token_ = 0;
+  Counter* polls_counter_ = nullptr;
+  Counter* fired_counter_ = nullptr;
 
-  mutable std::mutex mu_;  ///< guards window_/fired_rules_/last_rule_
-  std::deque<Poll> window_;
+  mutable std::mutex mu_;  ///< guards fired_rules_/last_rule_/last_result_
   std::deque<std::string> fired_rules_;  ///< once-per-run suppression
   std::string last_rule_;
+  std::optional<std::string> last_result_;
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> fired_{0};
-
-  std::thread thread_;
-  std::atomic<bool> stop_{false};
   bool running_ = false;
 };
 

@@ -1,0 +1,429 @@
+// report_test.cpp — the JSON reader, the unified run report, and the
+// bench regression keeper.
+//
+// The JsonValue suite pins the reader's contract (full value grammar,
+// insertion-order objects, default-on-absence accessors, rejection of
+// trailing garbage).  The Report suite builds ss-report-v1 documents from
+// hand-written export docs — every merge rule is observable: rate rows
+// from the time-series counters, watchdog firings localized via
+// watchdog.fired deltas, burn attribution summed across stream profiles,
+// the audit watchdog context re-serialized verbatim — plus one
+// round-trip over documents real producers wrote.  The BenchDiff suite
+// drives the comparator's noise model: self-compare is clean, a
+// single-row relative regression and a hw-model regression are caught,
+// a uniform slowdown is (by design) invisible in shape mode but caught
+// with absolute=true, and exact-PIFO invariants are hard gates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
+#include "util/json.hpp"
+
+namespace ss {
+namespace {
+
+using telemetry::BenchDiffOptions;
+using telemetry::BenchDiffResult;
+using telemetry::Report;
+using telemetry::ReportInputs;
+using util::JsonValue;
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+TEST(JsonReader, ParsesFullValueGrammar) {
+  const auto doc = JsonValue::parse(
+      R"({"s": "a\"b\\c", "n": -2.5e2, "i": 42, "b": true, "f": false,)"
+      R"( "z": null, "arr": [1, [2], {"k": 3}], "obj": {"nested": "yes"}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str_at("s"), "a\"b\\c");
+  EXPECT_EQ(doc->num_at("n"), -250.0);
+  EXPECT_EQ(doc->num_at("i"), 42.0);
+  EXPECT_TRUE(doc->bool_at("b"));
+  EXPECT_FALSE(doc->bool_at("f", true));
+  ASSERT_NE(doc->find("z"), nullptr);
+  EXPECT_TRUE(doc->find("z")->is_null());
+  const JsonValue* arr = doc->find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->as_array().size(), 3u);
+  EXPECT_EQ(arr->as_array()[0].as_num(), 1.0);
+  EXPECT_EQ(arr->as_array()[2].num_at("k"), 3.0);
+  EXPECT_EQ(doc->find("obj")->str_at("nested"), "yes");
+}
+
+TEST(JsonReader, RejectsMalformedAndTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+  EXPECT_TRUE(JsonValue::parse("  {\"a\": 1}  ").has_value());
+}
+
+TEST(JsonReader, AbsentOrMistypedFieldsYieldDefaults) {
+  const auto doc = JsonValue::parse(R"({"str": "x", "num": 7})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->num_at("missing", 3.5), 3.5);
+  EXPECT_EQ(doc->str_at("missing", "dflt"), "dflt");
+  EXPECT_EQ(doc->num_at("str", 9.0), 9.0) << "string read as number";
+  EXPECT_EQ(doc->str_at("num", "d"), "d") << "number read as string";
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonReader, ObjectsPreserveInsertionOrder) {
+  const auto doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue::Object& obj = doc->as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonReader, ParseFileHandlesMissingFile) {
+  EXPECT_FALSE(util::parse_json_file("/nonexistent/nope.json").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// build_report
+// ---------------------------------------------------------------------------
+
+struct ReportFixture {
+  std::string metrics = tmp_path("rep_metrics.json");
+  std::string audit = tmp_path("rep_audit.json");
+  std::string profile = tmp_path("rep_profile.json");
+  std::string ts = tmp_path("rep_timeseries.json");
+
+  ReportFixture() {
+    write_file(metrics, R"({"schema":"ss-metrics-v1","counters":{)"
+                        R"("chip.grants":120,"watchdog.polls":4,)"
+                        R"("watchdog.fired":1},"gauges":{},"histograms":{)"
+                        R"("es.frame_delay_us":{"count":500,"sum":9000,)"
+                        R"("p50":10,"p90":20,"p99":30}}})");
+    write_file(audit,
+               R"({"schema":"ss-audit-v2","cause":"watchdog:burn_rate_spike",)"
+               R"("decisions":1000,"comparisons":5000,"health":1,)"
+               R"("watchdog":{"rule":"burn_rate_spike","detail":)"
+               R"("lost_tiebreak","value":60,"threshold":50,)"
+               R"("window_polls":2},"stream_profiles":[)"
+               R"({"burn":{"lost_tiebreak":40}},)"
+               R"({"burn":{"lost_tiebreak":20,"queue_overflow":5}}]})");
+    write_file(profile,
+               R"({"schema":"ss-profile-v1","total_ns":1000000,"stages":[)"
+               R"({"name":"decision","parent":"","share_pct":60,)"
+               R"("self_ns":600000,"count":100},)"
+               R"({"name":"tx","parent":"","share_pct":40,)"
+               R"("self_ns":400000,"count":100}]})");
+    write_file(ts,
+               R"({"schema":"ss-timeseries-v1","interval_ns":5000000,)"
+               R"("capacity":256,"intervals":4,"retained":4,"dropped":0,)"
+               R"("t_ns":[5000000,10000000,15000000,20000000],)"
+               R"("counters":{"chip.grants":{"cum":[30,60,90,120],)"
+               R"("delta":[30,30,30,30],)"
+               R"("rate_per_s":[6000,6000,6000,6000]},)"
+               R"("watchdog.fired":{"cum":[0,0,1,1],"delta":[0,0,1,0],)"
+               R"("rate_per_s":[0,0,200,0]}},"gauges":{},)"
+               R"("histograms":{"es.frame_delay_us":{)"
+               R"("count":[100,200,300,500],"p50":[5,5,5,25],)"
+               R"("p99":[10,10,10,30],"cum_p99":[10,10,10,30]}}})");
+  }
+
+  ~ReportFixture() {
+    std::remove(metrics.c_str());
+    std::remove(audit.c_str());
+    std::remove(profile.c_str());
+    std::remove(ts.c_str());
+  }
+};
+
+TEST(RunReport, MergesAllFourDocuments) {
+  ReportFixture fx;
+  const Report rep =
+      telemetry::build_report({fx.metrics, fx.audit, fx.profile, fx.ts});
+  ASSERT_TRUE(rep.any_input);
+
+  const std::string& j = rep.json;
+  EXPECT_NE(j.find("\"schema\":\"ss-report-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"inputs\":{\"metrics\":true,\"audit\":true,"
+                   "\"profile\":true,\"timeseries\":true}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"duration_ns\":20000000"), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"chip.grants\",\"cum\":120"), std::string::npos);
+  // Burn causes summed across stream profiles and sorted descending.
+  EXPECT_NE(j.find("\"burn\":{\"total\":65,\"causes\":["
+                   "{\"cause\":\"lost_tiebreak\",\"count\":60},"
+                   "{\"cause\":\"queue_overflow\",\"count\":5}]}"),
+            std::string::npos);
+  // Firing localized to its interval via the watchdog.fired delta.
+  EXPECT_NE(j.find("\"firing_t_ns\":[15000000]"), std::string::npos);
+  // The audit watchdog context re-serialized into the report verbatim.
+  EXPECT_NE(j.find("\"context\":{\"rule\":\"burn_rate_spike\","
+                   "\"detail\":\"lost_tiebreak\",\"value\":60,"
+                   "\"threshold\":50,\"window_polls\":2}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"polls\":4,\"fired\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"decision\",\"share_pct\":60"),
+            std::string::npos);
+  // The report itself is valid JSON (proven by our own reader).
+  EXPECT_TRUE(JsonValue::parse(j).has_value());
+  EXPECT_EQ(j.find('\n'), std::string::npos) << "single-line contract";
+
+  const std::string& t = rep.text;
+  EXPECT_NE(t.find("ShareStreams run report"), std::string::npos);
+  EXPECT_NE(t.find("chip.grants"), std::string::npos);
+  EXPECT_NE(t.find("es.frame_delay_us"), std::string::npos);
+  EXPECT_NE(t.find("lost_tiebreak"), std::string::npos);
+  EXPECT_NE(t.find("burn_rate_spike"), std::string::npos);
+  EXPECT_NE(t.find("fired inside interval ending"), std::string::npos);
+  EXPECT_NE(t.find("█"), std::string::npos) << "no sparkline rendered";
+}
+
+TEST(RunReport, NoInputsYieldsEmptyReport) {
+  const Report rep = telemetry::build_report({});
+  EXPECT_FALSE(rep.any_input);
+  const Report rep2 = telemetry::build_report(
+      {"/nonexistent/a.json", "", "", "/nonexistent/b.json"});
+  EXPECT_FALSE(rep2.any_input);
+}
+
+// A document parseable as JSON but carrying the wrong schema is treated
+// as absent, not mis-merged.
+TEST(RunReport, WrongSchemaInputIgnored) {
+  ReportFixture fx;
+  const Report rep = telemetry::build_report({fx.audit, "", "", ""});
+  EXPECT_FALSE(rep.any_input)
+      << "an ss-audit-v2 doc offered as metrics must not load";
+  const std::string& j = rep.json;
+  EXPECT_NE(j.find("\"inputs\":{\"metrics\":false"), std::string::npos);
+}
+
+// Burn attribution falls back to the registry's audit.burn.* counters
+// when no audit document (and hence no stream profiles) is present.
+TEST(RunReport, BurnFallsBackToMetricsCounters) {
+  const std::string path = tmp_path("rep_burn_metrics.json");
+  write_file(path, R"({"schema":"ss-metrics-v1","counters":{)"
+                   R"("audit.burn.queue_overflow":7,)"
+                   R"("audit.burn.lost_tiebreak":0},"gauges":{},)"
+                   R"("histograms":{}})");
+  const Report rep = telemetry::build_report({path, "", "", ""});
+  ASSERT_TRUE(rep.any_input);
+  EXPECT_NE(rep.json.find("\"burn\":{\"total\":7,\"causes\":["
+                          "{\"cause\":\"queue_overflow\",\"count\":7}]}"),
+            std::string::npos)
+      << "zero-valued causes must be elided, nonzero kept";
+  std::remove(path.c_str());
+}
+
+// Round trip over documents the real producers wrote: a live registry +
+// TimeSeries export feeding build_report directly.
+TEST(RunReport, RoundTripsRealProducerDocuments) {
+  const std::string mpath = tmp_path("rep_real_metrics.json");
+  const std::string tpath = tmp_path("rep_real_ts.json");
+
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& grants = reg.counter("chip.grants");
+  telemetry::TimeSeries ts(reg);
+  grants.add(100);
+  ts.sample_once();
+  grants.add(50);
+  ts.sample_once();
+  ASSERT_TRUE(ts.write_json(tpath));
+  write_file(mpath, reg.to_json());
+
+  const Report rep = telemetry::build_report({mpath, "", "", tpath});
+  ASSERT_TRUE(rep.any_input);
+  EXPECT_NE(rep.json.find("\"name\":\"chip.grants\",\"cum\":150"),
+            std::string::npos);
+  EXPECT_NE(rep.json.find("\"intervals\":2"), std::string::npos);
+  EXPECT_TRUE(JsonValue::parse(rep.json).has_value());
+  std::remove(mpath.c_str());
+  std::remove(tpath.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// bench_diff
+// ---------------------------------------------------------------------------
+
+std::string throughput_doc(double r1_pps, double r2_pps, double r3_pps,
+                           double hw_cycles, double speedup) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\": \"throughput_baseline\", \"version\": 2, "
+      "\"quick\": true, "
+      "\"env\": {\"duration_s\": 1.5, \"peak_rss_kb\": 20000}, "
+      "\"frames_per_stream\": 2000, \"rows\": ["
+      "{\"mode\": \"wr\", \"batch_depth\": 1, \"streams\": 16, "
+      "\"pps_excl_pci\": %.1f, \"hw_cycles_per_decision\": %.2f, "
+      "\"frames_per_decision\": 1.0},"
+      "{\"mode\": \"block\", \"batch_depth\": 1, \"streams\": 16, "
+      "\"pps_excl_pci\": %.1f, \"hw_cycles_per_decision\": %.2f, "
+      "\"frames_per_decision\": 1.0},"
+      "{\"mode\": \"block\", \"batch_depth\": 4, \"streams\": 16, "
+      "\"pps_excl_pci\": %.1f, \"hw_cycles_per_decision\": %.2f, "
+      "\"frames_per_decision\": 3.2}], "
+      "\"simd_speedup\": {\"kernel\": \"avx2\", \"speedup\": %.2f}}",
+      r1_pps, hw_cycles, r2_pps, hw_cycles, r3_pps, hw_cycles, speedup);
+  return buf;
+}
+
+std::string pifo_doc(double exact_inverted, double exact_excess,
+                     double sp_rate_pct, double exact_hw_cycles) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\": \"pifo_inversions\", \"version\": 1, \"quick\": true, "
+      "\"env\": {\"duration_s\": 0.4, \"peak_rss_kb\": 9000}, "
+      "\"ops\": 4000, \"rows\": ["
+      "{\"dist\": \"heavy-tailed\", \"backend\": \"exact-pifo/binary-heap\", "
+      "\"inverted_pops\": %.0f, \"pairwise_excess\": %.0f, "
+      "\"inversion_rate_pct\": 0.0, \"hw_cycles\": %.0f, "
+      "\"area_slices\": 120},"
+      "{\"dist\": \"heavy-tailed\", \"backend\": \"sp-pifo/8\", "
+      "\"bands\": 8, \"inverted_pops\": 50, \"pairwise_excess\": 40, "
+      "\"inversion_rate_pct\": %.3f, \"hw_cycles\": 0, "
+      "\"area_slices\": 0}]}",
+      exact_inverted, exact_excess, exact_hw_cycles, sp_rate_pct);
+  return buf;
+}
+
+TEST(BenchDiff, SelfCompareIsClean) {
+  const std::string a = tmp_path("bd_base.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  const BenchDiffResult r = telemetry::bench_diff(a, a);
+  EXPECT_TRUE(r.comparable);
+  EXPECT_EQ(r.regressions, 0) << r.text;
+  EXPECT_NE(r.text.find("verdict: 0 regression(s)"), std::string::npos);
+  std::remove(a.c_str());
+}
+
+// One row falling behind its siblings is visible in shape mode even
+// though every absolute number could be explained by a slower machine.
+TEST(BenchDiff, SingleRowRelativeRegressionCaught) {
+  const std::string a = tmp_path("bd_base2.json");
+  const std::string b = tmp_path("bd_cand2.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  // The depth-4 row loses half its pps relative to the others.
+  write_file(b, throughput_doc(100000, 200000, 200000, 50.0, 2.0));
+  const BenchDiffResult r = telemetry::bench_diff(a, b);
+  EXPECT_TRUE(r.comparable);
+  EXPECT_GT(r.regressions, 0) << r.text;
+  EXPECT_NE(r.text.find("pps_shape"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// A uniform slowdown is indistinguishable from a slower machine and must
+// NOT regress in shape mode — that is the point of the normalization —
+// but absolute mode (same-machine pairs) catches it.
+TEST(BenchDiff, UniformSlowdownNeedsAbsoluteMode) {
+  const std::string a = tmp_path("bd_base3.json");
+  const std::string b = tmp_path("bd_cand3.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  write_file(b, throughput_doc(50000, 100000, 200000, 50.0, 2.0));
+  const BenchDiffResult shape = telemetry::bench_diff(a, b);
+  EXPECT_TRUE(shape.comparable);
+  EXPECT_EQ(shape.regressions, 0) << shape.text;
+
+  BenchDiffOptions opts;
+  opts.absolute = true;
+  const BenchDiffResult abs = telemetry::bench_diff(a, b, opts);
+  EXPECT_GT(abs.regressions, 0) << abs.text;
+  EXPECT_NE(abs.text.find("pps_excl_pci"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// Hardware-model metrics are workload-deterministic: growth past the
+// tolerance regresses regardless of machine speed.
+TEST(BenchDiff, HwCyclesGrowthRegresses) {
+  const std::string a = tmp_path("bd_base4.json");
+  const std::string b = tmp_path("bd_cand4.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  write_file(b, throughput_doc(100000, 200000, 400000, 60.0, 2.0));  // +20%
+  const BenchDiffResult r = telemetry::bench_diff(a, b);
+  EXPECT_GT(r.regressions, 0) << r.text;
+  EXPECT_NE(r.text.find("hw_cycles_per_decision"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(BenchDiff, SimdSpeedupDropRegresses) {
+  const std::string a = tmp_path("bd_base5.json");
+  const std::string b = tmp_path("bd_cand5.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  write_file(b, throughput_doc(100000, 200000, 400000, 50.0, 1.2));  // -40%
+  const BenchDiffResult r = telemetry::bench_diff(a, b);
+  EXPECT_GT(r.regressions, 0) << r.text;
+  EXPECT_NE(r.text.find("speedup(avx2)"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(BenchDiff, ExactPifoInvariantIsHardGate) {
+  const std::string a = tmp_path("bd_pifo_base.json");
+  const std::string b = tmp_path("bd_pifo_cand.json");
+  write_file(a, pifo_doc(0, 0, 5.0, 10000));
+  // Even a single inverted pop on an exact substrate regresses — no
+  // tolerance applies to an invariant.
+  write_file(b, pifo_doc(1, 0, 5.0, 10000));
+  const BenchDiffResult r = telemetry::bench_diff(a, b);
+  EXPECT_TRUE(r.comparable);
+  EXPECT_GT(r.regressions, 0) << r.text;
+  EXPECT_NE(r.text.find("inverted_pops"), std::string::npos);
+
+  // And the SP-PIFO approximation degrading past tolerance is caught.
+  const std::string c = tmp_path("bd_pifo_cand2.json");
+  write_file(c, pifo_doc(0, 0, 8.0, 10000));  // +60% inversion rate
+  const BenchDiffResult r2 = telemetry::bench_diff(a, c);
+  EXPECT_GT(r2.regressions, 0) << r2.text;
+  EXPECT_NE(r2.text.find("inversion_rate_pct"), std::string::npos);
+
+  // Self-compare of the pifo artifact stays clean.
+  const BenchDiffResult r3 = telemetry::bench_diff(a, a);
+  EXPECT_EQ(r3.regressions, 0) << r3.text;
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(c.c_str());
+}
+
+TEST(BenchDiff, MismatchedBenchTypesNotComparable) {
+  const std::string a = tmp_path("bd_mix_a.json");
+  const std::string b = tmp_path("bd_mix_b.json");
+  write_file(a, throughput_doc(100000, 200000, 400000, 50.0, 2.0));
+  write_file(b, pifo_doc(0, 0, 5.0, 10000));
+  const BenchDiffResult r = telemetry::bench_diff(a, b);
+  EXPECT_FALSE(r.comparable);
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_NE(r.text.find("bench types differ"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(BenchDiff, UnparseableArtifactNotComparable) {
+  const std::string a = tmp_path("bd_bad.json");
+  write_file(a, "{not json");
+  const BenchDiffResult r =
+      telemetry::bench_diff(a, "/nonexistent/cand.json");
+  EXPECT_FALSE(r.comparable);
+  EXPECT_NE(r.text.find("cannot parse"), std::string::npos);
+  std::remove(a.c_str());
+}
+
+}  // namespace
+}  // namespace ss

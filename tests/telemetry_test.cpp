@@ -293,6 +293,40 @@ TEST(TelemetryPrometheus, HelpLinesEscapedAndOptional) {
             std::string::npos);
 }
 
+// Histograms expose the real Prometheus exposition: one cumulative
+// `_bucket{le="<upper edge>"}` line per bin, the mandatory `+Inf`
+// bucket carrying the total count, then `_sum`/`_count`.  (Earlier
+// versions emitted a summary with quantile labels — scrapers saw no
+// distribution at all.)
+TEST(TelemetryPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry reg;
+  telemetry::Histogram& h =
+      reg.histogram("es.delay", 0.0, 40.0, 4);  // linear bins of width 10
+  h.observe(5.0);    // bin [0,10)
+  h.observe(15.0);   // bin [10,20)
+  h.observe(16.0);   // bin [10,20)
+  h.observe(35.0);   // bin [30,40)
+  const std::string prom = reg.snapshot().to_prometheus();
+
+  EXPECT_NE(prom.find("# TYPE ss_es_delay histogram"), std::string::npos);
+  EXPECT_NE(prom.find("ss_es_delay_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ss_es_delay_bucket{le=\"20\"} 3\n"),
+            std::string::npos)
+      << "bucket counts must be cumulative, not per-bin";
+  EXPECT_NE(prom.find("ss_es_delay_bucket{le=\"30\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ss_es_delay_bucket{le=\"40\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ss_es_delay_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos)
+      << "+Inf bucket must equal the observation count";
+  EXPECT_NE(prom.find("ss_es_delay_count 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("ss_es_delay_sum 71"), std::string::npos);
+  // The summary-era quantile labels must be gone.
+  EXPECT_EQ(prom.find("quantile="), std::string::npos);
+}
+
 TEST(FrameTraceTest, ChromeJsonHasTracksAndLifecycleSpans) {
   telemetry::FrameTrace ft;
   // One frame's full life on stream 2: arrive, enqueue, cross PCI, get a
